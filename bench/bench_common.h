@@ -1,0 +1,68 @@
+// Shared scaffolding for the figure/table benchmark binaries: flag
+// handling over exp::ExpConfig and the standard header each bench
+// prints. Every bench accepts:
+//   --runs=N --queries=N --nodes=N --records=N --seed=N --full
+// where --full switches to the paper's exact profile (10 runs, 500
+// queries) instead of the quicker default.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace roads::bench {
+
+struct BenchProfile {
+  exp::ExpConfig base;
+  bool full = false;
+};
+
+inline BenchProfile parse_profile(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  BenchProfile profile;
+  profile.full = flags.get_bool("full", false);
+  // Quick profile: enough repetitions for stable shape, minutes not
+  // hours on one core. --full restores the paper's 10 runs x 500
+  // queries.
+  profile.base.runs = profile.full ? 10 : 2;
+  profile.base.queries = profile.full ? 500 : 250;
+  profile.base.runs = static_cast<std::size_t>(
+      flags.get_int("runs", static_cast<std::int64_t>(profile.base.runs)));
+  profile.base.queries = static_cast<std::size_t>(flags.get_int(
+      "queries", static_cast<std::int64_t>(profile.base.queries)));
+  profile.base.nodes = static_cast<std::size_t>(
+      flags.get_int("nodes", static_cast<std::int64_t>(profile.base.nodes)));
+  profile.base.records_per_node = static_cast<std::size_t>(flags.get_int(
+      "records", static_cast<std::int64_t>(profile.base.records_per_node)));
+  profile.base.seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto unused = flags.unused_flags();
+  if (!unused.empty()) {
+    std::cerr << "warning: unused flags: " << unused << "\n";
+  }
+  return profile;
+}
+
+/// The node-count sweep of Figs. 3-5 (64..640 step 64 with --full,
+/// otherwise a 5-point subset covering the same span).
+inline std::vector<std::size_t> node_sweep(bool full) {
+  if (full) {
+    return {64, 128, 192, 256, 320, 384, 448, 512, 576, 640};
+  }
+  return {64, 160, 320, 448, 640};
+}
+
+inline void print_header(const char* title, const BenchProfile& profile) {
+  std::printf("%s\n", title);
+  std::printf("profile: %s (runs=%zu, queries=%zu, seed=%llu)\n\n",
+              profile.full ? "full/paper" : "quick", profile.base.runs,
+              profile.base.queries,
+              static_cast<unsigned long long>(profile.base.seed));
+}
+
+}  // namespace roads::bench

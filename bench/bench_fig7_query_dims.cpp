@@ -1,0 +1,34 @@
+// Figure 7: query message overhead vs query dimensionality (320
+// nodes). Paper: SWORD grows linearly (bigger query messages, same
+// path); ROADS initially drops (higher dimensionality prunes more
+// branches) then creeps back up once pruning saturates and the larger
+// query message dominates.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace roads;
+  auto profile = bench::parse_profile(argc, argv);
+  bench::print_header(
+      "Figure 7 — query message overhead vs dimensionality (320 nodes)",
+      profile);
+
+  util::Table table(
+      {"dims", "roads_B", "sword_B", "roads_servers", "sword_servers"});
+  for (std::size_t dims = 2; dims <= 8; ++dims) {
+    auto cfg = profile.base;
+    cfg.query_dimensions = dims;
+    const auto roads = exp::average_runs(cfg, exp::run_roads_once);
+    const auto sword = exp::average_runs(cfg, exp::run_sword_once);
+    table.add_row({std::to_string(dims),
+                   util::Table::num(roads.query_bytes_avg, 0),
+                   util::Table::num(sword.query_bytes_avg, 0),
+                   util::Table::num(roads.servers_contacted_avg, 1),
+                   util::Table::num(sword.servers_contacted_avg, 1)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper shape: SWORD linear up (message size); ROADS dips as extra "
+      "dimensions\nprune branches, then flattens/rises as pruning "
+      "saturates.\n");
+  return 0;
+}

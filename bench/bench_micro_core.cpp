@@ -1,0 +1,163 @@
+// Microbenchmarks (google-benchmark) of the hot substrate operations:
+// histogram updates and merges, summary construction, Bloom filter
+// probes, record-store queries, and the discrete-event core. These
+// bound the simulator's own cost so the figure benches' wall time is
+// explainable.
+#include <benchmark/benchmark.h>
+
+#include "record/query.h"
+#include "sim/delay_space.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "summary/bloom_filter.h"
+#include "summary/histogram.h"
+#include "summary/resource_summary.h"
+#include "util/rng.h"
+#include "workload/record_generator.h"
+
+namespace {
+
+using namespace roads;
+
+void BM_HistogramAdd(benchmark::State& state) {
+  summary::Histogram h(1000, 0.0, 1.0);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    h.add(rng.uniform01());
+  }
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_HistogramMerge(benchmark::State& state) {
+  summary::Histogram a(1000, 0.0, 1.0);
+  summary::Histogram b(1000, 0.0, 1.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) b.add(rng.uniform01());
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a.total());
+  }
+}
+BENCHMARK(BM_HistogramMerge);
+
+void BM_HistogramRangeMatch(benchmark::State& state) {
+  summary::Histogram h(1000, 0.0, 1.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform01());
+  double lo = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.matches_range(lo, lo + 0.25));
+    lo = lo > 0.5 ? 0.2 : lo + 0.01;
+  }
+}
+BENCHMARK(BM_HistogramRangeMatch);
+
+void BM_BloomAddProbe(benchmark::State& state) {
+  summary::BloomFilter bloom(4096, 4);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string key = "value-" + std::to_string(i % 1000);
+    bloom.add(key);
+    benchmark::DoNotOptimize(bloom.maybe_contains(key));
+    ++i;
+  }
+}
+BENCHMARK(BM_BloomAddProbe);
+
+void BM_SummarizeRecords(benchmark::State& state) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = workload::WorkloadSpec::paper_default(16, 500);
+  workload::RecordGenerator gen(schema, spec, 7);
+  const auto records = gen.records_for_node(0, 1);
+  summary::SummaryConfig config;
+  for (auto _ : state) {
+    auto s = summary::ResourceSummary::of_records(schema, config, records);
+    benchmark::DoNotOptimize(s.record_count());
+  }
+}
+BENCHMARK(BM_SummarizeRecords);
+
+void BM_SummaryMerge16x1000(benchmark::State& state) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = workload::WorkloadSpec::paper_default(16, 500);
+  workload::RecordGenerator gen(schema, spec, 7);
+  summary::SummaryConfig config;
+  auto a = summary::ResourceSummary::of_records(schema, config,
+                                                gen.records_for_node(0, 1));
+  const auto b = summary::ResourceSummary::of_records(
+      schema, config, gen.records_for_node(1, 2));
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a.record_count());
+  }
+}
+BENCHMARK(BM_SummaryMerge16x1000);
+
+void BM_StoreQueryScan500(benchmark::State& state) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = workload::WorkloadSpec::paper_default(16, 500);
+  workload::RecordGenerator gen(schema, spec, 7);
+  store::RecordStore store(schema);
+  for (auto& r : gen.records_for_node(0, 1)) store.insert(std::move(r));
+  record::Query q;
+  q.add(record::Predicate::range(0, 0.2, 0.45));
+  q.add(record::Predicate::range(1, 0.2, 0.45));
+  q.add(record::Predicate::range(2, 0.2, 0.45));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(q));
+  }
+}
+BENCHMARK(BM_StoreQueryScan500);
+
+void BM_StoreQueryIndexed64k(benchmark::State& state) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = workload::WorkloadSpec::paper_default(16, 1000);
+  workload::RecordGenerator gen(schema, spec, 7);
+  store::RecordStore store(schema);
+  for (std::uint32_t n = 0; n < 64; ++n) {
+    for (auto& r : gen.records_for_node(n, n + 1)) store.insert(std::move(r));
+  }
+  record::Query q;
+  q.add(record::Predicate::range(0, 0.2, 0.3));
+  q.add(record::Predicate::range(1, 0.2, 0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(q));
+  }
+}
+BENCHMARK(BM_StoreQueryIndexed64k);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 10000; ++i) {
+      simulator.schedule_after(i, [&counter] { ++counter; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_DelaySpaceLatency(benchmark::State& state) {
+  sim::DelaySpace space(640, util::Rng(3));
+  sim::NodeId a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.latency(a, 639 - a));
+    a = (a + 1) % 640;
+  }
+}
+BENCHMARK(BM_DelaySpaceLatency);
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform01());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Federated stream-processing sites — the scenario that motivates the
+// paper (Distributed System S): several organizations, each running a
+// stream-processing site, share data sources and compute across
+// administrative boundaries, but on their own terms.
+//
+// Demonstrated here:
+//  * a mixed schema (categorical source types/encodings + numeric
+//    rates) shared by every participant;
+//  * organizations that host their own server and export detailed
+//    records (full trust in their own machine);
+//  * an organization that does NOT trust any server provider: it
+//    exports only summaries and answers queries itself — with a
+//    sharing policy granting its business partner a richer view than
+//    arbitrary strangers (the paper's "different views to different
+//    parties").
+#include <cstdio>
+#include <string>
+
+#include "roads/federation.h"
+
+using namespace roads;
+
+namespace {
+
+constexpr core::Principal kPartner = 1001;
+constexpr core::Principal kStranger = 2002;
+
+record::Schema stream_schema() {
+  return record::Schema({
+      {"kind", record::AttributeType::kCategorical, true, 0, 1},
+      {"encoding", record::AttributeType::kCategorical, true, 0, 1},
+      {"rate_kbps", record::AttributeType::kNumeric, true, 0.0, 1000.0},
+      {"cpu_cores", record::AttributeType::kNumeric, true, 0.0, 64.0},
+  });
+}
+
+record::ResourceRecord source(record::RecordId id, record::OwnerId owner,
+                              const std::string& kind,
+                              const std::string& encoding, double rate,
+                              double cores) {
+  return record::ResourceRecord(
+      id, owner,
+      {record::AttributeValue(kind), record::AttributeValue(encoding),
+       record::AttributeValue(rate), record::AttributeValue(cores)});
+}
+
+void report(const char* who, const core::QueryOutcome& outcome) {
+  std::printf("  %-22s -> %zu records (%zu servers, %.0f ms)\n", who,
+              outcome.matching_records, outcome.servers_contacted,
+              outcome.latency_ms);
+}
+
+}  // namespace
+
+int main() {
+  core::FederationParams params;
+  params.schema = stream_schema();
+  params.seed = 7;
+  params.config.max_children = 3;
+  params.config.summary.histogram_buckets = 64;
+
+  core::Federation fed(std::move(params));
+  fed.add_servers(7);
+  std::printf("federation of 7 servers, height %zu\n\n",
+              fed.topology().height());
+
+  // Site A (runs server 2): a camera farm, detailed export — anyone can
+  // discover and retrieve its records.
+  auto site_a = fed.add_owner(2, core::ExportMode::kDetailedRecords);
+  for (int i = 0; i < 6; ++i) {
+    site_a->store().insert(source(100 + i, site_a->id(), "camera",
+                                  i % 2 ? "MPEG2" : "H264", 100.0 + 40.0 * i,
+                                  0.0));
+  }
+  fed.server(2).attach_owner(site_a, core::ExportMode::kDetailedRecords);
+
+  // Site B (runs server 5): compute pools, detailed export.
+  auto site_b = fed.add_owner(5, core::ExportMode::kDetailedRecords);
+  for (int i = 0; i < 4; ++i) {
+    site_b->store().insert(
+        source(200 + i, site_b->id(), "compute", "none", 0.0, 8.0 * (i + 1)));
+  }
+  fed.server(5).attach_owner(site_b, core::ExportMode::kDetailedRecords);
+
+  // Site C: security-sensitive. It attaches to server 4 (someone
+  // else's machine) so it exports ONLY a summary; detailed queries are
+  // answered by site C itself, and its policy shows high-rate feeds to
+  // the partner only.
+  auto site_c = fed.add_owner(4, core::ExportMode::kSummaryOnly,
+                              /*colocated=*/false);
+  for (int i = 0; i < 5; ++i) {
+    site_c->store().insert(source(300 + i, site_c->id(), "camera", "H264",
+                                  600.0 + 50.0 * i, 0.0));
+  }
+  site_c->set_policy([](core::Principal who, const record::ResourceRecord& r) {
+    if (who == kPartner) return true;  // partners see everything
+    return r.value(2).number() < 650.0;  // others: only low-rate feeds
+  });
+  fed.server(4).attach_owner(site_c, core::ExportMode::kSummaryOnly);
+
+  fed.start();
+  fed.stabilize();
+
+  std::printf("server 4 stores %zu raw records of site C (summary-only "
+              "export keeps records at the owner)\n\n",
+              fed.server(4).local_store().size());
+
+  // Query 1: all H264 cameras — crosses sites A and C.
+  record::Query cameras;
+  cameras.add(record::Predicate::equals(0, "camera"));
+  cameras.add(record::Predicate::equals(1, "H264"));
+  std::printf("query: %s\n", cameras.to_string(stream_schema()).c_str());
+  report("as partner", fed.run_query(cameras, 0, kPartner));
+  report("as stranger", fed.run_query(cameras, 0, kStranger));
+
+  // Query 2: high-rate feeds only — the voluntary-sharing view split.
+  record::Query highrate;
+  highrate.add(record::Predicate::equals(0, "camera"));
+  highrate.add(record::Predicate::at_least(2, 650.0));
+  std::printf("query: %s\n", highrate.to_string(stream_schema()).c_str());
+  report("as partner", fed.run_query(highrate, 6, kPartner));
+  report("as stranger", fed.run_query(highrate, 6, kStranger));
+
+  // Query 3: compute with >= 16 cores, from yet another server.
+  record::Query compute;
+  compute.add(record::Predicate::equals(0, "compute"));
+  compute.add(record::Predicate::at_least(3, 16.0));
+  std::printf("query: %s\n", compute.to_string(stream_schema()).c_str());
+  report("any requester", fed.run_query(compute, 3, kStranger));
+
+  return 0;
+}

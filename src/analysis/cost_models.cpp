@@ -1,0 +1,64 @@
+#include "analysis/cost_models.h"
+
+#include <cmath>
+
+namespace roads::analysis {
+
+namespace {
+double log_n(double n) { return std::log2(std::max(n, 2.0)); }
+}  // namespace
+
+ModelParams ModelParams::paper_example() { return ModelParams{}; }
+
+double roads_update_overhead(const ModelParams& p) {
+  const double rm = p.attributes * p.buckets;
+  return rm * (p.owners + p.children * p.servers * log_n(p.servers)) /
+         p.summary_period_s;
+}
+
+double sword_update_overhead(const ModelParams& p) {
+  return p.attributes * p.attributes * p.records_per_owner * p.owners *
+         log_n(p.servers) / p.record_period_s;
+}
+
+double central_update_overhead(const ModelParams& p) {
+  return p.attributes * p.records_per_owner * p.owners / p.record_period_s;
+}
+
+double roads_maintenance_msgs_per_s(const ModelParams& p) {
+  return p.children * p.children * log_n(p.servers) / p.summary_period_s;
+}
+
+double roads_maintenance_msgs_per_round(const ModelParams& p,
+                                        std::size_t level) {
+  return p.children * p.children * static_cast<double>(level);
+}
+
+double roads_storage(const ModelParams& p, std::size_t level) {
+  return p.attributes * p.buckets * p.children *
+         (static_cast<double>(level) + 1.0);
+}
+
+double sword_storage(const ModelParams& p) {
+  return p.attributes * p.attributes * p.records_per_owner * p.owners /
+         p.servers;
+}
+
+double central_storage(const ModelParams& p) {
+  return p.attributes * p.records_per_owner * p.owners;
+}
+
+std::size_t levels_for(double servers, double children) {
+  // Smallest L with 1 + k + ... + k^L >= n.
+  double total = 1.0;
+  double layer = 1.0;
+  std::size_t level = 0;
+  while (total < servers && level < 64) {
+    layer *= children;
+    total += layer;
+    ++level;
+  }
+  return level;
+}
+
+}  // namespace roads::analysis

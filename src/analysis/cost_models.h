@@ -1,0 +1,71 @@
+// Closed-form cost models of §IV. These are the paper's equations
+// (1)-(4) and Table I, implemented verbatim so the analysis benches can
+// print model-vs-measured comparisons and the tests can check the
+// asymptotic claims (ROADS constant in record count, SWORD linear;
+// ROADS 1-2 orders below SWORD at the paper's parameter point).
+//
+// Units follow the paper: an attribute value has size 1, so a record
+// has size r and a histogram summary has size m*r. Overheads are
+// per-second message volume in those units.
+#pragma once
+
+#include <cstddef>
+
+namespace roads::analysis {
+
+struct ModelParams {
+  double owners = 1e3;            // N: resource owners
+  double records_per_owner = 1e4;  // K
+  double attributes = 25;          // r: searchable attributes per record
+  double buckets = 100;            // m: histogram buckets per attribute
+  double children = 5;             // k: children per server
+  double servers = 156;            // n
+  double record_period_s = 1.0;    // tr: record update period (seconds)
+  double summary_period_s = 10.0;  // ts: summary update period (ts = 10 tr)
+
+  /// The paper's §IV-B example setting (r=25, m=100, k=5, L=4 -> 156
+  /// servers, tr/ts = 0.1).
+  static ModelParams paper_example();
+};
+
+// --- Resource update overhead, per second (eqs. 1-3) ---
+
+/// Eq. (1): rm(N + k n log n) / ts — summary exports + bottom-up
+/// aggregation + top-down replication, all of constant summary size.
+double roads_update_overhead(const ModelParams& p);
+
+/// Eq. (2): r^2 K N log n / tr — every record replicated once per ring
+/// (r rings), each copy routed O(log n) hops.
+double sword_update_overhead(const ModelParams& p);
+
+/// Eq. (3): r K N / tr — owners ship raw records straight to the
+/// repository.
+double central_update_overhead(const ModelParams& p);
+
+// --- Summary maintenance (eq. 4) ---
+
+/// Eq. (4): worst-case per-node summary-maintenance message rate,
+/// O(k^2 log n) / ts messages per second.
+double roads_maintenance_msgs_per_s(const ModelParams& p);
+
+/// Per-node maintenance messages per refresh round for a level-i node:
+/// O(k^2 i) (the body of the eq. 4 derivation).
+double roads_maintenance_msgs_per_round(const ModelParams& p, std::size_t level);
+
+// --- Storage overhead per server (Table I) ---
+
+/// ROADS level-i server: r m k (i + 1) — children plus replicated
+/// summaries, all of constant size.
+double roads_storage(const ModelParams& p, std::size_t level);
+
+/// SWORD server: r^2 K N / n — each ring of n/r servers holds all KN
+/// records.
+double sword_storage(const ModelParams& p);
+
+/// Central repository: r K N.
+double central_storage(const ModelParams& p);
+
+/// Hierarchy depth L for n servers with k children each (balanced).
+std::size_t levels_for(double servers, double children);
+
+}  // namespace roads::analysis

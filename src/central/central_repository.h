@@ -1,0 +1,88 @@
+// CentralRepository: the second baseline of §IV-V. Every resource
+// owner exports its raw records to one repository server, which answers
+// each query by searching them locally and shipping the matches back.
+// One round trip per query — unbeatable at low selectivity — but a
+// single server pays the full retrieval cost serially, which is where
+// ROADS' parallel leaf retrieval wins at higher selectivity (Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "record/query.h"
+#include "record/record.h"
+#include "record/schema.h"
+#include "sim/delay_space.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "store/service_model.h"
+#include "util/rng.h"
+
+namespace roads::central {
+
+struct CentralParams {
+  record::Schema schema = record::Schema::uniform_numeric(16);
+  std::uint64_t seed = 1;
+  sim::DelaySpaceParams delay;
+  /// tr: owners re-export records this often (soft state).
+  sim::Time record_refresh_period = sim::seconds(10);
+  store::ServiceModelParams service_model;
+};
+
+struct CentralQueryOutcome {
+  bool complete = false;
+  /// Query-to-reply-arrival, forwarding only (no retrieval).
+  double latency_ms = 0.0;
+  /// Query to all matching records delivered (Fig. 11 metric).
+  double response_ms = 0.0;
+  std::uint64_t query_bytes = 0;
+  std::uint64_t result_bytes = 0;
+  std::size_t matching_records = 0;
+};
+
+class CentralRepository {
+ public:
+  /// `client_nodes` extra points in the delay space for query issuers;
+  /// node 0 is the repository itself.
+  CentralRepository(std::size_t client_nodes, CentralParams params);
+
+  sim::NodeId repository_node() const { return 0; }
+  std::size_t node_count() const { return node_count_; }
+  const record::Schema& schema() const { return params_.schema; }
+  sim::Network& network() { return network_; }
+  sim::Time record_refresh_period() const {
+    return params_.record_refresh_period;
+  }
+
+  /// Assigns an owner's record set; owners live at client nodes.
+  void set_records(sim::NodeId owner,
+                   std::vector<record::ResourceRecord> records);
+
+  /// One soft-state export round: every owner ships all records to the
+  /// repository. Returns the update bytes generated.
+  std::uint64_t run_export_round();
+
+  /// Resolves a query from `client`; the repository evaluates it under
+  /// the service-time model and returns all matching records.
+  CentralQueryOutcome run_query(const record::Query& query,
+                                sim::NodeId client);
+
+  /// Raw-record bytes held by the repository (Table I).
+  std::uint64_t stored_bytes() const { return store_.stored_bytes(); }
+  const store::RecordStore& store() const { return store_; }
+
+ private:
+  CentralParams params_;
+  util::Rng rng_;
+  sim::Simulator simulator_;
+  sim::DelaySpace delay_space_;
+  sim::Network network_;
+  std::size_t node_count_;
+
+  store::RecordStore store_;
+  std::map<sim::NodeId, std::vector<record::ResourceRecord>> owner_records_;
+};
+
+}  // namespace roads::central

@@ -1,0 +1,234 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "record/schema.h"
+#include "roads/federation.h"
+#include "sword/sword_system.h"
+#include "util/rng.h"
+#include "workload/distributions.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace roads::exp {
+
+namespace {
+
+workload::WorkloadSpec spec_for(const ExpConfig& config) {
+  if (config.overlap_factor) {
+    return workload::WorkloadSpec::with_overlap_factor(
+        *config.overlap_factor, config.nodes, config.attributes,
+        config.records_per_node);
+  }
+  return workload::WorkloadSpec::paper_default(config.attributes,
+                                               config.records_per_node);
+}
+
+workload::RecordGenerator generator_for(const ExpConfig& config,
+                                        const record::Schema& schema,
+                                        std::uint64_t run_seed) {
+  workload::RecordGenerator generator(schema, spec_for(config), run_seed);
+  if (config.correlated_data) {
+    generator.anchor_by_balanced_tree(config.nodes, config.max_children);
+  }
+  return generator;
+}
+
+}  // namespace
+
+RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
+  const auto schema = record::Schema::uniform_numeric(config.attributes);
+  const auto spec = spec_for(config);
+  const auto generator = generator_for(config, schema, run_seed);
+
+  core::FederationParams params;
+  params.schema = schema;
+  params.seed = run_seed;
+  params.config.max_children = config.max_children;
+  params.config.summary.histogram_buckets = config.histogram_buckets;
+  if (config.numeric_mode_multires) {
+    params.config.summary.numeric_mode =
+        summary::NumericMode::kMultiResolution;
+    params.config.summary.multires_budget = config.multires_budget;
+  }
+  params.config.summary_refresh_period = config.summary_period;
+  params.config.summary_ttl = 4 * config.summary_period;
+  params.config.overlay_enabled = config.overlay;
+  params.config.join_policy = config.join_policy;
+
+  core::Federation fed(std::move(params));
+  fed.add_servers(config.nodes);
+
+  // Every server hosts one co-located owner exporting detailed records
+  // (the owner-hosts-its-own-server pattern of Fig. 1).
+  for (std::size_t n = 0; n < config.nodes; ++n) {
+    const auto node = static_cast<sim::NodeId>(n);
+    auto owner = fed.add_owner(node, core::ExportMode::kDetailedRecords);
+    for (auto& r : generator.records_for_node(static_cast<std::uint32_t>(n),
+                                              owner->id())) {
+      owner->store().insert(std::move(r));
+    }
+    fed.server(node).attach_owner(owner, core::ExportMode::kDetailedRecords);
+  }
+
+  fed.start();
+  fed.stabilize();
+
+  RunMetrics metrics;
+  metrics.hierarchy_height = static_cast<double>(fed.topology().height());
+
+  // Update overhead: meter exactly one steady-state refresh period.
+  fed.network().reset_meters();
+  fed.advance(config.summary_period);
+  const auto& update_meter = fed.network().meter(sim::Channel::kUpdate);
+  metrics.update_bytes_per_round = static_cast<double>(update_meter.bytes);
+  metrics.update_bytes_per_s =
+      metrics.update_bytes_per_round / sim::to_seconds(config.summary_period);
+  metrics.maintenance_msgs_per_round =
+      static_cast<double>(update_meter.messages);
+
+  // Storage: worst server.
+  for (auto* server : fed.servers()) {
+    metrics.max_storage_bytes =
+        std::max(metrics.max_storage_bytes,
+                 static_cast<double>(server->stored_summary_bytes()));
+  }
+
+  // Queries: the paper's batch, each issued from a random node, with
+  // summaries held steady (they would not change during a query burst
+  // anyway — ts is minutes).
+  fed.set_refresh_paused(true);
+  workload::QueryGenerator qgen(schema, spec, run_seed ^ 0x9e37);
+  util::Rng pick(run_seed ^ 0x51a7);
+  util::Samples latencies;
+  util::RunningStat query_bytes;
+  util::RunningStat contacted;
+  util::RunningStat matches;
+  std::size_t completed = 0;
+  std::size_t touched_root = 0;
+  const bool from_root = config.start_at_root || !config.overlay;
+  const auto root = fed.topology().root();
+  for (std::size_t i = 0; i < config.queries; ++i) {
+    const auto query =
+        qgen.generate(config.query_dimensions, config.query_range_length);
+    auto start = static_cast<sim::NodeId>(pick.uniform_int(
+        0, static_cast<std::int64_t>(config.nodes) - 1));
+    if (from_root) start = root;
+    const auto outcome = fed.run_query(query, start);
+    if (!outcome.complete) continue;
+    ++completed;
+    latencies.add(outcome.latency_ms);
+    query_bytes.add(static_cast<double>(outcome.query_bytes));
+    contacted.add(static_cast<double>(outcome.servers_contacted));
+    matches.add(static_cast<double>(outcome.matching_records));
+    if (std::find(outcome.contacted.begin(), outcome.contacted.end(), root) !=
+        outcome.contacted.end()) {
+      ++touched_root;
+    }
+  }
+  metrics.latency_avg_ms = latencies.mean();
+  metrics.latency_p90_ms = latencies.percentile(90.0);
+  metrics.query_bytes_avg = query_bytes.mean();
+  metrics.servers_contacted_avg = contacted.mean();
+  metrics.matches_avg = matches.mean();
+  metrics.queries_completed = static_cast<double>(completed);
+  if (completed > 0) {
+    metrics.root_contact_fraction =
+        static_cast<double>(touched_root) / static_cast<double>(completed);
+  }
+  return metrics;
+}
+
+RunMetrics run_sword_once(const ExpConfig& config, std::uint64_t run_seed) {
+  const auto schema = record::Schema::uniform_numeric(config.attributes);
+  const auto spec = spec_for(config);
+  const auto generator = generator_for(config, schema, run_seed);
+
+  sword::SwordParams params;
+  params.schema = schema;
+  params.seed = run_seed;
+  params.record_refresh_period = config.record_period;
+
+  sword::SwordSystem sys(config.nodes, params);
+  for (std::size_t n = 0; n < config.nodes; ++n) {
+    sys.set_records(static_cast<sim::NodeId>(n),
+                    generator.records_for_node(
+                        static_cast<std::uint32_t>(n),
+                        static_cast<record::OwnerId>(n + 1)));
+  }
+
+  RunMetrics metrics;
+  metrics.update_bytes_per_round =
+      static_cast<double>(sys.run_registration_round());
+  metrics.update_bytes_per_s =
+      metrics.update_bytes_per_round / sim::to_seconds(config.record_period);
+  metrics.max_storage_bytes = static_cast<double>(sys.max_stored_bytes());
+
+  // Identical query batch and start nodes as the ROADS run (same seeds).
+  workload::QueryGenerator qgen(schema, spec, run_seed ^ 0x9e37);
+  util::Rng pick(run_seed ^ 0x51a7);
+  util::Samples latencies;
+  util::RunningStat query_bytes;
+  util::RunningStat contacted;
+  util::RunningStat matches;
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < config.queries; ++i) {
+    const auto query =
+        qgen.generate(config.query_dimensions, config.query_range_length);
+    const auto start = static_cast<sim::NodeId>(pick.uniform_int(
+        0, static_cast<std::int64_t>(config.nodes) - 1));
+    const auto outcome = sys.run_query(query, start);
+    if (!outcome.complete) continue;
+    ++completed;
+    latencies.add(outcome.latency_ms);
+    query_bytes.add(static_cast<double>(outcome.query_bytes));
+    contacted.add(static_cast<double>(outcome.servers_contacted));
+    matches.add(static_cast<double>(outcome.matching_records));
+  }
+  metrics.latency_avg_ms = latencies.mean();
+  metrics.latency_p90_ms = latencies.percentile(90.0);
+  metrics.query_bytes_avg = query_bytes.mean();
+  metrics.servers_contacted_avg = contacted.mean();
+  metrics.matches_avg = matches.mean();
+  metrics.queries_completed = static_cast<double>(completed);
+  return metrics;
+}
+
+RunMetrics average_runs(
+    const ExpConfig& config,
+    const std::function<RunMetrics(const ExpConfig&, std::uint64_t)>& system) {
+  RunMetrics sum;
+  const std::size_t runs = std::max<std::size_t>(1, config.runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    const auto m = system(config, config.seed + i);
+    sum.latency_avg_ms += m.latency_avg_ms;
+    sum.latency_p90_ms += m.latency_p90_ms;
+    sum.query_bytes_avg += m.query_bytes_avg;
+    sum.servers_contacted_avg += m.servers_contacted_avg;
+    sum.matches_avg += m.matches_avg;
+    sum.update_bytes_per_round += m.update_bytes_per_round;
+    sum.update_bytes_per_s += m.update_bytes_per_s;
+    sum.max_storage_bytes += m.max_storage_bytes;
+    sum.queries_completed += m.queries_completed;
+    sum.hierarchy_height += m.hierarchy_height;
+    sum.maintenance_msgs_per_round += m.maintenance_msgs_per_round;
+    sum.root_contact_fraction += m.root_contact_fraction;
+  }
+  const auto d = static_cast<double>(runs);
+  sum.latency_avg_ms /= d;
+  sum.latency_p90_ms /= d;
+  sum.query_bytes_avg /= d;
+  sum.servers_contacted_avg /= d;
+  sum.matches_avg /= d;
+  sum.update_bytes_per_round /= d;
+  sum.update_bytes_per_s /= d;
+  sum.max_storage_bytes /= d;
+  sum.queries_completed /= d;
+  sum.hierarchy_height /= d;
+  sum.maintenance_msgs_per_round /= d;
+  sum.root_contact_fraction /= d;
+  return sum;
+}
+
+}  // namespace roads::exp

@@ -1,0 +1,98 @@
+// Experiment drivers shared by the benchmark binaries and the
+// integration tests: build ROADS / SWORD / the central repository under
+// one parameter set and one workload, run the paper's query mix, and
+// report the paper's metrics (query latency, update overhead, query
+// message overhead, storage). Both systems see identical records and an
+// identical query batch, so every comparison is apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "hierarchy/join_policy.h"
+#include "record/query.h"
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace roads::exp {
+
+/// One experiment's parameter point. Defaults are the paper's §V
+/// simulation defaults: 320 nodes x 500 records, 16 attributes,
+/// 6-dimensional queries of range 0.25, degree-8 hierarchy, 1000-bucket
+/// histograms, 500 queries, averaged over 10 runs.
+struct ExpConfig {
+  std::size_t nodes = 320;
+  std::size_t records_per_node = 500;
+  std::size_t attributes = 16;
+  std::size_t query_dimensions = 6;
+  double query_range_length = 0.25;
+  std::size_t queries = 500;
+  std::size_t runs = 10;
+  std::size_t max_children = 8;
+  std::size_t histogram_buckets = 1000;
+  /// Use multi-resolution summaries instead of fixed histograms
+  /// (ablation of the [11]-style alternative).
+  bool numeric_mode_multires = false;
+  std::size_t multires_budget = 64;
+  /// Fig. 9: when set, the first 8 attributes become per-node windows
+  /// of length overlap_factor / nodes.
+  std::optional<double> overlap_factor;
+  /// Anchor each node's data by its DFS rank in the balanced hierarchy
+  /// (administrative locality -> branch summaries can prune interior
+  /// levels); both systems see identical records either way.
+  bool correlated_data = true;
+  /// Replication overlay on (paper) / off (ablation: root-start only).
+  bool overlay = true;
+  /// Join steering policy (balanced = paper; random/proximity for the
+  /// join ablation).
+  hierarchy::JoinPolicyKind join_policy =
+      hierarchy::JoinPolicyKind::kBalanced;
+  /// Force every query to start at the root instead of a random node
+  /// (automatic when the overlay is off).
+  bool start_at_root = false;
+  std::uint64_t seed = 1;
+  /// ts and tr; the paper uses tr/ts = 0.1 (summaries change an order
+  /// of magnitude slower than records).
+  sim::Time summary_period = sim::seconds(100);
+  sim::Time record_period = sim::seconds(10);
+};
+
+/// The §V metrics from one run of one system.
+struct RunMetrics {
+  double latency_avg_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double query_bytes_avg = 0.0;
+  double servers_contacted_avg = 0.0;
+  double matches_avg = 0.0;
+  /// Bytes one full soft-state refresh round generates, and the same
+  /// normalized per second of simulated time (round bytes / period).
+  double update_bytes_per_round = 0.0;
+  double update_bytes_per_s = 0.0;
+  /// Largest per-server storage footprint (summaries for ROADS, raw
+  /// records for SWORD/central).
+  double max_storage_bytes = 0.0;
+  double queries_completed = 0.0;
+  /// ROADS only: hierarchy height and maintenance (replica) messages
+  /// per round.
+  double hierarchy_height = 0.0;
+  double maintenance_msgs_per_round = 0.0;
+  /// ROADS only: fraction of queries whose resolution touched the root
+  /// — the bottleneck measure the replication overlay exists to fix.
+  double root_contact_fraction = 0.0;
+};
+
+/// Runs ROADS once at this parameter point. `run_seed` perturbs
+/// topology, data and queries; the paper averages 10 such runs.
+RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed);
+
+/// Same workload and queries through the SWORD baseline.
+RunMetrics run_sword_once(const ExpConfig& config, std::uint64_t run_seed);
+
+/// Averages `config.runs` runs of a system (seeds seed+0 .. seed+runs-1).
+RunMetrics average_runs(
+    const ExpConfig& config,
+    const std::function<RunMetrics(const ExpConfig&, std::uint64_t)>& system);
+
+}  // namespace roads::exp

@@ -1,0 +1,21 @@
+#include "hierarchy/branch_stats.h"
+
+#include <algorithm>
+
+namespace roads::hierarchy {
+
+BranchStats aggregate_branch_stats(const std::vector<BranchStats>& children) {
+  BranchStats out;
+  if (children.empty()) return out;  // leaf: depth 1, just itself
+  std::uint32_t max_depth = 0;
+  std::uint32_t total = 0;
+  for (const auto& c : children) {
+    max_depth = std::max(max_depth, c.depth);
+    total += c.descendants;
+  }
+  out.depth = 1 + max_depth;
+  out.descendants = 1 + total;
+  return out;
+}
+
+}  // namespace roads::hierarchy

@@ -1,0 +1,27 @@
+// Per-branch statistics each server tracks for its children (§III-A):
+// the depth of the child's subtree and how many descendants it has.
+// Joining servers descend toward the shallowest branch, which keeps the
+// hierarchy balanced; the stats ride on the periodic bottom-up
+// aggregation messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace roads::hierarchy {
+
+struct BranchStats {
+  /// Height of the subtree rooted at the child: 1 for a leaf child.
+  std::uint32_t depth = 1;
+  /// Servers in the child's subtree, the child included.
+  std::uint32_t descendants = 1;
+
+  bool operator==(const BranchStats& other) const = default;
+};
+
+/// Folds child branch stats into the stats of the node above them:
+/// depth = 1 + max(child depths), descendants = 1 + sum(child
+/// descendants). An empty child list yields a leaf's {1, 1}.
+BranchStats aggregate_branch_stats(const std::vector<BranchStats>& children);
+
+}  // namespace roads::hierarchy

@@ -1,0 +1,65 @@
+#include "hierarchy/child_table.h"
+
+#include <stdexcept>
+
+namespace roads::hierarchy {
+
+void ChildTable::add(NodeId child, sim::Time now) {
+  auto [it, inserted] =
+      entries_.emplace(child, Entry{child, BranchStats{}, now});
+  if (!inserted) {
+    throw std::logic_error("ChildTable: duplicate child");
+  }
+}
+
+bool ChildTable::remove(NodeId child) { return entries_.erase(child) > 0; }
+
+void ChildTable::update_stats(NodeId child, const BranchStats& stats) {
+  auto it = entries_.find(child);
+  if (it == entries_.end()) return;  // stale message from a removed child
+  it->second.stats = stats;
+}
+
+void ChildTable::update_heartbeat(NodeId child, sim::Time now) {
+  auto it = entries_.find(child);
+  if (it == entries_.end()) return;
+  it->second.last_heartbeat = now;
+}
+
+void ChildTable::touch_all(sim::Time now) {
+  for (auto& [_, entry] : entries_) entry.last_heartbeat = now;
+}
+
+const ChildTable::Entry& ChildTable::entry(NodeId child) const {
+  auto it = entries_.find(child);
+  if (it == entries_.end()) {
+    throw std::out_of_range("ChildTable: unknown child");
+  }
+  return it->second;
+}
+
+std::vector<NodeId> ChildTable::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, _] : entries_) out.push_back(id);
+  return out;
+}
+
+std::vector<BranchStats> ChildTable::all_stats() const {
+  std::vector<BranchStats> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) out.push_back(e.stats);
+  return out;
+}
+
+std::vector<NodeId> ChildTable::expired(sim::Time deadline) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, e] : entries_) {
+    if (e.last_heartbeat < deadline) out.push_back(id);
+  }
+  return out;
+}
+
+BranchStats ChildTable::aggregate() const { return aggregate_branch_stats(all_stats()); }
+
+}  // namespace roads::hierarchy

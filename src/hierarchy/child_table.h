@@ -1,0 +1,59 @@
+// ChildTable: the state a server keeps per child — branch statistics
+// for join steering and the last-heartbeat timestamp for failure
+// detection. Pure bookkeeping; the message-driven protocol around it
+// lives in roads::core::RoadsServer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hierarchy/branch_stats.h"
+#include "sim/delay_space.h"
+#include "sim/time.h"
+
+namespace roads::hierarchy {
+
+using sim::NodeId;
+
+class ChildTable {
+ public:
+  struct Entry {
+    NodeId id = 0;
+    BranchStats stats;
+    sim::Time last_heartbeat = 0;
+  };
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool has(NodeId child) const { return entries_.count(child) > 0; }
+
+  /// Registers a child; duplicate adds are an error.
+  void add(NodeId child, sim::Time now);
+  /// Drops a child; returns false if absent.
+  bool remove(NodeId child);
+
+  /// Updates branch stats from a bottom-up aggregation message.
+  void update_stats(NodeId child, const BranchStats& stats);
+  /// Records a heartbeat arrival.
+  void update_heartbeat(NodeId child, sim::Time now);
+  /// Resets every child's heartbeat clock (when failure detection
+  /// starts, so children added earlier are not instantly expired).
+  void touch_all(sim::Time now);
+
+  const Entry& entry(NodeId child) const;
+  std::vector<NodeId> ids() const;
+  std::vector<BranchStats> all_stats() const;
+
+  /// Children whose last heartbeat is older than `deadline`.
+  std::vector<NodeId> expired(sim::Time deadline) const;
+
+  /// This node's own branch stats given its children.
+  BranchStats aggregate() const;
+
+ private:
+  std::map<NodeId, Entry> entries_;  // ordered for deterministic iteration
+};
+
+}  // namespace roads::hierarchy

@@ -1,0 +1,60 @@
+#include "hierarchy/join_policy.h"
+
+#include <algorithm>
+
+namespace roads::hierarchy {
+
+std::optional<JoinDecision> JoinPolicy::decide(
+    const ChildTable& children, const std::vector<NodeId>& exclude,
+    util::Rng& rng, const LatencyFn& latency) const {
+  if (children.size() < max_children_) {
+    return JoinDecision{.accept = true, .descend_to = 0};
+  }
+  std::vector<NodeId> candidates;
+  for (const auto id : children.ids()) {
+    if (std::find(exclude.begin(), exclude.end(), id) == exclude.end()) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  if (kind_ == JoinPolicyKind::kRandom) {
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(candidates.size()) - 1));
+    return JoinDecision{.accept = false, .descend_to = candidates[pick]};
+  }
+
+  if (kind_ == JoinPolicyKind::kProximity && latency) {
+    NodeId best = candidates.front();
+    double best_latency = latency(best);
+    for (const auto id : candidates) {
+      const double l = latency(id);
+      if (l < best_latency || (l == best_latency && id < best)) {
+        best = id;
+        best_latency = l;
+      }
+    }
+    return JoinDecision{.accept = false, .descend_to = best};
+  }
+
+  // Balanced: least depth, then least descendants, then lowest id for
+  // determinism.
+  NodeId best = candidates.front();
+  BranchStats best_stats = children.entry(best).stats;
+  for (const auto id : candidates) {
+    const auto& stats = children.entry(id).stats;
+    const bool better =
+        stats.depth < best_stats.depth ||
+        (stats.depth == best_stats.depth &&
+         stats.descendants < best_stats.descendants) ||
+        (stats.depth == best_stats.depth &&
+         stats.descendants == best_stats.descendants && id < best);
+    if (better) {
+      best = id;
+      best_stats = stats;
+    }
+  }
+  return JoinDecision{.accept = false, .descend_to = best};
+}
+
+}  // namespace roads::hierarchy

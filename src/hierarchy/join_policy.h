@@ -1,0 +1,59 @@
+// Join steering policy (§III-A, Forming the Hierarchy).
+//
+// A joining server walks down from the root. At each server it either
+// gets accepted as a child or is redirected into one child branch. The
+// paper's policy: descend into the branch with the least depth, break
+// ties by the least number of descendants; a server accepts when it is
+// willing (here: has spare child capacity). §III-A also lists network
+// delay among the factors an association may weigh — kProximity
+// descends toward the child closest to the joiner. kRandom is the
+// ablation baseline showing what balance buys.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "hierarchy/child_table.h"
+#include "util/rng.h"
+
+namespace roads::hierarchy {
+
+enum class JoinPolicyKind : std::uint8_t { kBalanced, kRandom, kProximity };
+
+struct JoinDecision {
+  /// Accept the joiner as a direct child right here.
+  bool accept = false;
+  /// Otherwise, the child branch to descend into.
+  NodeId descend_to = 0;
+};
+
+class JoinPolicy {
+ public:
+  explicit JoinPolicy(JoinPolicyKind kind = JoinPolicyKind::kBalanced,
+                      std::size_t max_children = 8)
+      : kind_(kind), max_children_(max_children) {}
+
+  JoinPolicyKind kind() const { return kind_; }
+  std::size_t max_children() const { return max_children_; }
+
+  /// Joiner-to-candidate latency oracle for kProximity (microseconds);
+  /// ignored by the other policies.
+  using LatencyFn = std::function<double(NodeId)>;
+
+  /// Decides what a server with `children` should tell a joiner.
+  /// `exclude` lists branches already found unwilling (backtracking);
+  /// returns nullopt when the server is full and every branch is
+  /// excluded — the joiner must backtrack to this server's parent.
+  std::optional<JoinDecision> decide(const ChildTable& children,
+                                     const std::vector<NodeId>& exclude,
+                                     util::Rng& rng,
+                                     const LatencyFn& latency = {}) const;
+
+ private:
+  JoinPolicyKind kind_;
+  std::size_t max_children_;
+};
+
+}  // namespace roads::hierarchy

@@ -1,0 +1,51 @@
+#include "hierarchy/root_path.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roads::hierarchy {
+
+NodeId RootPath::root() const {
+  if (path_.empty()) throw std::logic_error("RootPath: empty path");
+  return path_.front();
+}
+
+NodeId RootPath::self() const {
+  if (path_.empty()) throw std::logic_error("RootPath: empty path");
+  return path_.back();
+}
+
+NodeId RootPath::parent() const {
+  if (path_.empty()) throw std::logic_error("RootPath: empty path");
+  if (path_.size() == 1) return path_.front();
+  return path_[path_.size() - 2];
+}
+
+bool RootPath::contains(NodeId node) const {
+  return std::find(path_.begin(), path_.end(), node) != path_.end();
+}
+
+std::vector<NodeId> RootPath::rejoin_candidates() const {
+  // path = [root, ..., grandparent, parent, self]; the parent just
+  // failed, so candidates are grandparent upward, ending at the root.
+  std::vector<NodeId> out;
+  if (path_.size() < 3) return out;
+  for (std::size_t i = path_.size() - 3; ; --i) {
+    out.push_back(path_[i]);
+    if (i == 0) break;
+  }
+  return out;
+}
+
+bool RootPath::would_create_loop(const RootPath& candidate_parent_path,
+                                 NodeId self) {
+  return candidate_parent_path.contains(self);
+}
+
+RootPath RootPath::extend(const RootPath& parent_path, NodeId child) {
+  auto nodes = parent_path.nodes();
+  nodes.push_back(child);
+  return RootPath(std::move(nodes));
+}
+
+}  // namespace roads::hierarchy

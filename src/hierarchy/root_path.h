@@ -1,0 +1,61 @@
+// Root paths (§III-A, Hierarchy Maintenance). Every server maintains
+// the list of servers from the root down to itself. The path is
+// piggybacked on parent->child heartbeats, used (a) to avoid loops when
+// choosing a parent — a server must not adopt a parent whose own root
+// path contains it — and (b) to find rejoin candidates when the parent
+// fails: grandparent first, then one level up, ultimately the root.
+#pragma once
+
+#include <vector>
+
+#include "sim/delay_space.h"
+
+namespace roads::hierarchy {
+
+using sim::NodeId;
+
+class RootPath {
+ public:
+  RootPath() = default;
+  /// `path` runs root-first and ends with the owning node itself.
+  explicit RootPath(std::vector<NodeId> path) : path_(std::move(path)) {}
+
+  bool empty() const { return path_.empty(); }
+  std::size_t length() const { return path_.size(); }
+  const std::vector<NodeId>& nodes() const { return path_; }
+
+  /// Root of the hierarchy as this node last heard it.
+  NodeId root() const;
+  /// This node's parent (second to last entry); the node itself when it
+  /// is the root.
+  NodeId parent() const;
+  /// The owning node (last entry).
+  NodeId self() const;
+
+  bool contains(NodeId node) const;
+
+  /// Depth of the owning node: 0 for the root.
+  std::size_t depth() const { return path_.empty() ? 0 : path_.size() - 1; }
+
+  /// Rejoin candidates after the parent died, in the order the paper
+  /// prescribes: grandparent, great-grandparent, ..., root. Empty when
+  /// the node is the root or a direct child of the root with no
+  /// ancestors left.
+  std::vector<NodeId> rejoin_candidates() const;
+
+  /// Loop check for adopting `candidate_parent`: adopting is unsafe if
+  /// the candidate's root path contains `self` (self would become its
+  /// own ancestor).
+  static bool would_create_loop(const RootPath& candidate_parent_path,
+                                NodeId self);
+
+  /// Extends a parent's root path to a child's.
+  static RootPath extend(const RootPath& parent_path, NodeId child);
+
+  bool operator==(const RootPath& other) const = default;
+
+ private:
+  std::vector<NodeId> path_;
+};
+
+}  // namespace roads::hierarchy

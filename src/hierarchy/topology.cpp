@@ -1,0 +1,195 @@
+#include "hierarchy/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roads::hierarchy {
+
+Topology::Topology(std::vector<NodeId> parents)
+    : parents_(std::move(parents)) {
+  children_.resize(parents_.size());
+  bool root_seen = false;
+  bool any_present = false;
+  for (NodeId i = 0; i < parents_.size(); ++i) {
+    const NodeId p = parents_[i];
+    if (p == kAbsent) continue;
+    any_present = true;
+    if (p == kNoParent) {
+      if (root_seen) {
+        throw std::invalid_argument("Topology: multiple roots");
+      }
+      root_seen = true;
+      root_ = i;
+    } else {
+      if (p >= parents_.size()) {
+        throw std::invalid_argument("Topology: parent id out of range");
+      }
+      if (parents_[p] == kAbsent) {
+        throw std::invalid_argument("Topology: edge to an absent node");
+      }
+      if (p == i) {
+        throw std::invalid_argument("Topology: node is its own parent");
+      }
+      children_[p].push_back(i);
+    }
+  }
+  if (!root_seen && any_present) {
+    throw std::invalid_argument("Topology: no root");
+  }
+  for (auto& c : children_) std::sort(c.begin(), c.end());
+  check_acyclic();
+}
+
+bool Topology::present(NodeId node) const {
+  return node < parents_.size() && parents_[node] != kAbsent;
+}
+
+void Topology::check_acyclic() const {
+  for (NodeId i = 0; i < parents_.size(); ++i) {
+    if (parents_[i] == kAbsent) continue;
+    NodeId cursor = i;
+    std::size_t steps = 0;
+    while (parents_[cursor] != kNoParent) {
+      cursor = parents_[cursor];
+      if (++steps > parents_.size()) {
+        throw std::invalid_argument("Topology: cycle detected");
+      }
+    }
+  }
+}
+
+bool Topology::has_parent(NodeId node) const {
+  return parents_.at(node) != kNoParent && parents_.at(node) != kAbsent;
+}
+
+NodeId Topology::parent(NodeId node) const {
+  const NodeId p = parents_.at(node);
+  if (p == kNoParent || p == kAbsent) {
+    throw std::logic_error("Topology: node has no parent");
+  }
+  return p;
+}
+
+const std::vector<NodeId>& Topology::children(NodeId node) const {
+  return children_.at(node);
+}
+
+std::size_t Topology::depth(NodeId node) const {
+  if (!present(node)) {
+    throw std::logic_error("Topology: depth of an absent node");
+  }
+  std::size_t d = 0;
+  while (parents_.at(node) != kNoParent) {
+    node = parents_[node];
+    ++d;
+  }
+  return d;
+}
+
+std::size_t Topology::height() const {
+  std::size_t h = 0;
+  for (NodeId i = 0; i < parents_.size(); ++i) {
+    if (present(i)) h = std::max(h, depth(i));
+  }
+  return h;
+}
+
+std::vector<NodeId> Topology::path_from_root(NodeId node) const {
+  std::vector<NodeId> path;
+  NodeId cursor = node;
+  path.push_back(cursor);
+  while (parents_.at(cursor) != kNoParent) {
+    cursor = parents_[cursor];
+    path.push_back(cursor);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> Topology::siblings(NodeId node) const {
+  std::vector<NodeId> out;
+  if (!has_parent(node)) return out;
+  for (const NodeId c : children(parent(node))) {
+    if (c != node) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::subtree(NodeId node) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{node};
+  while (!stack.empty()) {
+    const NodeId cursor = stack.back();
+    stack.pop_back();
+    out.push_back(cursor);
+    const auto& kids = children(cursor);
+    // Push in reverse so preorder visits children in ascending order.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> Topology::levels() const {
+  std::vector<std::vector<NodeId>> out;
+  for (NodeId i = 0; i < parents_.size(); ++i) {
+    if (!present(i)) continue;
+    const std::size_t d = depth(i);
+    if (d >= out.size()) out.resize(d + 1);
+    out[d].push_back(i);
+  }
+  return out;
+}
+
+Topology Topology::balanced(std::size_t n, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("Topology: k must be positive");
+  std::vector<NodeId> parents(n, kNoParent);
+  for (std::size_t i = 1; i < n; ++i) {
+    parents[i] = static_cast<NodeId>((i - 1) / k);
+  }
+  return Topology(std::move(parents));
+}
+
+Topology Topology::join_filled(std::size_t n, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("Topology: k must be positive");
+  std::vector<NodeId> parents(n, kNoParent);
+  std::vector<std::vector<NodeId>> kids(n);
+  std::vector<std::uint32_t> depth(n, 1);        // subtree height
+  std::vector<std::uint32_t> descendants(n, 1);  // subtree size
+  for (std::size_t i = 1; i < n; ++i) {
+    NodeId cursor = 0;
+    while (kids[cursor].size() >= k) {
+      // Least depth, then fewest descendants, then lowest id.
+      NodeId best = kids[cursor].front();
+      for (const NodeId c : kids[cursor]) {
+        const bool better =
+            depth[c] < depth[best] ||
+            (depth[c] == depth[best] && descendants[c] < descendants[best]) ||
+            (depth[c] == depth[best] && descendants[c] == descendants[best] &&
+             c < best);
+        if (better) best = c;
+      }
+      cursor = best;
+    }
+    parents[i] = cursor;
+    kids[cursor].push_back(static_cast<NodeId>(i));
+    // Update stats up the chain (the live protocol's push_stats_up).
+    NodeId up = static_cast<NodeId>(i);
+    while (parents[up] != kNoParent) {
+      const NodeId p = parents[up];
+      std::uint32_t d = 1;
+      std::uint32_t s = 1;
+      for (const NodeId c : kids[p]) {
+        d = std::max(d, depth[c] + 1);
+        s += descendants[c];
+      }
+      depth[p] = d;
+      descendants[p] = s;
+      up = p;
+    }
+  }
+  return Topology(std::move(parents));
+}
+
+}  // namespace roads::hierarchy

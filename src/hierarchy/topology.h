@@ -1,0 +1,82 @@
+// Topology: an immutable snapshot of the hierarchy's shape (parent
+// pointers). The live protocol state is distributed across servers;
+// tests, the replication-overlay computation, and the experiment
+// drivers all want a whole-tree view, which this provides along with
+// structural queries (children, depth, paths, subtree walks) and a
+// validator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/delay_space.h"
+
+namespace roads::hierarchy {
+
+using sim::NodeId;
+
+class Topology {
+ public:
+  static constexpr NodeId kNoParent = ~NodeId{0};
+  /// Marks a node id that is not part of the tree (e.g. a failed
+  /// server in a snapshot); structural queries on it throw.
+  static constexpr NodeId kAbsent = ~NodeId{0} - 1;
+
+  Topology() = default;
+  /// parents[i] is node i's parent; exactly one present node (the
+  /// root) has kNoParent; absent nodes carry kAbsent. Throws
+  /// std::invalid_argument on malformed input (multiple roots, unknown
+  /// parents, cycles, edges to absent nodes).
+  explicit Topology(std::vector<NodeId> parents);
+
+  bool present(NodeId node) const;
+
+  std::size_t node_count() const { return parents_.size(); }
+  NodeId root() const { return root_; }
+
+  bool has_parent(NodeId node) const;
+  NodeId parent(NodeId node) const;
+  const std::vector<NodeId>& children(NodeId node) const;
+  bool is_leaf(NodeId node) const { return children(node).empty(); }
+
+  /// Depth of node: root is 0.
+  std::size_t depth(NodeId node) const;
+  /// Height of the whole tree: max depth over nodes.
+  std::size_t height() const;
+
+  /// Path root -> ... -> node inclusive.
+  std::vector<NodeId> path_from_root(NodeId node) const;
+
+  /// Siblings of node (same parent, node excluded); empty for the root.
+  std::vector<NodeId> siblings(NodeId node) const;
+
+  /// All nodes in the subtree rooted at node (preorder, node first).
+  std::vector<NodeId> subtree(NodeId node) const;
+
+  /// Nodes grouped by depth; index 0 holds just the root.
+  std::vector<std::vector<NodeId>> levels() const;
+
+  /// An ideal balanced k-ary tree over n nodes (BFS fill order) — the
+  /// shape the paper's join policy converges to; tests compare against
+  /// it and experiment setup can bypass the join protocol with it.
+  static Topology balanced(std::size_t n, std::size_t k);
+
+  /// The exact tree the balanced join policy produces when nodes 0..n-1
+  /// join in id order (node 0 is the root): each joiner descends into
+  /// the least-depth branch (ties: fewest descendants, then lowest id)
+  /// and attaches to the first server with spare capacity. The live
+  /// protocol is deterministic, so this pure replay matches it;
+  /// integration tests assert that.
+  static Topology join_filled(std::size_t n, std::size_t k);
+
+ private:
+  void check_acyclic() const;
+
+  std::vector<NodeId> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  NodeId root_ = kNoParent;
+};
+
+}  // namespace roads::hierarchy

@@ -1,0 +1,85 @@
+#include "overlay/replica_set.h"
+
+#include <algorithm>
+
+namespace roads::overlay {
+
+const char* to_string(SummaryKind kind) {
+  switch (kind) {
+    case SummaryKind::kBranch:
+      return "branch";
+    case SummaryKind::kLocal:
+      return "local";
+  }
+  return "?";
+}
+
+const char* to_string(ReplicaRole role) {
+  switch (role) {
+    case ReplicaRole::kSibling:
+      return "sibling";
+    case ReplicaRole::kAncestor:
+      return "ancestor";
+    case ReplicaRole::kAncestorSibling:
+      return "ancestor-sibling";
+  }
+  return "?";
+}
+
+std::vector<ReplicaSpec> replica_set(const Topology& topology, NodeId node) {
+  std::vector<ReplicaSpec> out;
+  for (const NodeId sibling : topology.siblings(node)) {
+    out.push_back({sibling, SummaryKind::kBranch, ReplicaRole::kSibling, 1});
+  }
+  const auto path = topology.path_from_root(node);
+  const std::size_t depth = path.size() - 1;
+  // Every proper ancestor (path minus the node itself). The ancestor at
+  // path index i sits (depth - i) levels above the node.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId ancestor = path[i];
+    const auto up = static_cast<std::uint8_t>(depth - i);
+    out.push_back(
+        {ancestor, SummaryKind::kBranch, ReplicaRole::kAncestor, up});
+    out.push_back({ancestor, SummaryKind::kLocal, ReplicaRole::kAncestor, up});
+    // An uncle's closest common ancestor with the node is the uncle's
+    // parent — one level above the ancestor it flanks.
+    for (const NodeId uncle : topology.siblings(ancestor)) {
+      out.push_back({uncle, SummaryKind::kBranch,
+                     ReplicaRole::kAncestorSibling,
+                     static_cast<std::uint8_t>(up + 1)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.origin != b.origin) return a.origin < b.origin;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return out;
+}
+
+std::vector<NodeId> shortcut_origins(const Topology& topology, NodeId node) {
+  std::vector<NodeId> out;
+  for (const auto& spec : replica_set(topology, node)) {
+    if (spec.kind == SummaryKind::kBranch &&
+        spec.role != ReplicaRole::kAncestor) {
+      out.push_back(spec.origin);
+    }
+  }
+  return out;
+}
+
+bool covers_whole_tree(const Topology& topology, NodeId node) {
+  // Count how many times each node is covered: by this node's own
+  // subtree, by each shortcut origin's subtree, and by ancestor locals.
+  std::vector<int> covered(topology.node_count(), 0);
+  for (const NodeId n : topology.subtree(node)) covered[n] += 1;
+  for (const NodeId origin : shortcut_origins(topology, node)) {
+    for (const NodeId n : topology.subtree(origin)) covered[n] += 1;
+  }
+  const auto path = topology.path_from_root(node);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) covered[path[i]] += 1;
+
+  return std::all_of(covered.begin(), covered.end(),
+                     [](int c) { return c == 1; });
+}
+
+}  // namespace roads::overlay

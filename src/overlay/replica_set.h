@@ -1,0 +1,80 @@
+// Replication-overlay membership (§III-C).
+//
+// Each server replicates the branch summaries of its siblings, its
+// ancestors' siblings, and its ancestors, so that the summaries it
+// holds jointly cover the entire hierarchy and a query can start
+// anywhere. Two refinements the implementation makes explicit:
+//
+//  * Ancestor *branch* summaries are supersets of branches the server
+//    already covers through sibling/uncle replicas; they exist for
+//    client-side scope widening. Redirecting through them would
+//    re-search the whole tree, so query resolution treats them
+//    separately.
+//  * Interior servers can have resource owners attached directly; that
+//    local data appears in no sibling branch summary. We therefore also
+//    replicate each ancestor's *local* summary, and queries probe
+//    matching ancestors in local-only mode. This closes the coverage
+//    gap while preserving the paper's O(k log N) state per server.
+//
+// This header computes, from a Topology snapshot, which (origin, kind)
+// summaries any given node should hold — used by tests to verify the
+// live protocol converged to exactly the right replica set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/topology.h"
+
+namespace roads::overlay {
+
+using hierarchy::NodeId;
+using hierarchy::Topology;
+
+/// What a replicated summary describes about its origin server.
+enum class SummaryKind : std::uint8_t {
+  kBranch,  // origin's whole subtree, local data included
+  kLocal,   // only data attached directly at the origin
+};
+
+/// Why this node holds the replica.
+enum class ReplicaRole : std::uint8_t {
+  kSibling,          // same parent as this node
+  kAncestor,         // on this node's root path
+  kAncestorSibling,  // sibling of a node on the root path
+};
+
+const char* to_string(SummaryKind kind);
+const char* to_string(ReplicaRole role);
+
+struct ReplicaSpec {
+  NodeId origin = 0;
+  SummaryKind kind = SummaryKind::kBranch;
+  ReplicaRole role = ReplicaRole::kSibling;
+  /// Distance (in hierarchy levels) from the holder to the closest
+  /// common ancestor with the origin: 1 for siblings and the parent,
+  /// 2 for grandparents and uncles, ... Drives the client-controlled
+  /// search scope of §III-C: "each ancestor of the starting server is
+  /// one level higher, providing more resources but a longer search
+  /// path".
+  std::uint8_t levels_up = 1;
+
+  bool operator==(const ReplicaSpec& other) const = default;
+};
+
+/// The full replica set node should hold under `topology`: branch
+/// summaries of siblings and ancestor-siblings, branch + local
+/// summaries of ancestors. Deterministic order (by origin, then kind).
+std::vector<ReplicaSpec> replica_set(const Topology& topology, NodeId node);
+
+/// The branch origins a query starting at `node` may be redirected to:
+/// siblings and ancestor siblings (descent entry points). Ancestors are
+/// excluded — they are probed local-only.
+std::vector<NodeId> shortcut_origins(const Topology& topology, NodeId node);
+
+/// Verifies the covering property the paper claims: node's own subtree
+/// plus all its replica origins' branches plus ancestor locals cover
+/// every node of the hierarchy exactly once. Returns true iff so.
+bool covers_whole_tree(const Topology& topology, NodeId node);
+
+}  // namespace roads::overlay

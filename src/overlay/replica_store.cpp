@@ -1,0 +1,67 @@
+#include "overlay/replica_store.h"
+
+namespace roads::overlay {
+
+void ReplicaStore::put(const ReplicaSpec& spec, SummaryPtr summary,
+                       sim::Time now) {
+  auto& slot = replicas_[{spec.origin, spec.kind}];
+  slot.spec = spec;
+  slot.summary = std::move(summary);
+  slot.received_at = now;
+}
+
+const Replica* ReplicaStore::find(NodeId origin, SummaryKind kind) const {
+  auto it = replicas_.find({origin, kind});
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+bool ReplicaStore::has(NodeId origin, SummaryKind kind) const {
+  return find(origin, kind) != nullptr;
+}
+
+std::size_t ReplicaStore::erase_origin(NodeId origin) {
+  std::size_t removed = 0;
+  removed += replicas_.erase({origin, SummaryKind::kBranch});
+  removed += replicas_.erase({origin, SummaryKind::kLocal});
+  return removed;
+}
+
+std::size_t ReplicaStore::sweep(sim::Time now) {
+  std::size_t removed = 0;
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    if (now - it->second.received_at > ttl_) {
+      it = replicas_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<const Replica*> ReplicaStore::all() const {
+  std::vector<const Replica*> out;
+  out.reserve(replicas_.size());
+  for (const auto& [_, r] : replicas_) out.push_back(&r);
+  return out;
+}
+
+std::vector<const Replica*> ReplicaStore::matching(
+    const record::Query& query, SummaryKind kind) const {
+  std::vector<const Replica*> out;
+  for (const auto& [key, r] : replicas_) {
+    if (key.second != kind) continue;
+    if (r.summary && r.summary->matches(query)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::uint64_t ReplicaStore::stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, r] : replicas_) {
+    if (r.summary) total += r.summary->wire_size();
+  }
+  return total;
+}
+
+}  // namespace roads::overlay

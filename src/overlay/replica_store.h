@@ -1,0 +1,69 @@
+// ReplicaStore: the summaries a server holds on behalf of remote nodes
+// (its overlay state), keyed by (origin, kind). Summaries are soft
+// state with TTLs (§III-B): a replica not refreshed within its TTL is
+// swept, so data from departed or partitioned branches ages out rather
+// than attracting queries forever. Payloads are shared immutable
+// objects — many servers hold the same origin's summary, so sharing
+// keeps simulation memory proportional to the number of distinct
+// summaries, not replicas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "overlay/replica_set.h"
+#include "record/query.h"
+#include "sim/time.h"
+#include "summary/resource_summary.h"
+
+namespace roads::overlay {
+
+using SummaryPtr = std::shared_ptr<const summary::ResourceSummary>;
+
+struct Replica {
+  ReplicaSpec spec;
+  SummaryPtr summary;
+  sim::Time received_at = 0;
+};
+
+class ReplicaStore {
+ public:
+  explicit ReplicaStore(sim::Time ttl) : ttl_(ttl) {}
+
+  sim::Time ttl() const { return ttl_; }
+  std::size_t size() const { return replicas_.size(); }
+
+  /// Inserts or refreshes a replica.
+  void put(const ReplicaSpec& spec, SummaryPtr summary, sim::Time now);
+
+  const Replica* find(NodeId origin, SummaryKind kind) const;
+  bool has(NodeId origin, SummaryKind kind) const;
+
+  /// Drops every replica originated by `origin` (both kinds), e.g. when
+  /// the origin is known to have left. Returns how many were removed.
+  std::size_t erase_origin(NodeId origin);
+
+  /// Removes replicas older than now - ttl; returns how many expired.
+  std::size_t sweep(sim::Time now);
+
+  /// All live replicas in deterministic (origin, kind) order.
+  std::vector<const Replica*> all() const;
+
+  /// Live replicas whose summary matches the query, restricted to
+  /// `kind`. The workhorse of query shortcutting.
+  std::vector<const Replica*> matching(const record::Query& query,
+                                       SummaryKind kind) const;
+
+  /// Total wire footprint of held summaries — the storage-overhead
+  /// metric of Table I.
+  std::uint64_t stored_bytes() const;
+
+ private:
+  using Key = std::pair<NodeId, SummaryKind>;
+  sim::Time ttl_;
+  std::map<Key, Replica> replicas_;
+};
+
+}  // namespace roads::overlay

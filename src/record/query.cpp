@@ -1,0 +1,102 @@
+#include "record/query.h"
+
+#include <sstream>
+
+namespace roads::record {
+
+Predicate Predicate::range(std::size_t attribute, double lo, double hi) {
+  Predicate p;
+  p.attribute = attribute;
+  p.kind = Kind::kRange;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+Predicate Predicate::at_least(std::size_t attribute, double lo) {
+  return range(attribute, lo, std::numeric_limits<double>::infinity());
+}
+
+Predicate Predicate::at_most(std::size_t attribute, double hi) {
+  return range(attribute, -std::numeric_limits<double>::infinity(), hi);
+}
+
+Predicate Predicate::equals(std::size_t attribute, std::string value) {
+  Predicate p;
+  p.attribute = attribute;
+  p.kind = Kind::kEquals;
+  p.value = std::move(value);
+  return p;
+}
+
+bool Predicate::matches(const AttributeValue& v) const {
+  switch (kind) {
+    case Kind::kRange:
+      return v.is_numeric() && v.number() >= lo && v.number() <= hi;
+    case Kind::kEquals:
+      return !v.is_numeric() && v.category() == value;
+  }
+  return false;
+}
+
+std::uint64_t Predicate::wire_size() const {
+  std::uint64_t size = 3;  // attribute tag + kind
+  if (kind == Kind::kRange) {
+    size += 16;
+  } else {
+    size += value.size() + 1;
+  }
+  return size;
+}
+
+bool Query::matches(const ResourceRecord& record) const {
+  for (const auto& p : predicates_) {
+    if (p.attribute >= record.values().size()) return false;
+    if (!p.matches(record.value(p.attribute))) return false;
+  }
+  return true;
+}
+
+bool Query::valid_for(const Schema& schema) const {
+  for (const auto& p : predicates_) {
+    if (p.attribute >= schema.size()) return false;
+    const auto& def = schema.at(p.attribute);
+    if (!def.searchable) return false;
+    if (p.kind == Predicate::Kind::kRange &&
+        def.type != AttributeType::kNumeric) {
+      return false;
+    }
+    if (p.kind == Predicate::Kind::kEquals &&
+        def.type != AttributeType::kCategorical) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Query::wire_size() const {
+  std::uint64_t size = 16;  // query id + origin + predicate count
+  for (const auto& p : predicates_) size += p.wire_size();
+  return size;
+}
+
+std::string Query::to_string(const Schema& schema) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : predicates_) {
+    if (!first) os << " AND ";
+    first = false;
+    const std::string name = p.attribute < schema.size()
+                                 ? schema.at(p.attribute).name
+                                 : "attr?" + std::to_string(p.attribute);
+    if (p.kind == Predicate::Kind::kEquals) {
+      os << name << "=" << p.value;
+    } else {
+      os << p.lo << "<=" << name << "<=" << p.hi;
+    }
+  }
+  if (first) os << "(empty)";
+  return os.str();
+}
+
+}  // namespace roads::record

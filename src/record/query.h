@@ -1,0 +1,69 @@
+// Multi-dimensional queries. A query is a conjunction of predicates,
+// one per queried attribute: numeric range (lo <= v <= hi) or
+// categorical equality. This mirrors the paper's example
+//   type=camera AND rate>150Kbps AND encoding=MPEG2
+// (§III-B); open-ended comparisons are ranges with an infinite bound.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "record/record.h"
+#include "record/schema.h"
+
+namespace roads::record {
+
+struct Predicate {
+  enum class Kind : std::uint8_t { kRange, kEquals };
+
+  std::size_t attribute = 0;
+  Kind kind = Kind::kRange;
+  // kRange payload (inclusive bounds):
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  // kEquals payload:
+  std::string value;
+
+  static Predicate range(std::size_t attribute, double lo, double hi);
+  static Predicate at_least(std::size_t attribute, double lo);
+  static Predicate at_most(std::size_t attribute, double hi);
+  static Predicate equals(std::size_t attribute, std::string value);
+
+  bool matches(const AttributeValue& v) const;
+
+  /// 2-byte attribute tag + 1-byte kind + payload (two 8-byte bounds or
+  /// the string value).
+  std::uint64_t wire_size() const;
+};
+
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::vector<Predicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  std::size_t dimensions() const { return predicates_.size(); }
+  bool empty() const { return predicates_.empty(); }
+
+  void add(Predicate p) { predicates_.push_back(std::move(p)); }
+
+  /// Conjunction over all predicates.
+  bool matches(const ResourceRecord& record) const;
+
+  /// All predicate attributes exist in the schema, are searchable, and
+  /// have the right type for the predicate kind.
+  bool valid_for(const Schema& schema) const;
+
+  /// 16-byte header plus predicate payloads.
+  std::uint64_t wire_size() const;
+
+  std::string to_string(const Schema& schema) const;
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace roads::record

@@ -1,0 +1,65 @@
+#include "record/schema.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "record/value.h"
+
+namespace roads::record {
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  for (const auto& attr : attributes_) {
+    if (attr.name.empty()) {
+      throw std::invalid_argument("Schema: attribute with empty name");
+    }
+    if (attr.type == AttributeType::kNumeric &&
+        attr.domain_min >= attr.domain_max) {
+      throw std::invalid_argument("Schema: empty numeric domain for '" +
+                                  attr.name + "'");
+    }
+  }
+}
+
+const AttributeDef& Schema::at(std::size_t index) const {
+  if (index >= attributes_.size()) {
+    throw std::out_of_range("Schema: attribute index out of range");
+  }
+  return attributes_[index];
+}
+
+std::optional<std::size_t> Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Schema::searchable_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].searchable) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Schema::searchable_count() const {
+  return searchable_indices().size();
+}
+
+Schema Schema::uniform_numeric(std::size_t count) {
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    attrs.push_back(AttributeDef{
+        .name = "attr" + std::to_string(i),
+        .type = AttributeType::kNumeric,
+        .searchable = true,
+        .domain_min = 0.0,
+        .domain_max = 1.0,
+    });
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace roads::record

@@ -1,0 +1,53 @@
+// Shared schema for resource records. The paper assumes all federation
+// participants agree on one schema (§II, schema mapping is out of
+// scope); the Schema class is that agreement: an ordered list of named,
+// typed, optionally searchable attributes. Records and queries address
+// attributes by index into the schema.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace roads::record {
+
+enum class AttributeType : std::uint8_t;
+
+struct AttributeDef {
+  std::string name;
+  AttributeType type;
+  /// Searchable attributes get summaries (ROADS) and rings (SWORD);
+  /// non-searchable ones ride along in records but cannot be queried.
+  bool searchable = true;
+  /// Value domain for numeric attributes; summaries histogram over it.
+  double domain_min = 0.0;
+  double domain_max = 1.0;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  std::size_t size() const { return attributes_.size(); }
+  const AttributeDef& at(std::size_t index) const;
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with this name, if any.
+  std::optional<std::size_t> index_of(const std::string& name) const;
+
+  /// Indices of all searchable attributes, in schema order.
+  std::vector<std::size_t> searchable_indices() const;
+  std::size_t searchable_count() const;
+
+  /// Convenience builder: `count` numeric searchable attributes named
+  /// attr0..attrN-1 over [0,1], matching the paper's simulation setup.
+  static Schema uniform_numeric(std::size_t count);
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace roads::record

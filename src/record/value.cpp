@@ -1,0 +1,31 @@
+#include "record/value.h"
+
+#include <sstream>
+
+namespace roads::record {
+
+const char* to_string(AttributeType type) {
+  switch (type) {
+    case AttributeType::kNumeric:
+      return "numeric";
+    case AttributeType::kCategorical:
+      return "categorical";
+  }
+  return "?";
+}
+
+std::uint64_t AttributeValue::wire_size() const {
+  if (is_numeric()) return 8;
+  return category().size() + 1;
+}
+
+std::string AttributeValue::to_string() const {
+  if (is_numeric()) {
+    std::ostringstream os;
+    os << number();
+    return os.str();
+  }
+  return category();
+}
+
+}  // namespace roads::record

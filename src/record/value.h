@@ -1,0 +1,51 @@
+// Attribute values. ROADS records are bags of attribute/value pairs
+// (§III-B of the paper); attributes are either numeric (integer, double
+// and timestamp all behave the same for range search and histogram
+// summarization) or categorical (strings, equality search, set/Bloom
+// summarization).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace roads::record {
+
+enum class AttributeType : std::uint8_t { kNumeric, kCategorical };
+
+const char* to_string(AttributeType type);
+
+/// One attribute's value: a double for numeric attributes, a string for
+/// categorical ones. The variant alternative must agree with the schema's
+/// declared type for that attribute; Schema::validate enforces this.
+class AttributeValue {
+ public:
+  AttributeValue() : value_(0.0) {}
+  explicit AttributeValue(double v) : value_(v) {}
+  explicit AttributeValue(std::string v) : value_(std::move(v)) {}
+
+  AttributeType type() const {
+    return std::holds_alternative<double>(value_) ? AttributeType::kNumeric
+                                                  : AttributeType::kCategorical;
+  }
+
+  bool is_numeric() const { return type() == AttributeType::kNumeric; }
+
+  /// Numeric payload; throws std::bad_variant_access if categorical.
+  double number() const { return std::get<double>(value_); }
+  /// Categorical payload; throws std::bad_variant_access if numeric.
+  const std::string& category() const { return std::get<std::string>(value_); }
+
+  /// Bytes this value occupies in a wire message: 8 for a numeric value,
+  /// string length + 1-byte length prefix for a categorical one.
+  std::uint64_t wire_size() const;
+
+  bool operator==(const AttributeValue& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::variant<double, std::string> value_;
+};
+
+}  // namespace roads::record

@@ -1,0 +1,84 @@
+#include "roads/client.h"
+
+#include <algorithm>
+
+namespace roads::core {
+
+RoadsClient::RoadsClient(sim::Network& network, Directory& directory,
+                         record::Query query, sim::NodeId location,
+                         Principal principal, bool collect_results)
+    : network_(network),
+      directory_(directory),
+      query_(std::move(query)),
+      location_(location),
+      principal_(principal),
+      collect_results_(collect_results) {}
+
+void RoadsClient::start(sim::NodeId start_server) {
+  started_ = true;
+  result_.issued_at = network_.simulator().now();
+  result_.last_arrival = result_.issued_at;
+  result_.last_result_at = result_.issued_at;
+  visit(start_server, QueryMode::kStart);
+}
+
+void RoadsClient::visit(sim::NodeId target, QueryMode mode) {
+  if (!visited_.insert(target).second) return;  // already contacted
+  ++outstanding_replies_;
+  auto self = shared_from_this();
+  network_.send(location_, target, msg::query(query_), sim::Channel::kQuery,
+                [this, self, target, mode] {
+                  directory_.query_target(target).handle_query(self, mode);
+                });
+  network_.simulator().schedule_after(
+      reply_timeout_, [self, target] { self->on_reply_timeout(target); });
+}
+
+void RoadsClient::on_reply_timeout(sim::NodeId server) {
+  if (result_.complete || replied_.count(server)) return;
+  // The server never answered (failed or unreachable); stop waiting.
+  replied_.insert(server);
+  if (outstanding_replies_ > 0) --outstanding_replies_;
+  check_complete();
+}
+
+void RoadsClient::on_arrival(sim::NodeId /*server*/) {
+  result_.last_arrival =
+      std::max(result_.last_arrival, network_.simulator().now());
+  ++result_.servers_contacted;
+}
+
+void RoadsClient::on_reply(
+    sim::NodeId server, std::vector<std::pair<sim::NodeId, QueryMode>> targets,
+    std::size_t local_matches, bool results_pending) {
+  if (!replied_.insert(server).second) return;  // duplicate or timed out
+  if (outstanding_replies_ == 0) return;        // stale reply after completion
+  --outstanding_replies_;
+  result_.matching_records += local_matches;
+  if (results_pending) results_expected_.insert(server);
+  for (const auto& [node, mode] : targets) visit(node, mode);
+  check_complete();
+}
+
+void RoadsClient::on_results(sim::NodeId server,
+                             std::vector<record::ResourceRecord> records) {
+  results_arrived_.insert(server);
+  result_.last_result_at =
+      std::max(result_.last_result_at, network_.simulator().now());
+  for (auto& r : records) result_.records.push_back(std::move(r));
+  check_complete();
+}
+
+void RoadsClient::check_complete() {
+  if (!started_ || result_.complete) return;
+  if (outstanding_replies_ > 0) return;
+  if (collect_results_) {
+    if (!std::includes(results_arrived_.begin(), results_arrived_.end(),
+                       results_expected_.begin(), results_expected_.end())) {
+      return;
+    }
+  }
+  result_.complete = true;
+}
+
+}  // namespace roads::core

@@ -1,0 +1,34 @@
+// Interfaces that break the client <-> server <-> federation dependency
+// cycle. Queries are addressed to NodeIds; a Directory resolves an id
+// to the QueryTarget living there (a RoadsServer, or a remote
+// ResourceOwner answering in local-only mode) and to the RoadsServer
+// protocol peer for server-to-server messages.
+#pragma once
+
+#include <memory>
+
+#include "roads/messages.h"
+#include "sim/delay_space.h"
+
+namespace roads::core {
+
+class RoadsClient;
+class RoadsServer;
+
+/// Anything that can receive a query message.
+class QueryTarget {
+ public:
+  virtual ~QueryTarget() = default;
+  virtual void handle_query(std::shared_ptr<RoadsClient> client,
+                            QueryMode mode) = 0;
+};
+
+/// Resolves node ids to live protocol objects.
+class Directory {
+ public:
+  virtual ~Directory() = default;
+  virtual RoadsServer& server(sim::NodeId id) = 0;
+  virtual QueryTarget& query_target(sim::NodeId id) = 0;
+};
+
+}  // namespace roads::core

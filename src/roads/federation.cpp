@@ -1,0 +1,235 @@
+#include "roads/federation.h"
+
+#include <stdexcept>
+
+#include "store/service_model.h"
+
+namespace roads::core {
+
+/// Stands in for a resource owner on its own machine: receives query
+/// messages, applies the owner's sharing policy, replies (and ships
+/// records in result-collection mode).
+class Federation::OwnerAgent : public QueryTarget {
+ public:
+  OwnerAgent(Federation& federation, std::shared_ptr<ResourceOwner> owner)
+      : federation_(federation), owner_(std::move(owner)) {}
+
+  const std::shared_ptr<ResourceOwner>& owner() const { return owner_; }
+
+  void handle_query(std::shared_ptr<RoadsClient> client,
+                    QueryMode /*mode*/) override {
+    const auto node = owner_->node();
+    client->on_arrival(node);
+    auto& network = federation_.network_;
+    network.simulator().schedule_after(
+        federation_.config_.query_processing_delay, [this, client, node,
+                                                     &network] {
+          auto records = owner_->answer(client->principal(), client->query());
+          const std::size_t matches = records.size();
+          const bool results_pending = client->collect_results() && matches > 0;
+          network.send(node, client->location(), msg::redirect_reply(0),
+                       sim::Channel::kQuery,
+                       [client, node, matches, results_pending] {
+                         client->on_reply(node, {}, matches, results_pending);
+                       });
+          if (!results_pending) return;
+          std::uint64_t bytes = 0;
+          for (const auto& r : records) bytes += r.wire_size();
+          store::QueryStats stats;
+          stats.candidates_scanned = owner_->store().size();
+          stats.matches = matches;
+          const auto service = store::service_time_us(
+              federation_.config_.service_model, stats, bytes);
+          network.simulator().schedule_after(
+              service,
+              [client, node, bytes, records = std::move(records),
+               &network]() mutable {
+                network.send(node, client->location(), msg::results(bytes),
+                             sim::Channel::kResult,
+                             [client, node, records = std::move(records)]() mutable {
+                               client->on_results(node, std::move(records));
+                             });
+              });
+        });
+  }
+
+ private:
+  Federation& federation_;
+  std::shared_ptr<ResourceOwner> owner_;
+};
+
+Federation::Federation(FederationParams params)
+    : config_(params.config),
+      schema_(std::move(params.schema)),
+      rng_(params.seed),
+      simulator_(),
+      delay_space_(0, rng_.fork(0x5e1f), params.delay),
+      network_(simulator_, delay_space_, rng_.fork(0x2e70)) {}
+
+Federation::~Federation() = default;
+
+RoadsServer& Federation::add_server() {
+  const sim::NodeId id = delay_space_.add_node();
+  auto server = std::make_unique<RoadsServer>(
+      id, config_, network_, *this, schema_, rng_.fork(0x9000 + id));
+  RoadsServer& ref = *server;
+  servers_.push_back(std::move(server));
+  targets_.push_back(&ref);
+
+  if (!root_) {
+    root_ = id;
+    ref.become_root();
+    return ref;
+  }
+
+  bool done = false;
+  bool ok = false;
+  ref.start_join(*root_, [&](bool success) {
+    done = true;
+    ok = success;
+  });
+  // The join protocol is the only traffic before start(); drain it
+  // fully (including the post-accept branch-stats updates) so the next
+  // joiner sees settled statistics — matching the paper's incremental
+  // formation where joins are far slower than stats propagation.
+  std::size_t guard = 0;
+  while (simulator_.run_steps(1) > 0) {
+    if (++guard > 1'000'000) {
+      throw std::runtime_error("Federation: join protocol did not settle");
+    }
+  }
+  if (!done || !ok) {
+    throw std::runtime_error("Federation: server failed to join");
+  }
+  return ref;
+}
+
+void Federation::add_servers(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) add_server();
+}
+
+std::shared_ptr<ResourceOwner> Federation::add_owner(sim::NodeId attach_to,
+                                                     ExportMode mode,
+                                                     bool colocated) {
+  if (attach_to >= servers_.size()) {
+    throw std::out_of_range("Federation: unknown attachment server");
+  }
+  sim::NodeId owner_node = attach_to;
+  if (!colocated) owner_node = delay_space_.add_node();
+  auto owner = std::make_shared<ResourceOwner>(next_owner_id_++, owner_node,
+                                               schema_);
+  if (!colocated) {
+    auto agent = std::make_unique<OwnerAgent>(*this, owner);
+    if (owner_node != targets_.size()) {
+      throw std::logic_error("Federation: node id bookkeeping out of sync");
+    }
+    targets_.push_back(agent.get());
+    owner_agents_.push_back(std::move(agent));
+  }
+  (void)mode;  // the caller passes the mode again to attach_owner
+  return owner;
+}
+
+void Federation::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& s : servers_) s->start_timers();
+}
+
+void Federation::stabilize(std::size_t rounds) {
+  start();
+  if (rounds == 0) rounds = topology().height() + 2;
+  const sim::Time horizon =
+      simulator_.now() +
+      static_cast<sim::Time>(rounds) * config_.summary_refresh_period +
+      sim::seconds(5);
+  simulator_.run_until(horizon);
+}
+
+void Federation::advance(sim::Time duration) {
+  simulator_.run_until(simulator_.now() + duration);
+}
+
+void Federation::set_refresh_paused(bool paused) {
+  for (auto& s : servers_) s->set_refresh_paused(paused);
+}
+
+QueryOutcome Federation::run_query(const record::Query& query,
+                                   sim::NodeId start_server,
+                                   Principal principal) {
+  return run_query_scoped(query, start_server, RoadsClient::kUnlimitedScope,
+                          principal);
+}
+
+QueryOutcome Federation::run_query_scoped(const record::Query& query,
+                                          sim::NodeId start_server,
+                                          unsigned scope_levels,
+                                          Principal principal) {
+  const auto query_bytes_before =
+      network_.meter(sim::Channel::kQuery).bytes;
+  const auto result_bytes_before =
+      network_.meter(sim::Channel::kResult).bytes;
+
+  auto client = std::make_shared<RoadsClient>(network_, *this, query,
+                                              start_server, principal,
+                                              config_.collect_results);
+  client->set_scope(scope_levels);
+  client->start(start_server);
+  std::size_t guard = 0;
+  while (!client->done() && simulator_.run_steps(1) > 0) {
+    if (++guard > 50'000'000) {
+      throw std::runtime_error("Federation: query did not complete");
+    }
+  }
+
+  const auto& r = client->result();
+  QueryOutcome out;
+  out.complete = r.complete;
+  out.latency_ms = sim::to_ms(r.forwarding_latency());
+  out.response_ms = sim::to_ms(r.response_time());
+  out.query_bytes =
+      network_.meter(sim::Channel::kQuery).bytes - query_bytes_before;
+  out.result_bytes =
+      network_.meter(sim::Channel::kResult).bytes - result_bytes_before;
+  out.servers_contacted = r.servers_contacted;
+  out.matching_records = r.matching_records;
+  out.contacted.assign(client->visited().begin(), client->visited().end());
+  out.records = r.records;
+  return out;
+}
+
+std::vector<RoadsServer*> Federation::servers() {
+  std::vector<RoadsServer*> out;
+  out.reserve(servers_.size());
+  for (auto& s : servers_) out.push_back(s.get());
+  return out;
+}
+
+hierarchy::Topology Federation::topology() const {
+  std::vector<sim::NodeId> parents(servers_.size(),
+                                   hierarchy::Topology::kNoParent);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (!servers_[i]->alive()) {
+      parents[i] = hierarchy::Topology::kAbsent;
+      continue;
+    }
+    if (auto p = servers_[i]->parent()) parents[i] = *p;
+  }
+  return hierarchy::Topology(std::move(parents));
+}
+
+RoadsServer& Federation::server(sim::NodeId id) {
+  if (id >= servers_.size()) {
+    throw std::out_of_range("Federation: unknown server id");
+  }
+  return *servers_[id];
+}
+
+QueryTarget& Federation::query_target(sim::NodeId id) {
+  if (id >= targets_.size()) {
+    throw std::out_of_range("Federation: unknown query target");
+  }
+  return *targets_[id];
+}
+
+}  // namespace roads::core

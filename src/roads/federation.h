@@ -1,0 +1,159 @@
+// Federation: the top-level facade of the ROADS library.
+//
+// Owns the simulation substrate (clock, delay space, network), every
+// RoadsServer, and the agents standing in for remote resource owners.
+// Downstream users build a federation, attach owners with records,
+// start it, let summaries stabilize, and run queries:
+//
+//   core::Federation fed({.seed = 42});
+//   auto& root = fed.add_server();
+//   auto& s1 = fed.add_server();
+//   auto owner = fed.add_owner(s1.id(), core::ExportMode::kDetailedRecords);
+//   owner->store().insert(record);
+//   s1.attach_owner(owner, core::ExportMode::kDetailedRecords);  // or use
+//   fed.start();                                                 // helpers
+//   fed.stabilize();
+//   auto outcome = fed.run_query(query, s1.id());
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hierarchy/topology.h"
+#include "record/query.h"
+#include "record/schema.h"
+#include "roads/client.h"
+#include "roads/config.h"
+#include "roads/dispatch.h"
+#include "roads/owner.h"
+#include "roads/server.h"
+#include "sim/delay_space.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace roads::core {
+
+struct FederationParams {
+  RoadsConfig config;
+  record::Schema schema = record::Schema::uniform_numeric(16);
+  std::uint64_t seed = 1;
+  sim::DelaySpaceParams delay;
+};
+
+/// Everything a caller wants to know about one resolved query.
+struct QueryOutcome {
+  bool complete = false;
+  /// Forwarding latency (§V metric 1): query issue to last server
+  /// contact, in milliseconds.
+  double latency_ms = 0.0;
+  /// Total response time (Fig. 11): issue to last result batch.
+  double response_ms = 0.0;
+  /// Query-forwarding bytes this query added (§V metric 3).
+  std::uint64_t query_bytes = 0;
+  std::uint64_t result_bytes = 0;
+  std::size_t servers_contacted = 0;
+  std::size_t matching_records = 0;
+  /// Nodes the query visited (load analysis, e.g. root-bottleneck
+  /// measurements in the overlay ablation).
+  std::vector<sim::NodeId> contacted;
+  std::vector<record::ResourceRecord> records;
+};
+
+class Federation : public Directory {
+ public:
+  explicit Federation(FederationParams params);
+  ~Federation() override;
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  // --- Construction --------------------------------------------------------
+
+  /// Adds one server. The first becomes the root; later servers run the
+  /// join protocol (descending from the root) to completion. Throws if
+  /// a join fails outright.
+  RoadsServer& add_server();
+  /// Convenience: adds n servers.
+  void add_servers(std::size_t n);
+
+  /// Creates a resource owner. Co-located owners share the attachment
+  /// server's machine; remote ones get their own point in the delay
+  /// space and answer summary-mode queries themselves. The returned
+  /// owner's store starts empty — fill it, then call attach_owner on
+  /// the server (or use this overload's auto-attach).
+  std::shared_ptr<ResourceOwner> add_owner(sim::NodeId attach_to,
+                                           ExportMode mode,
+                                           bool colocated = true);
+
+  /// Starts every server's timers (summary refresh + maintenance).
+  void start();
+
+  /// Runs the simulation long enough for summaries to propagate
+  /// everywhere: `rounds` refresh periods (default: tree height + 2).
+  void stabilize(std::size_t rounds = 0);
+
+  /// Runs the clock forward by `duration`.
+  void advance(sim::Time duration);
+
+  /// Pauses/resumes every server's periodic summary refresh (see
+  /// RoadsServer::set_refresh_paused).
+  void set_refresh_paused(bool paused);
+
+  // --- Queries --------------------------------------------------------------
+
+  /// Resolves a query starting at `start_server`, running the simulator
+  /// until the query completes. Collects records when the config's
+  /// collect_results is set.
+  QueryOutcome run_query(const record::Query& query, sim::NodeId start_server,
+                         Principal principal = kAnonymous);
+
+  /// Scope-limited variant (§III-C): searches only the branch of the
+  /// start server's ancestor `scope_levels` up — 0 is the start
+  /// server's own subtree, 1 adds its siblings' branches, and so on.
+  QueryOutcome run_query_scoped(const record::Query& query,
+                                sim::NodeId start_server,
+                                unsigned scope_levels,
+                                Principal principal = kAnonymous);
+
+  // --- Introspection ----------------------------------------------------------
+
+  std::size_t server_count() const { return servers_.size(); }
+  std::vector<RoadsServer*> servers();
+  /// Snapshot of the live parent/child structure. Only includes
+  /// servers; owner nodes are not part of the hierarchy.
+  hierarchy::Topology topology() const;
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::Network& network() { return network_; }
+  const record::Schema& schema() const { return schema_; }
+  const RoadsConfig& config() const { return config_; }
+  RoadsConfig& mutable_config() { return config_; }
+  util::Rng& rng() { return rng_; }
+
+  // --- Directory ---------------------------------------------------------------
+  RoadsServer& server(sim::NodeId id) override;
+  QueryTarget& query_target(sim::NodeId id) override;
+
+ private:
+  /// Adapter letting a remote ResourceOwner answer query messages.
+  class OwnerAgent;
+
+  RoadsConfig config_;
+  record::Schema schema_;
+  util::Rng rng_;
+  sim::Simulator simulator_;
+  sim::DelaySpace delay_space_;
+  sim::Network network_;
+
+  std::vector<std::unique_ptr<RoadsServer>> servers_;  // index == NodeId
+  std::vector<std::unique_ptr<OwnerAgent>> owner_agents_;
+  std::vector<QueryTarget*> targets_;  // index == NodeId
+  std::optional<sim::NodeId> root_;
+  record::OwnerId next_owner_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace roads::core

@@ -1,0 +1,74 @@
+// Wire-size accounting for every ROADS protocol message.
+//
+// The simulator delivers payloads as in-process closures, but each send
+// is charged the bytes a real implementation would put on the wire;
+// these helpers centralize that size model so the overhead metrics
+// (Figs. 4, 5, 8 and the §IV equations) rest on one consistent
+// accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "hierarchy/branch_stats.h"
+#include "record/query.h"
+#include "summary/resource_summary.h"
+
+namespace roads::core {
+
+/// Query forwarding mode, carried in every query message.
+enum class QueryMode : std::uint8_t {
+  /// First contact: the server may use its replication-overlay
+  /// shortcuts (siblings, ancestor siblings, ancestor locals).
+  kStart,
+  /// Branch descent: evaluate local data and children only.
+  kBranch,
+  /// Terminal probe of a server/owner's local data; no redirects.
+  kLocalOnly,
+};
+
+namespace msg {
+
+/// Join protocol: request carries joiner id + excluded branch list.
+inline std::uint64_t join_request(std::size_t excluded) {
+  return 24 + 4 * excluded;
+}
+/// Accept / redirect / reject decision plus the acceptor's root path.
+inline std::uint64_t join_response(std::size_t root_path_len) {
+  return 16 + 4 * root_path_len;
+}
+
+/// Child -> parent heartbeat with branch stats.
+inline std::uint64_t heartbeat_up() { return 24; }
+/// Parent -> child heartbeat carrying the root path and, from the root,
+/// its children list (election contacts).
+inline std::uint64_t heartbeat_down(std::size_t root_path_len,
+                                    std::size_t root_children) {
+  return 24 + 4 * root_path_len + 4 * root_children;
+}
+/// Departure notice to parent and children.
+inline std::uint64_t leave_notice() { return 16; }
+
+/// Bottom-up summary update: header + branch stats + summary payload.
+inline std::uint64_t summary_update(const summary::ResourceSummary& s) {
+  return 24 + s.wire_size();
+}
+/// Top-down replica push: header + origin/kind/role tags + payload.
+inline std::uint64_t replica_push(const summary::ResourceSummary& s) {
+  return 28 + s.wire_size();
+}
+
+/// Query message: query payload + mode byte.
+inline std::uint64_t query(const record::Query& q) {
+  return q.wire_size() + 1;
+}
+/// Redirect reply: header + (id, mode) per target + local match count.
+inline std::uint64_t redirect_reply(std::size_t targets) {
+  return 20 + 5 * targets;
+}
+/// Result transfer: header + record payload bytes.
+inline std::uint64_t results(std::uint64_t record_bytes) {
+  return 16 + record_bytes;
+}
+
+}  // namespace msg
+}  // namespace roads::core

@@ -1,0 +1,73 @@
+// ResourceOwner: an autonomous organization contributing resources.
+//
+// The owner keeps the authoritative record store and decides the form
+// of sharing (§II, §III-A):
+//  * detailed export — the owner controls its attachment server (often
+//    hosts it) and ships raw records there;
+//  * summary export — the attachment server belongs to someone else,
+//    so the owner ships only a condensed summary and answers detailed
+//    queries itself, applying its sharing policy per requester.
+//
+// The sharing policy is the "voluntary sharing" heart of the paper: the
+// owner retains final control over which records any given requester
+// sees, presenting different views to different parties.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "record/query.h"
+#include "record/record.h"
+#include "record/schema.h"
+#include "sim/delay_space.h"
+#include "store/record_store.h"
+#include "summary/resource_summary.h"
+
+namespace roads::core {
+
+/// Identity of a querying party, used by sharing policies.
+using Principal = std::uint32_t;
+constexpr Principal kAnonymous = 0;
+
+/// Returns true when `requester` may see `record`. The default policy
+/// shares everything with everyone.
+using SharingPolicy =
+    std::function<bool(Principal requester, const record::ResourceRecord&)>;
+
+enum class ExportMode : std::uint8_t { kDetailedRecords, kSummaryOnly };
+
+class ResourceOwner {
+ public:
+  ResourceOwner(record::OwnerId id, sim::NodeId node, record::Schema schema);
+
+  record::OwnerId id() const { return id_; }
+  /// Where this owner lives in the delay space (its machine).
+  sim::NodeId node() const { return node_; }
+
+  store::RecordStore& store() { return store_; }
+  const store::RecordStore& store() const { return store_; }
+
+  void set_policy(SharingPolicy policy) { policy_ = std::move(policy); }
+
+  /// Builds the export summary of the current records.
+  summary::ResourceSummary export_summary(
+      const summary::SummaryConfig& config) const;
+
+  /// Records `requester` is allowed to see among those matching `q` —
+  /// the owner-side query evaluation for summary-only attachments.
+  std::vector<record::ResourceRecord> answer(
+      Principal requester, const record::Query& q) const;
+
+  /// Count-only variant of answer().
+  std::size_t answer_count(Principal requester, const record::Query& q) const;
+
+ private:
+  record::OwnerId id_;
+  sim::NodeId node_;
+  store::RecordStore store_;
+  SharingPolicy policy_;
+};
+
+}  // namespace roads::core

@@ -1,0 +1,727 @@
+#include "roads/server.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace roads::core {
+
+namespace {
+/// Join requests to a dead server never get a reply; after this long
+/// the joiner assumes the target failed and moves on.
+constexpr sim::Time kJoinTimeout = sim::seconds(2);
+}  // namespace
+
+RoadsServer::RoadsServer(sim::NodeId id, const RoadsConfig& config,
+                         sim::Network& network, Directory& directory,
+                         record::Schema schema, util::Rng rng)
+    : id_(id),
+      config_(config),
+      network_(network),
+      directory_(directory),
+      schema_(std::move(schema)),
+      rng_(rng),
+      join_policy_(config.join_policy, config.max_children),
+      store_(schema_),
+      replicas_(config.summary_ttl) {}
+
+void RoadsServer::send_to_server(sim::NodeId to, std::uint64_t bytes,
+                                 sim::Channel channel,
+                                 std::function<void(RoadsServer&)> deliver) {
+  network_.send(id_, to, bytes, channel,
+                [this, to, fn = std::move(deliver)] {
+                  RoadsServer& peer = directory_.server(to);
+                  if (peer.alive()) fn(peer);
+                });
+}
+
+// --------------------------------------------------------------------------
+// Lifecycle
+// --------------------------------------------------------------------------
+
+void RoadsServer::become_root() {
+  parent_.reset();
+  root_path_ = hierarchy::RootPath({id_});
+}
+
+void RoadsServer::start_timers() {
+  if (timers_started_) return;
+  timers_started_ = true;
+  auto& sim = network_.simulator();
+
+  // Stagger the first refresh so all servers do not fire in lockstep;
+  // the offset is deterministic per seed.
+  const auto first_refresh = static_cast<sim::Time>(
+      rng_.uniform(0.0, static_cast<double>(sim::seconds(1))));
+  // Self-rescheduling closures: each tick re-arms itself unless the
+  // server has stopped.
+  auto schedule_refresh = std::make_shared<std::function<void()>>();
+  *schedule_refresh = [this, schedule_refresh] {
+    if (!alive_) return;
+    if (!refresh_paused_) refresh_summaries();
+    network_.simulator().schedule_after(config_.summary_refresh_period,
+                                        *schedule_refresh);
+  };
+  sim.schedule_after(first_refresh, *schedule_refresh);
+
+  if (!config_.maintenance_enabled) return;
+
+  // Failure detection starts now: reset the heartbeat clocks so peers
+  // that joined long before the timers started are not instantly
+  // declared dead.
+  last_parent_heartbeat_ = sim.now();
+  children_.touch_all(sim.now());
+
+  const auto first_hb = static_cast<sim::Time>(
+      rng_.uniform(0.0, static_cast<double>(config_.heartbeat_period)));
+  auto schedule_hb = std::make_shared<std::function<void()>>();
+  *schedule_hb = [this, schedule_hb] {
+    if (!alive_) return;
+    on_heartbeat_timer();
+    network_.simulator().schedule_after(config_.heartbeat_period,
+                                        *schedule_hb);
+  };
+  sim.schedule_after(first_hb, *schedule_hb);
+
+  auto schedule_check = std::make_shared<std::function<void()>>();
+  *schedule_check = [this, schedule_check] {
+    if (!alive_) return;
+    on_failure_check_timer();
+    network_.simulator().schedule_after(config_.heartbeat_period,
+                                        *schedule_check);
+  };
+  // Offset the sweep by half a period so checks interleave heartbeats.
+  sim.schedule_after(first_hb + config_.heartbeat_period / 2,
+                     *schedule_check);
+}
+
+void RoadsServer::leave() {
+  if (!alive_) return;
+  if (parent_) {
+    send_to_server(*parent_, msg::leave_notice(), sim::Channel::kMaintenance,
+                   [child = id_](RoadsServer& p) {
+                     p.handle_leave_from_child(child);
+                   });
+  }
+  for (const auto child : children_.ids()) {
+    send_to_server(child, msg::leave_notice(), sim::Channel::kMaintenance,
+                   [self = id_](RoadsServer& c) {
+                     c.handle_leave_from_parent(self);
+                   });
+  }
+  alive_ = false;
+  network_.set_node_up(id_, false);
+}
+
+void RoadsServer::fail() {
+  alive_ = false;
+  network_.set_node_up(id_, false);
+}
+
+// --------------------------------------------------------------------------
+// Resource attachment
+// --------------------------------------------------------------------------
+
+void RoadsServer::attach_owner(std::shared_ptr<ResourceOwner> owner,
+                               ExportMode mode) {
+  Attachment att;
+  att.owner = owner;
+  att.mode = mode;
+  if (mode == ExportMode::kDetailedRecords) {
+    // The owner ships raw records; remote exports cost update traffic.
+    std::uint64_t bytes = 0;
+    for (const auto& r : owner->store().snapshot()) {
+      bytes += r.wire_size();
+      store_.insert(r);
+    }
+    if (owner->node() != id_) {
+      network_.send(owner->node(), id_, bytes, sim::Channel::kUpdate, [] {});
+    }
+  } else {
+    att.summary = std::make_shared<const summary::ResourceSummary>(
+        owner->export_summary(config_.summary));
+    if (owner->node() != id_) {
+      network_.send(owner->node(), id_, msg::summary_update(*att.summary),
+                    sim::Channel::kUpdate, [] {});
+    }
+  }
+  attachments_.push_back(std::move(att));
+}
+
+void RoadsServer::reexport_owner(record::OwnerId owner_id) {
+  for (auto& att : attachments_) {
+    if (att.owner->id() != owner_id) continue;
+    if (att.mode == ExportMode::kDetailedRecords) {
+      // Replace this owner's records wholesale (soft-state refresh).
+      std::uint64_t bytes = 0;
+      for (const auto& r : store_.snapshot()) {
+        if (r.owner() == owner_id) store_.erase(r.id());
+      }
+      for (const auto& r : att.owner->store().snapshot()) {
+        bytes += r.wire_size();
+        store_.insert(r);
+      }
+      if (att.owner->node() != id_) {
+        network_.send(att.owner->node(), id_, bytes, sim::Channel::kUpdate,
+                      [] {});
+      }
+    } else {
+      att.summary = std::make_shared<const summary::ResourceSummary>(
+          att.owner->export_summary(config_.summary));
+      if (att.owner->node() != id_) {
+        network_.send(att.owner->node(), id_, msg::summary_update(*att.summary),
+                      sim::Channel::kUpdate, [] {});
+      }
+    }
+    return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Summary protocol
+// --------------------------------------------------------------------------
+
+void RoadsServer::refresh_attachment_summaries() {
+  for (auto& att : attachments_) {
+    if (att.mode != ExportMode::kSummaryOnly) continue;
+    att.summary = std::make_shared<const summary::ResourceSummary>(
+        att.owner->export_summary(config_.summary));
+    if (att.owner->node() != id_) {
+      network_.send(att.owner->node(), id_, msg::summary_update(*att.summary),
+                    sim::Channel::kUpdate, [] {});
+    }
+  }
+}
+
+SummaryPtr RoadsServer::compute_local_summary() const {
+  auto local = store_.summarize(config_.summary);
+  for (const auto& att : attachments_) {
+    if (att.mode == ExportMode::kSummaryOnly && att.summary) {
+      local.merge(*att.summary);
+    }
+  }
+  return std::make_shared<const summary::ResourceSummary>(std::move(local));
+}
+
+SummaryPtr RoadsServer::compute_branch_summary() const {
+  summary::ResourceSummary branch =
+      local_summary_ ? *local_summary_
+                     : summary::ResourceSummary(schema_, config_.summary);
+  for (const auto& [child, summary] : child_summaries_) {
+    if (summary && children_.has(child)) branch.merge(*summary);
+  }
+  return std::make_shared<const summary::ResourceSummary>(std::move(branch));
+}
+
+void RoadsServer::refresh_summaries() {
+  if (!alive_) return;
+  refresh_attachment_summaries();
+  local_summary_ = compute_local_summary();
+  branch_summary_ = compute_branch_summary();
+
+  // Bottom-up aggregation (§III-B).
+  if (parent_) {
+    const auto stats = children_.aggregate();
+    last_pushed_stats_ = stats;
+    send_to_server(*parent_, msg::summary_update(*branch_summary_),
+                   sim::Channel::kUpdate,
+                   [child = id_, stats, s = branch_summary_](RoadsServer& p) {
+                     p.handle_child_summary(child, stats, s);
+                   });
+  }
+
+  // Top-down replication (§III-C): own branch + local summaries flow to
+  // every descendant with the ancestor role; direct children see us one
+  // level up.
+  if (config_.overlay_enabled) {
+    push_replica_to_children({id_, overlay::SummaryKind::kBranch,
+                              overlay::ReplicaRole::kAncestor, 1},
+                             branch_summary_);
+    push_replica_to_children({id_, overlay::SummaryKind::kLocal,
+                              overlay::ReplicaRole::kAncestor, 1},
+                             local_summary_);
+  }
+}
+
+void RoadsServer::handle_child_summary(sim::NodeId child,
+                                       hierarchy::BranchStats stats,
+                                       SummaryPtr branch) {
+  if (!children_.has(child)) return;  // stale update from a removed child
+  children_.update_stats(child, stats);
+  children_.update_heartbeat(child, network_.simulator().now());
+  child_summaries_[child] = branch;
+  forward_child_summary_to_siblings(child, branch);
+  push_stats_up();
+}
+
+void RoadsServer::forward_child_summary_to_siblings(sim::NodeId child,
+                                                    const SummaryPtr& summary) {
+  if (!summary || !config_.overlay_enabled) return;
+  const overlay::ReplicaSpec spec{child, overlay::SummaryKind::kBranch,
+                                  overlay::ReplicaRole::kSibling, 1};
+  for (const auto sibling : children_.ids()) {
+    if (sibling == child) continue;
+    send_to_server(sibling, msg::replica_push(*summary), sim::Channel::kUpdate,
+                   [spec, summary](RoadsServer& s) {
+                     s.handle_replica(spec, summary);
+                   });
+  }
+}
+
+void RoadsServer::handle_replica(overlay::ReplicaSpec spec,
+                                 SummaryPtr summary) {
+  replicas_.put(spec, summary, network_.simulator().now());
+  // Cascade down; a sibling of my parent-level sender becomes an
+  // ancestor-sibling for my descendants, one level further from their
+  // common ancestor.
+  overlay::ReplicaSpec down = spec;
+  if (down.role == overlay::ReplicaRole::kSibling) {
+    down.role = overlay::ReplicaRole::kAncestorSibling;
+  }
+  if (down.levels_up < 255) ++down.levels_up;
+  push_replica_to_children(down, summary);
+}
+
+void RoadsServer::push_replica_to_children(const overlay::ReplicaSpec& spec,
+                                           const SummaryPtr& summary) {
+  if (!summary) return;
+  for (const auto child : children_.ids()) {
+    send_to_server(child, msg::replica_push(*summary), sim::Channel::kUpdate,
+                   [spec, summary](RoadsServer& c) {
+                     c.handle_replica(spec, summary);
+                   });
+  }
+}
+
+std::uint64_t RoadsServer::stored_summary_bytes() const {
+  std::uint64_t total = replicas_.stored_bytes();
+  for (const auto& [_, s] : child_summaries_) {
+    if (s) total += s->wire_size();
+  }
+  if (local_summary_) total += local_summary_->wire_size();
+  if (branch_summary_) total += branch_summary_->wire_size();
+  return total;
+}
+
+// --------------------------------------------------------------------------
+// Join protocol
+// --------------------------------------------------------------------------
+
+void RoadsServer::start_join(sim::NodeId seed,
+                             std::function<void(bool)> on_complete) {
+  join_ = JoinState{};
+  join_.active = true;
+  join_.current = seed;
+  join_.on_complete = std::move(on_complete);
+  send_join_request(seed);
+}
+
+void RoadsServer::send_join_request(sim::NodeId target) {
+  const auto seq = ++join_.request_seq;
+  send_to_server(target, msg::join_request(join_.excluded.size()),
+                 sim::Channel::kControl,
+                 [joiner = id_, excluded = join_.excluded](RoadsServer& s) {
+                   s.handle_join_request(joiner, excluded);
+                 });
+  // Dead targets never answer; give up after the timeout and treat it
+  // like an unwilling branch.
+  network_.simulator().schedule_after(kJoinTimeout, [this, target, seq] {
+    if (!alive_ || !join_.active || join_.request_seq != seq) return;
+    ROADS_DEBUG << "server " << id_ << ": join request to " << target
+                << " timed out";
+    handle_join_response(target, JoinOutcome::kBacktrack, 0,
+                         hierarchy::RootPath{});
+  });
+}
+
+void RoadsServer::handle_join_request(sim::NodeId joiner,
+                                      std::vector<sim::NodeId> excluded) {
+  JoinOutcome outcome;
+  sim::NodeId redirect_to = 0;
+  // Loop avoidance: never adopt an ancestor of ourselves — checked both
+  // against the root path (§III-A) and the current parent directly, so
+  // a two-cycle cannot form even while root paths are stale after
+  // churn.
+  if (root_path_.contains(joiner) || (parent_ && *parent_ == joiner)) {
+    outcome = JoinOutcome::kBacktrack;
+  } else {
+    // Proximity policy steers toward the child closest to the joiner
+    // in the delay space.
+    const hierarchy::JoinPolicy::LatencyFn latency =
+        [this, joiner](sim::NodeId child) {
+          return static_cast<double>(network_.latency(joiner, child));
+        };
+    const auto decision =
+        join_policy_.decide(children_, excluded, rng_, latency);
+    if (!decision) {
+      outcome = JoinOutcome::kBacktrack;
+    } else if (decision->accept) {
+      outcome = JoinOutcome::kAccepted;
+      // Idempotent: a joiner may retry after a lost/late response while
+      // we already registered it.
+      if (!children_.has(joiner)) {
+        children_.add(joiner, network_.simulator().now());
+      } else {
+        children_.update_heartbeat(joiner, network_.simulator().now());
+      }
+      push_stats_up();
+    } else {
+      outcome = JoinOutcome::kRedirect;
+      redirect_to = decision->descend_to;
+    }
+  }
+  send_to_server(joiner, msg::join_response(root_path_.length()),
+                 sim::Channel::kControl,
+                 [responder = id_, outcome, redirect_to,
+                  path = root_path_](RoadsServer& j) {
+                   j.handle_join_response(responder, outcome, redirect_to,
+                                          path);
+                 });
+}
+
+void RoadsServer::handle_join_response(sim::NodeId responder,
+                                       JoinOutcome outcome,
+                                       sim::NodeId redirect_to,
+                                       hierarchy::RootPath responder_path) {
+  if (!join_.active || responder != join_.current) return;  // stale
+  ++join_.request_seq;  // disarm the pending timeout
+
+  switch (outcome) {
+    case JoinOutcome::kAccepted: {
+      parent_ = responder;
+      root_path_ = hierarchy::RootPath::extend(responder_path, id_);
+      last_parent_heartbeat_ = network_.simulator().now();
+      recovery_candidates_.clear();  // back in a tree
+      // Tell the new parent our real branch shape right away so join
+      // steering stays accurate, and hand it our branch summary if we
+      // carry a subtree from before a rejoin.
+      last_pushed_stats_ = hierarchy::BranchStats{};
+      push_stats_up();
+      if (branch_summary_) {
+        const auto stats = children_.aggregate();
+        send_to_server(*parent_, msg::summary_update(*branch_summary_),
+                       sim::Channel::kUpdate,
+                       [child = id_, stats,
+                        s = branch_summary_](RoadsServer& p) {
+                         p.handle_child_summary(child, stats, s);
+                       });
+      }
+      finish_join(true);
+      return;
+    }
+    case JoinOutcome::kRedirect: {
+      join_.descended.push_back(join_.current);
+      join_.current = redirect_to;
+      send_join_request(redirect_to);
+      return;
+    }
+    case JoinOutcome::kBacktrack: {
+      join_.excluded.push_back(join_.current);
+      if (!join_.descended.empty()) {
+        join_.current = join_.descended.back();
+        join_.descended.pop_back();
+        send_join_request(join_.current);
+      } else if (!join_.fallbacks.empty()) {
+        join_.current = join_.fallbacks.front();
+        join_.fallbacks.erase(join_.fallbacks.begin());
+        join_.excluded.clear();
+        send_join_request(join_.current);
+      } else {
+        finish_join(false);
+      }
+      return;
+    }
+  }
+}
+
+void RoadsServer::finish_join(bool success) {
+  join_.active = false;
+  if (join_.on_complete) {
+    auto cb = std::move(join_.on_complete);
+    join_.on_complete = nullptr;
+    cb(success);
+  }
+}
+
+void RoadsServer::push_stats_up() {
+  if (!parent_) return;
+  const auto stats = children_.aggregate();
+  if (stats == last_pushed_stats_) return;
+  last_pushed_stats_ = stats;
+  send_to_server(*parent_, msg::heartbeat_up(), sim::Channel::kControl,
+                 [child = id_, stats](RoadsServer& p) {
+                   p.handle_stats_update(child, stats);
+                 });
+}
+
+void RoadsServer::handle_stats_update(sim::NodeId child,
+                                      hierarchy::BranchStats stats) {
+  if (!children_.has(child)) return;
+  children_.update_stats(child, stats);
+  children_.update_heartbeat(child, network_.simulator().now());
+  push_stats_up();
+}
+
+// --------------------------------------------------------------------------
+// Maintenance
+// --------------------------------------------------------------------------
+
+void RoadsServer::on_heartbeat_timer() {
+  if (parent_) {
+    const auto stats = children_.aggregate();
+    send_to_server(*parent_, msg::heartbeat_up(), sim::Channel::kMaintenance,
+                   [child = id_, stats](RoadsServer& p) {
+                     p.handle_heartbeat_up(child, stats);
+                   });
+  }
+  const std::vector<sim::NodeId> root_children =
+      is_root() ? children_.ids() : std::vector<sim::NodeId>{};
+  for (const auto child : children_.ids()) {
+    send_to_server(
+        child,
+        msg::heartbeat_down(root_path_.length(), root_children.size()),
+        sim::Channel::kMaintenance,
+        [from = id_, path = root_path_, root_children](RoadsServer& c) {
+          c.handle_heartbeat_down(from, path, root_children);
+        });
+  }
+}
+
+void RoadsServer::handle_heartbeat_up(sim::NodeId child,
+                                      hierarchy::BranchStats stats) {
+  if (!children_.has(child)) return;
+  children_.update_heartbeat(child, network_.simulator().now());
+  children_.update_stats(child, stats);
+}
+
+void RoadsServer::handle_heartbeat_down(
+    sim::NodeId from, hierarchy::RootPath path,
+    std::vector<sim::NodeId> root_children) {
+  if (!parent_ || *parent_ != from) return;  // stale
+  last_parent_heartbeat_ = network_.simulator().now();
+  // Root paths ride on heartbeats (§III-A): refresh ours.
+  root_path_ = hierarchy::RootPath::extend(path, id_);
+  if (!root_children.empty()) root_children_ = std::move(root_children);
+}
+
+void RoadsServer::on_failure_check_timer() {
+  const auto now = network_.simulator().now();
+  const sim::Time limit =
+      config_.heartbeat_period * config_.heartbeat_miss_limit;
+
+  // Children that went silent.
+  for (const auto child : children_.expired(now - limit)) {
+    ROADS_INFO << "server " << id_ << ": child " << child << " timed out";
+    children_.remove(child);
+    child_summaries_.erase(child);
+    push_stats_up();
+  }
+
+  // Parent that went silent.
+  if (parent_ && now - last_parent_heartbeat_ > limit) {
+    ROADS_INFO << "server " << id_ << ": parent " << *parent_
+               << " timed out";
+    parent_lost();
+  }
+
+  // Partition recovery: a root that got here by failed rejoin keeps
+  // retrying its old contacts so partitions re-merge when possible.
+  if (is_root() && !recovery_candidates_.empty() && !join_.active) {
+    join_ = JoinState{};
+    join_.active = true;
+    join_.current = recovery_candidates_.front();
+    join_.fallbacks.assign(recovery_candidates_.begin() + 1,
+                           recovery_candidates_.end());
+    join_.on_complete = [this](bool ok) {
+      if (!ok) become_root();  // stay a partition root; retry later
+    };
+    send_join_request(join_.current);
+  }
+
+  replicas_.sweep(now);
+}
+
+void RoadsServer::parent_lost() {
+  const auto old_path = root_path_;
+  const auto old_parent = parent_;
+  const bool parent_was_root =
+      parent_ && old_path.length() >= 2 && old_path.root() == *parent_;
+  parent_.reset();
+
+  if (parent_was_root) {
+    // Root election (§III-A): the root's children elect the one with
+    // the smallest id, learned from the root's heartbeat children list.
+    std::vector<sim::NodeId> electorate = root_children_;
+    electorate.push_back(id_);
+    const sim::NodeId elected =
+        *std::min_element(electorate.begin(), electorate.end());
+    if (elected == id_) {
+      ROADS_INFO << "server " << id_ << ": elected new root";
+      become_root();
+      // The detection may have been a false positive (lost heartbeats);
+      // keep the old root as a recovery contact so a spurious
+      // self-election re-merges instead of splitting the tree.
+      recovery_candidates_.clear();
+      if (old_parent) recovery_candidates_.push_back(*old_parent);
+      return;
+    }
+    join_ = JoinState{};
+    join_.active = true;
+    join_.current = elected;
+    // Other electorate members double as fallbacks if the winner died;
+    // if every candidate is gone, stand up as root and keep retrying
+    // (partition recovery).
+    std::sort(electorate.begin(), electorate.end());
+    for (const auto n : electorate) {
+      if (n != elected && n != id_) join_.fallbacks.push_back(n);
+    }
+    recovery_candidates_.clear();
+    for (const auto n : electorate) {
+      if (n != id_) recovery_candidates_.push_back(n);
+    }
+    join_.on_complete = [this](bool ok) {
+      if (!ok) become_root();  // recovery_candidates_ keeps us retrying
+    };
+    send_join_request(elected);
+    return;
+  }
+
+  // Rejoin starting at the grandparent, then one level up at a time
+  // (§III-A Hierarchy Maintenance).
+  auto candidates = old_path.rejoin_candidates();
+  if (candidates.empty()) {
+    // No ancestors known; become root of our own partition.
+    become_root();
+    return;
+  }
+  join_ = JoinState{};
+  join_.active = true;
+  join_.current = candidates.front();
+  join_.fallbacks.assign(candidates.begin() + 1, candidates.end());
+  recovery_candidates_ = candidates;
+  join_.on_complete = [this](bool ok) {
+    if (!ok) become_root();  // recovery_candidates_ keeps us retrying
+  };
+  send_join_request(join_.current);
+}
+
+void RoadsServer::handle_leave_from_child(sim::NodeId child) {
+  if (!children_.has(child)) return;
+  children_.remove(child);
+  child_summaries_.erase(child);
+  push_stats_up();
+}
+
+void RoadsServer::handle_leave_from_parent(sim::NodeId parent) {
+  if (!parent_ || *parent_ != parent) return;
+  parent_lost();
+}
+
+// --------------------------------------------------------------------------
+// Query evaluation
+// --------------------------------------------------------------------------
+
+void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
+                               QueryMode mode) {
+  if (!alive_) return;
+  client->on_arrival(id_);
+  network_.simulator().schedule_after(
+      config_.query_processing_delay, [this, client, mode] {
+        if (!alive_) return;
+        const auto& q = client->query();
+        std::vector<std::pair<sim::NodeId, QueryMode>> targets;
+
+        // Local data: this server's own store...
+        store::QueryStats stats{};
+        const auto local_ids = store_.query(q, &stats);
+        std::size_t local_matches = local_ids.size();
+        std::vector<record::ResourceRecord> local_records;
+        if (client->collect_results()) {
+          local_records.reserve(local_ids.size());
+          for (const auto rid : local_ids) {
+            local_records.push_back(store_.get(rid));
+          }
+        }
+        // ...plus summary-only owner attachments. Co-located owners
+        // answer through this server (policy applied); remote owners
+        // are redirect targets probed in local-only mode.
+        for (const auto& att : attachments_) {
+          if (att.mode != ExportMode::kSummaryOnly || !att.summary) continue;
+          if (!att.summary->matches(q)) continue;
+          if (att.owner->node() == id_) {
+            if (client->collect_results()) {
+              auto records = att.owner->answer(client->principal(), q);
+              local_matches += records.size();
+              for (auto& r : records) local_records.push_back(std::move(r));
+            } else {
+              local_matches += att.owner->answer_count(client->principal(), q);
+            }
+          } else {
+            targets.emplace_back(att.owner->node(), QueryMode::kLocalOnly);
+          }
+        }
+
+        // Branch descent through matching children (§III-B).
+        if (mode != QueryMode::kLocalOnly) {
+          for (const auto& [child, summary] : child_summaries_) {
+            if (summary && children_.has(child) && summary->matches(q)) {
+              targets.emplace_back(child, QueryMode::kBranch);
+            }
+          }
+        }
+
+        // Overlay shortcuts, only from the start server (§III-C):
+        // sibling / ancestor-sibling branches are descent entry points;
+        // matching ancestor locals are probed local-only.
+        if (mode == QueryMode::kStart) {
+          // The client's scope limits how far up the hierarchy the
+          // shortcuts may reach (§III-C's widening control).
+          const unsigned scope = client->scope();
+          for (const auto* r :
+               replicas_.matching(q, overlay::SummaryKind::kBranch)) {
+            if (r->spec.role != overlay::ReplicaRole::kAncestor &&
+                r->spec.levels_up <= scope) {
+              targets.emplace_back(r->spec.origin, QueryMode::kBranch);
+            }
+          }
+          for (const auto* r :
+               replicas_.matching(q, overlay::SummaryKind::kLocal)) {
+            if (r->spec.role == overlay::ReplicaRole::kAncestor &&
+                r->spec.levels_up <= scope) {
+              targets.emplace_back(r->spec.origin, QueryMode::kLocalOnly);
+            }
+          }
+        }
+
+        const bool results_pending =
+            client->collect_results() && local_matches > 0;
+        network_.send(id_, client->location(),
+                      msg::redirect_reply(targets.size()), sim::Channel::kQuery,
+                      [client, server = id_, targets, local_matches,
+                       results_pending] {
+                        client->on_reply(server, targets, local_matches,
+                                         results_pending);
+                      });
+
+        if (results_pending) {
+          std::uint64_t record_bytes = 0;
+          for (const auto& r : local_records) record_bytes += r.wire_size();
+          stats.matches = local_records.size();
+          const auto service = store::service_time_us(
+              config_.service_model, stats, record_bytes);
+          network_.simulator().schedule_after(
+              service, [this, client, record_bytes,
+                        records = std::move(local_records)]() mutable {
+                if (!alive_) return;
+                network_.send(id_, client->location(),
+                              msg::results(record_bytes), sim::Channel::kResult,
+                              [client, server = id_,
+                               records = std::move(records)]() mutable {
+                                client->on_results(server, std::move(records));
+                              });
+              });
+        }
+      });
+}
+
+}  // namespace roads::core

@@ -1,0 +1,210 @@
+// RoadsServer: one server of the federated hierarchy. Implements every
+// protocol of §III over the simulated network:
+//
+//  * join (balanced descent with backtracking, loop avoidance via root
+//    paths, join-request timeouts for dead targets);
+//  * bottom-up summary aggregation (periodic refresh, child branch
+//    summaries, branch stats);
+//  * the replication overlay (top-down pushes of own branch/local
+//    summaries, receive-time forwarding of child summaries to siblings,
+//    cascade of replicas down the subtree with role transformation);
+//  * maintenance (heartbeats both ways, failure detection, rejoin via
+//    root-path candidates, root election, graceful departure, TTL
+//    sweeps);
+//  * query evaluation (local store + owner attachments + child branch
+//    summaries + overlay shortcuts, client-driven redirects).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hierarchy/child_table.h"
+#include "hierarchy/join_policy.h"
+#include "hierarchy/root_path.h"
+#include "overlay/replica_store.h"
+#include "record/schema.h"
+#include "roads/client.h"
+#include "roads/config.h"
+#include "roads/dispatch.h"
+#include "roads/messages.h"
+#include "roads/owner.h"
+#include "sim/network.h"
+#include "store/record_store.h"
+#include "summary/resource_summary.h"
+#include "util/rng.h"
+
+namespace roads::core {
+
+using overlay::SummaryPtr;
+
+class RoadsServer : public QueryTarget {
+ public:
+  RoadsServer(sim::NodeId id, const RoadsConfig& config, sim::Network& network,
+              Directory& directory, record::Schema schema, util::Rng rng);
+
+  // --- Identity & topology -------------------------------------------------
+  sim::NodeId id() const { return id_; }
+  bool is_root() const { return !parent_.has_value(); }
+  std::optional<sim::NodeId> parent() const { return parent_; }
+  const hierarchy::ChildTable& children() const { return children_; }
+  const hierarchy::RootPath& root_path() const { return root_path_; }
+  bool alive() const { return alive_; }
+
+  // --- Lifecycle -----------------------------------------------------------
+  /// Makes this server the hierarchy root (the bootstrap node).
+  void become_root();
+  /// Joins the hierarchy starting the descent at `seed`; `on_complete`
+  /// fires with success/failure once settled.
+  void start_join(sim::NodeId seed,
+                  std::function<void(bool)> on_complete = {});
+  /// Starts the periodic summary-refresh timer (and maintenance timers
+  /// when the config enables them).
+  void start_timers();
+  /// Temporarily skips the periodic summary refresh (timers keep
+  /// ticking cheaply). Experiment drivers pause refresh while replaying
+  /// query batches so latency is measured under steady summaries.
+  void set_refresh_paused(bool paused) { refresh_paused_ = paused; }
+
+  /// Graceful departure: notify parent and children, then go silent.
+  void leave();
+  /// Abrupt failure: timers stop, the network drops this node's
+  /// traffic; peers find out via heartbeat timeouts.
+  void fail();
+
+  // --- Resource attachment (§III-A) ----------------------------------------
+  /// Attaches an owner. kDetailedRecords copies the owner's records
+  /// into this server's store (owner trusts/controls this server);
+  /// kSummaryOnly keeps records at the owner, which exports a summary
+  /// and answers detailed queries itself.
+  void attach_owner(std::shared_ptr<ResourceOwner> owner, ExportMode mode);
+  /// Re-exports an owner's current data after it changed.
+  void reexport_owner(record::OwnerId owner);
+
+  store::RecordStore& local_store() { return store_; }
+  const store::RecordStore& local_store() const { return store_; }
+
+  // --- Summary protocol ----------------------------------------------------
+  /// Recomputes local + branch summaries, sends the branch summary to
+  /// the parent, pushes own summaries and stored child summaries to
+  /// children. Runs on the ts timer; tests may call it directly.
+  void refresh_summaries();
+
+  void handle_child_summary(sim::NodeId child, hierarchy::BranchStats stats,
+                            SummaryPtr branch);
+  void handle_replica(overlay::ReplicaSpec spec, SummaryPtr summary);
+
+  /// Latest computed summaries (may be null before the first refresh).
+  SummaryPtr branch_summary() const { return branch_summary_; }
+  SummaryPtr local_summary() const { return local_summary_; }
+  const overlay::ReplicaStore& replicas() const { return replicas_; }
+  /// Branch summaries received from children (origin -> summary).
+  const std::map<sim::NodeId, SummaryPtr>& child_summaries() const {
+    return child_summaries_;
+  }
+
+  /// Total bytes of summary state held (children + replicas + own) —
+  /// Table I's per-server storage metric.
+  std::uint64_t stored_summary_bytes() const;
+
+  // --- Join protocol (server side) ------------------------------------------
+  void handle_join_request(sim::NodeId joiner,
+                           std::vector<sim::NodeId> excluded);
+
+  // --- Maintenance protocol -------------------------------------------------
+  void handle_stats_update(sim::NodeId child, hierarchy::BranchStats stats);
+  void handle_heartbeat_up(sim::NodeId child, hierarchy::BranchStats stats);
+  void handle_heartbeat_down(sim::NodeId from, hierarchy::RootPath path,
+                             std::vector<sim::NodeId> root_children);
+  void handle_leave_from_child(sim::NodeId child);
+  void handle_leave_from_parent(sim::NodeId parent);
+
+  // --- Queries ---------------------------------------------------------------
+  void handle_query(std::shared_ptr<RoadsClient> client,
+                    QueryMode mode) override;
+
+ private:
+  struct Attachment {
+    std::shared_ptr<ResourceOwner> owner;
+    ExportMode mode = ExportMode::kDetailedRecords;
+    SummaryPtr summary;  // latest export for kSummaryOnly
+  };
+
+  enum class JoinOutcome : std::uint8_t { kAccepted, kRedirect, kBacktrack };
+
+  void handle_join_response(sim::NodeId responder, JoinOutcome outcome,
+                            sim::NodeId redirect_to,
+                            hierarchy::RootPath responder_path);
+  void send_join_request(sim::NodeId target);
+  void finish_join(bool success);
+
+  /// Recomputes this node's aggregate stats and pushes them up if they
+  /// changed (keeps join steering accurate between refresh rounds).
+  void push_stats_up();
+
+  void refresh_attachment_summaries();
+  SummaryPtr compute_local_summary() const;
+  SummaryPtr compute_branch_summary() const;
+  void push_replica_to_children(const overlay::ReplicaSpec& spec,
+                                const SummaryPtr& summary);
+  void forward_child_summary_to_siblings(sim::NodeId child,
+                                         const SummaryPtr& summary);
+
+  void on_heartbeat_timer();
+  void on_failure_check_timer();
+  void parent_lost();
+  void try_rejoin_candidates();
+
+  void send_to_server(sim::NodeId to, std::uint64_t bytes,
+                      sim::Channel channel,
+                      std::function<void(RoadsServer&)> deliver);
+
+  sim::NodeId id_;
+  const RoadsConfig& config_;
+  sim::Network& network_;
+  Directory& directory_;
+  record::Schema schema_;
+  util::Rng rng_;
+  hierarchy::JoinPolicy join_policy_;
+
+  bool alive_ = true;
+  bool timers_started_ = false;
+  bool refresh_paused_ = false;
+  std::optional<sim::NodeId> parent_;
+  hierarchy::RootPath root_path_;
+  hierarchy::ChildTable children_;
+  std::map<sim::NodeId, SummaryPtr> child_summaries_;
+  hierarchy::BranchStats last_pushed_stats_;
+
+  store::RecordStore store_;
+  std::vector<Attachment> attachments_;
+  SummaryPtr local_summary_;
+  SummaryPtr branch_summary_;
+  overlay::ReplicaStore replicas_;
+
+  // Joiner-side state machine.
+  struct JoinState {
+    bool active = false;
+    sim::NodeId current = 0;             // server being asked
+    std::vector<sim::NodeId> descended;  // descent stack (for backtrack)
+    std::vector<sim::NodeId> excluded;   // branches found unwilling
+    std::vector<sim::NodeId> fallbacks;  // rejoin candidates still untried
+    std::uint64_t request_seq = 0;       // matches replies to requests
+    std::function<void(bool)> on_complete;
+  };
+  JoinState join_;
+
+  // Last root-children list heard from the root (election contacts).
+  std::vector<sim::NodeId> root_children_;
+  sim::Time last_parent_heartbeat_ = 0;
+
+  // Non-empty when this node became the root of a partition after its
+  // rejoin attempts failed; the maintenance timer keeps retrying these
+  // contacts so partitions re-merge once connectivity returns.
+  std::vector<sim::NodeId> recovery_candidates_;
+};
+
+}  // namespace roads::core

@@ -1,0 +1,42 @@
+#include "sim/delay_space.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roads::sim {
+
+DelaySpace::DelaySpace(std::size_t nodes, util::Rng rng,
+                       DelaySpaceParams params)
+    : params_(params), rng_(rng) {
+  if (params_.dimensions == 0 || params_.dimensions > 5) {
+    throw std::invalid_argument("DelaySpace: dimensions must be in [1, 5]");
+  }
+  coords_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) add_node();
+}
+
+NodeId DelaySpace::add_node() {
+  std::array<double, 5> point{};
+  for (std::size_t d = 0; d < params_.dimensions; ++d) {
+    point[d] = rng_.uniform01();
+  }
+  coords_.push_back(point);
+  return static_cast<NodeId>(coords_.size() - 1);
+}
+
+Time DelaySpace::latency(NodeId a, NodeId b) const {
+  if (a >= coords_.size() || b >= coords_.size()) {
+    throw std::out_of_range("DelaySpace: unknown node");
+  }
+  if (a == b) return 0;
+  double sum = 0.0;
+  for (std::size_t d = 0; d < params_.dimensions; ++d) {
+    const double diff = coords_[a][d] - coords_[b][d];
+    sum += diff * diff;
+  }
+  const double distance = std::sqrt(sum);
+  return params_.base_latency +
+         static_cast<Time>(distance * static_cast<double>(params_.scale));
+}
+
+}  // namespace roads::sim

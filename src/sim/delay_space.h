@@ -1,0 +1,57 @@
+// Internet delay model.
+//
+// The paper uses the 5-dimensional synthesized coordinate system of
+// Zhang et al. [12] to obtain pairwise wide-area latencies. We embed
+// each node at a point drawn uniformly from a 5-D hypercube and define
+// one-way latency as base + scale * Euclidean distance. With the
+// default parameters the one-way latency distribution has a median
+// around 75 ms — the Internet-like magnitude the paper's latency plots
+// assume. Coordinates are deterministic given the seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace roads::sim {
+
+using NodeId = std::uint32_t;
+
+struct DelaySpaceParams {
+  std::size_t dimensions = 5;
+  /// Added to every pair: last-mile/processing floor.
+  Time base_latency = 5 * kMillisecond;
+  /// Latency per unit Euclidean distance in the unit hypercube. Mean
+  /// pair distance in the 5-D unit cube is ~0.88, so the default yields
+  /// a ~100 ms mean one-way latency — the wide-area scale of [12].
+  Time scale = 110 * kMillisecond;
+};
+
+class DelaySpace {
+ public:
+  /// Embeds `nodes` points; same (seed, params, nodes) -> same embedding.
+  DelaySpace(std::size_t nodes, util::Rng rng,
+             DelaySpaceParams params = DelaySpaceParams{});
+
+  std::size_t node_count() const { return coords_.size(); }
+
+  /// One-way latency between two nodes; zero for a node to itself.
+  Time latency(NodeId a, NodeId b) const;
+
+  /// Appends one more node (servers joining an existing federation).
+  NodeId add_node();
+
+  const std::vector<std::array<double, 5>>& coordinates() const {
+    return coords_;
+  }
+
+ private:
+  DelaySpaceParams params_;
+  util::Rng rng_;
+  std::vector<std::array<double, 5>> coords_;
+};
+
+}  // namespace roads::sim

@@ -1,0 +1,73 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+
+namespace roads::sim {
+
+const char* to_string(Channel channel) {
+  switch (channel) {
+    case Channel::kControl:
+      return "control";
+    case Channel::kUpdate:
+      return "update";
+    case Channel::kQuery:
+      return "query";
+    case Channel::kMaintenance:
+      return "maintenance";
+    case Channel::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+Network::Network(Simulator& simulator, DelaySpace& delay_space, util::Rng rng)
+    : sim_(simulator), space_(delay_space), rng_(rng) {}
+
+bool Network::node_up(NodeId node) const {
+  return node >= down_.size() || !down_[node];
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  if (node >= down_.size()) down_.resize(node + 1, false);
+  down_[node] = !up;
+}
+
+void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
+                   Channel channel, std::function<void()> deliver) {
+  send_bulk(from, to, 1, bytes, channel, std::move(deliver));
+}
+
+void Network::send_bulk(NodeId from, NodeId to, std::uint64_t messages,
+                        std::uint64_t bytes, Channel channel,
+                        std::function<void()> deliver) {
+  if (!node_up(from)) return;  // a dead sender emits nothing
+  auto& meter = meters_[static_cast<std::size_t>(channel)];
+  meter.messages += messages;
+  meter.bytes += bytes;
+  if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) return;
+  const Time delay = space_.latency(from, to);
+  sim_.schedule_after(delay, [this, to, fn = std::move(deliver)] {
+    if (!node_up(to)) return;  // receiver died in flight
+    fn();
+  });
+}
+
+const ChannelMeter& Network::meter(Channel channel) const {
+  return meters_[static_cast<std::size_t>(channel)];
+}
+
+std::uint64_t Network::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : meters_) total += m.bytes;
+  return total;
+}
+
+std::uint64_t Network::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& m : meters_) total += m.messages;
+  return total;
+}
+
+void Network::reset_meters() { meters_.fill(ChannelMeter{}); }
+
+}  // namespace roads::sim

@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace roads::sim {
+
+EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator: scheduling into the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulator: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+
+bool Simulator::pop_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (pop_one()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (pop_one()) ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::size_t Simulator::run_steps(std::size_t limit) {
+  std::size_t executed = 0;
+  while (executed < limit && pop_one()) ++executed;
+  return executed;
+}
+
+}  // namespace roads::sim

@@ -1,0 +1,72 @@
+// Sequential discrete-event simulator.
+//
+// Events are closures ordered by (time, insertion sequence) so
+// same-instant events run in schedule order — this makes every run with
+// the same seed bit-for-bit reproducible. One Simulator instance drives
+// one experiment; repetitions run as independent instances (optionally
+// in parallel via util::ThreadPool, since instances share nothing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace roads::sim {
+
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  /// Schedules `fn` at absolute time `when` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventId schedule_after(Time delay, std::function<void()> fn);
+
+  /// Prevents a pending event from running; no-op if it already ran.
+  void cancel(EventId id);
+
+  /// Runs events until the queue drains. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; the clock ends at `deadline`
+  /// even if the queue drained earlier.
+  std::size_t run_until(Time deadline);
+
+  /// Executes at most `limit` events (safety valve for protocol loops).
+  std::size_t run_steps(std::size_t limit);
+
+ private:
+  struct Event {
+    Time when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among same-instant events
+    }
+  };
+
+  bool pop_one();
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace roads::sim

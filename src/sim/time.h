@@ -1,0 +1,25 @@
+// Simulation time base. All simulated durations and instants are
+// microseconds held in 64-bit signed integers; helpers below keep unit
+// conversions explicit at call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace roads::sim {
+
+using Time = std::int64_t;  // microseconds since simulation start
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * kMillisecond;
+constexpr Time kMinute = 60 * kSecond;
+
+constexpr Time ms(std::int64_t v) { return v * kMillisecond; }
+constexpr Time seconds(std::int64_t v) { return v * kSecond; }
+
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1000.0; }
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace roads::sim

@@ -1,0 +1,189 @@
+#include "store/record_store.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace roads::store {
+
+RecordStore::RecordStore(record::Schema schema) : schema_(std::move(schema)) {
+  numeric_indexes_.resize(schema_.size());
+}
+
+void RecordStore::insert(record::ResourceRecord record) {
+  if (!record.conforms_to(schema_)) {
+    throw std::invalid_argument("RecordStore: record does not match schema");
+  }
+  const auto id = record.id();
+  if (records_.count(id)) {
+    throw std::invalid_argument("RecordStore: duplicate record id");
+  }
+  const auto slot = static_cast<std::uint32_t>(records_dense_.size());
+  records_dense_.push_back(std::move(record));
+  live_.push_back(true);
+  records_.emplace(id, slot);
+  invalidate_indexes();
+}
+
+bool RecordStore::erase(record::RecordId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  live_[it->second] = false;
+  records_.erase(it);
+  invalidate_indexes();
+  return true;
+}
+
+void RecordStore::update(record::ResourceRecord record) {
+  auto it = records_.find(record.id());
+  if (it == records_.end()) {
+    throw std::invalid_argument("RecordStore: update of unknown record");
+  }
+  if (!record.conforms_to(schema_)) {
+    throw std::invalid_argument("RecordStore: record does not match schema");
+  }
+  records_dense_[it->second] = std::move(record);
+  invalidate_indexes();
+}
+
+bool RecordStore::contains(record::RecordId id) const {
+  return records_.count(id) > 0;
+}
+
+const record::ResourceRecord& RecordStore::get(record::RecordId id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw std::out_of_range("RecordStore: unknown record id");
+  }
+  return records_dense_[it->second];
+}
+
+void RecordStore::invalidate_indexes() {
+  for (auto& index : numeric_indexes_) index.valid = false;
+}
+
+const RecordStore::NumericIndex& RecordStore::numeric_index(
+    std::size_t attribute) const {
+  auto& index = numeric_indexes_[attribute];
+  if (!index.valid) {
+    index.entries.clear();
+    index.entries.reserve(records_.size());
+    for (std::uint32_t slot = 0; slot < records_dense_.size(); ++slot) {
+      if (!live_[slot]) continue;
+      const auto& v = records_dense_[slot].value(attribute);
+      if (v.is_numeric()) index.entries.emplace_back(v.number(), slot);
+    }
+    std::sort(index.entries.begin(), index.entries.end());
+    index.valid = true;
+  }
+  return index;
+}
+
+std::size_t RecordStore::most_selective(const record::Query& q) const {
+  std::size_t best = ~std::size_t{0};
+  std::size_t best_count = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < q.predicates().size(); ++i) {
+    const auto& p = q.predicates()[i];
+    if (p.kind != record::Predicate::Kind::kRange) continue;
+    if (p.attribute >= schema_.size() || !schema_.at(p.attribute).searchable ||
+        schema_.at(p.attribute).type != record::AttributeType::kNumeric) {
+      continue;
+    }
+    const auto& index = numeric_index(p.attribute);
+    const auto lo = std::lower_bound(index.entries.begin(),
+                                     index.entries.end(),
+                                     std::make_pair(p.lo, std::uint32_t{0}));
+    const auto hi = std::upper_bound(
+        index.entries.begin(), index.entries.end(),
+        std::make_pair(p.hi, std::numeric_limits<std::uint32_t>::max()));
+    const auto count = static_cast<std::size_t>(std::distance(lo, hi));
+    if (count < best_count) {
+      best_count = count;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<record::RecordId> RecordStore::query(
+    const record::Query& q) const {
+  return query(q, nullptr);
+}
+
+std::vector<record::RecordId> RecordStore::query(const record::Query& q,
+                                                 QueryStats* stats) const {
+  std::vector<record::RecordId> out;
+  if (stats) *stats = QueryStats{};
+
+  const std::size_t pivot = use_indexes() && !q.empty() ? most_selective(q)
+                                                        : ~std::size_t{0};
+  if (pivot == ~std::size_t{0}) {
+    // Scan path (small store, or no indexable predicate).
+    for (std::uint32_t slot = 0; slot < records_dense_.size(); ++slot) {
+      if (!live_[slot]) continue;
+      if (q.matches(records_dense_[slot])) {
+        out.push_back(records_dense_[slot].id());
+      }
+    }
+    if (stats) {
+      stats->candidates_scanned = records_.size();
+      stats->matches = out.size();
+    }
+  } else {
+    const auto& p = q.predicates()[pivot];
+    const auto& index = numeric_index(p.attribute);
+    const auto lo = std::lower_bound(index.entries.begin(),
+                                     index.entries.end(),
+                                     std::make_pair(p.lo, std::uint32_t{0}));
+    const auto hi = std::upper_bound(
+        index.entries.begin(), index.entries.end(),
+        std::make_pair(p.hi, std::numeric_limits<std::uint32_t>::max()));
+    std::size_t scanned = 0;
+    for (auto it = lo; it != hi; ++it) {
+      ++scanned;
+      const auto& r = records_dense_[it->second];
+      if (q.matches(r)) out.push_back(r.id());
+    }
+    if (stats) {
+      stats->candidates_scanned = scanned;
+      stats->matches = out.size();
+      stats->used_index = true;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t RecordStore::count_matching(const record::Query& q) const {
+  return query(q).size();
+}
+
+summary::ResourceSummary RecordStore::summarize(
+    const summary::SummaryConfig& config) const {
+  summary::ResourceSummary summary(schema_, config);
+  for (std::uint32_t slot = 0; slot < records_dense_.size(); ++slot) {
+    if (live_[slot]) summary.add(records_dense_[slot]);
+  }
+  return summary;
+}
+
+std::vector<record::ResourceRecord> RecordStore::snapshot() const {
+  std::vector<record::ResourceRecord> out;
+  out.reserve(records_.size());
+  for (std::uint32_t slot = 0; slot < records_dense_.size(); ++slot) {
+    if (live_[slot]) out.push_back(records_dense_[slot]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.id() < b.id(); });
+  return out;
+}
+
+std::uint64_t RecordStore::stored_bytes() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t slot = 0; slot < records_dense_.size(); ++slot) {
+    if (live_[slot]) total += records_dense_[slot].wire_size();
+  }
+  return total;
+}
+
+}  // namespace roads::store

@@ -1,0 +1,100 @@
+// RecordStore: an indexed in-memory resource database.
+//
+// This substitutes for the DB2 backend of the paper's prototype (§V-B):
+// each ROADS server attaches one, uses it to answer detailed queries at
+// the leaves, and derives export summaries from it. Small stores (the
+// common per-server case: hundreds of records) are scanned directly;
+// large stores (the central repository) build flat sorted secondary
+// indexes lazily, per attribute, on first use after a change. The flat
+// layout keeps bulk loading allocation-free per record, which matters
+// when a simulation populates a thousand stores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "record/query.h"
+#include "record/record.h"
+#include "record/schema.h"
+#include "summary/resource_summary.h"
+
+namespace roads::store {
+
+/// Statistics from one query evaluation, used by the service-time model
+/// (index probes are cheap, candidate filtering dominates).
+struct QueryStats {
+  std::size_t candidates_scanned = 0;
+  std::size_t matches = 0;
+  bool used_index = false;
+};
+
+class RecordStore {
+ public:
+  /// Stores below this size answer queries by scanning; at or above it
+  /// they build per-attribute indexes lazily.
+  static constexpr std::size_t kIndexThreshold = 2048;
+
+  explicit RecordStore(record::Schema schema);
+
+  const record::Schema& schema() const { return schema_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Inserts a record; throws std::invalid_argument if it does not
+  /// conform to the schema or duplicates an existing id.
+  void insert(record::ResourceRecord record);
+
+  /// Removes by id; returns false when absent.
+  bool erase(record::RecordId id);
+
+  /// Replaces the record with the same id (update-in-place for dynamic
+  /// resources); throws when the id is unknown.
+  void update(record::ResourceRecord record);
+
+  bool contains(record::RecordId id) const;
+  const record::ResourceRecord& get(record::RecordId id) const;
+
+  /// All records matching the conjunctive query, in ascending id order.
+  std::vector<record::RecordId> query(const record::Query& q) const;
+  std::vector<record::RecordId> query(const record::Query& q,
+                                      QueryStats* stats) const;
+
+  /// Match count without materializing ids.
+  std::size_t count_matching(const record::Query& q) const;
+
+  /// Builds the export summary of the current contents.
+  summary::ResourceSummary summarize(
+      const summary::SummaryConfig& config) const;
+
+  /// Every stored record, ascending id order.
+  std::vector<record::ResourceRecord> snapshot() const;
+
+  /// Total wire size of all stored records — the "storage overhead" a
+  /// server pays for holding raw records (Table I comparisons).
+  std::uint64_t stored_bytes() const;
+
+ private:
+  struct NumericIndex {
+    bool valid = false;
+    std::vector<std::pair<double, std::uint32_t>> entries;  // (value, slot)
+  };
+
+  const NumericIndex& numeric_index(std::size_t attribute) const;
+  void invalidate_indexes();
+  bool use_indexes() const { return records_.size() >= kIndexThreshold; }
+
+  /// Index of the range predicate with the fewest index candidates, or
+  /// npos if indexes are not in play.
+  std::size_t most_selective(const record::Query& q) const;
+
+  record::Schema schema_;
+  /// Dense storage; erased slots are tombstoned and reused lazily.
+  std::vector<record::ResourceRecord> records_dense_;
+  std::vector<bool> live_;
+  std::unordered_map<record::RecordId, std::uint32_t> records_;  // id -> slot
+  mutable std::vector<NumericIndex> numeric_indexes_;  // per attribute
+};
+
+}  // namespace roads::store

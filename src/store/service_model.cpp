@@ -1,0 +1,21 @@
+#include "store/service_model.h"
+
+#include <cmath>
+
+namespace roads::store {
+
+std::int64_t service_time_us(const ServiceModelParams& params,
+                             const QueryStats& stats,
+                             std::uint64_t result_bytes) {
+  const double compute =
+      params.query_overhead_us +
+      params.per_candidate_us * static_cast<double>(stats.candidates_scanned) +
+      params.per_result_us * static_cast<double>(stats.matches);
+  const double transfer = params.bandwidth_bytes_per_us > 0.0
+                              ? static_cast<double>(result_bytes) /
+                                    params.bandwidth_bytes_per_us
+                              : 0.0;
+  return static_cast<std::int64_t>(std::llround(compute + transfer));
+}
+
+}  // namespace roads::store

@@ -1,0 +1,114 @@
+#include "summary/bloom_filter.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace roads::summary {
+namespace {
+
+// FNV-1a, then a finalizing mix; we derive k probe positions from two
+// independent 64-bit hashes via double hashing (Kirsch-Mitzenmacher).
+std::uint64_t fnv1a(const std::string& value, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (unsigned char c : value) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes)
+    : hashes_(hashes) {
+  if (bits == 0 || hashes == 0) {
+    throw std::invalid_argument("BloomFilter: bits and hashes must be > 0");
+  }
+  bit_count_ = (bits + 63) / 64 * 64;
+  words_.assign(bit_count_ / 64, 0);
+}
+
+BloomFilter BloomFilter::for_capacity(std::size_t expected_elements,
+                                      double false_positive_rate) {
+  if (expected_elements == 0) expected_elements = 1;
+  if (!(false_positive_rate > 0.0 && false_positive_rate < 1.0)) {
+    throw std::invalid_argument("BloomFilter: rate must be in (0, 1)");
+  }
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_elements) *
+                   std::log(false_positive_rate) / (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_elements) * ln2;
+  return BloomFilter(static_cast<std::size_t>(std::ceil(m)),
+                     std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                  std::round(k))));
+}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::hash_pair(
+    const std::string& value) const {
+  return {fnv1a(value, 0x9e3779b97f4a7c15ULL),
+          fnv1a(value, 0xc2b2ae3d27d4eb4fULL) | 1};
+}
+
+void BloomFilter::add(const std::string& value) {
+  if (words_.empty()) throw std::logic_error("BloomFilter: uninitialized");
+  auto [h1, h2] = hash_pair(value);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    auto& word = words_[bit / 64];
+    const std::uint64_t mask = 1ULL << (bit % 64);
+    if (!(word & mask)) {
+      word |= mask;
+      ++set_bits_;
+    }
+  }
+}
+
+bool BloomFilter::maybe_contains(const std::string& value) const {
+  if (words_.empty()) return false;
+  auto [h1, h2] = hash_pair(value);
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    if (!(words_[bit / 64] & (1ULL << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  if (words_.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.words_.empty()) return;
+  if (bit_count_ != other.bit_count_ || hashes_ != other.hashes_) {
+    throw std::invalid_argument("BloomFilter: merging incompatible filters");
+  }
+  set_bits_ = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+    set_bits_ += static_cast<std::uint64_t>(std::popcount(words_[i]));
+  }
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  set_bits_ = 0;
+}
+
+double BloomFilter::fill_ratio() const {
+  if (bit_count_ == 0) return 0.0;
+  return static_cast<double>(set_bits_) / static_cast<double>(bit_count_);
+}
+
+double BloomFilter::false_positive_estimate() const {
+  return std::pow(fill_ratio(), static_cast<double>(hashes_));
+}
+
+std::uint64_t BloomFilter::wire_size() const {
+  return 16 + bit_count_ / 8;
+}
+
+}  // namespace roads::summary

@@ -1,0 +1,60 @@
+// Bloom filter summary for categorical attributes (§III-B, citing
+// Bloom [10]). A compressed alternative to ValueSet: constant size, no
+// false negatives, tunable false-positive rate. Merging two filters of
+// identical geometry is a bitwise OR, which preserves the no-false-
+// negative property under hierarchy aggregation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace roads::summary {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// `bits` is rounded up to a multiple of 64; `hashes` is the number of
+  /// probe positions per element (k in Bloom's analysis).
+  BloomFilter(std::size_t bits, std::size_t hashes);
+
+  /// Geometry for a target false-positive probability at a given
+  /// expected element count (standard m = -n ln p / (ln 2)^2 sizing).
+  static BloomFilter for_capacity(std::size_t expected_elements,
+                                  double false_positive_rate);
+
+  std::size_t bit_count() const { return bit_count_; }
+  std::size_t hash_count() const { return hashes_; }
+  bool empty() const { return set_bits_ == 0; }
+
+  void add(const std::string& value);
+  /// May return true for values never added (false positive); never
+  /// returns false for a value that was added.
+  bool maybe_contains(const std::string& value) const;
+
+  /// Bitwise OR; requires identical geometry.
+  void merge(const BloomFilter& other);
+  void clear();
+
+  /// Fraction of bits set; drives the false-positive estimate.
+  double fill_ratio() const;
+  /// Estimated false-positive probability at the current fill.
+  double false_positive_estimate() const;
+
+  /// 16-byte geometry header + bit array.
+  std::uint64_t wire_size() const;
+
+  bool operator==(const BloomFilter& other) const = default;
+
+ private:
+  std::pair<std::uint64_t, std::uint64_t> hash_pair(
+      const std::string& value) const;
+
+  std::size_t bit_count_ = 0;
+  std::size_t hashes_ = 0;
+  std::uint64_t set_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace roads::summary

@@ -1,0 +1,82 @@
+#include "summary/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roads::summary {
+
+Histogram::Histogram(std::size_t buckets, double domain_min, double domain_max)
+    : domain_min_(domain_min), domain_max_(domain_max) {
+  if (buckets == 0) {
+    throw std::invalid_argument("Histogram: bucket count must be positive");
+  }
+  if (!(domain_min < domain_max)) {
+    throw std::invalid_argument("Histogram: empty domain");
+  }
+  bucket_width_ = (domain_max - domain_min) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  if (counts_.empty()) throw std::logic_error("Histogram: uninitialized");
+  const double clamped = std::clamp(value, domain_min_, domain_max_);
+  auto index =
+      static_cast<std::size_t>((clamped - domain_min_) / bucket_width_);
+  return std::min(index, counts_.size() - 1);
+}
+
+void Histogram::add(double value) {
+  ++counts_[bucket_index(value)];
+  ++total_;
+}
+
+void Histogram::remove(double value) {
+  auto& slot = counts_[bucket_index(value)];
+  if (slot == 0) {
+    throw std::logic_error("Histogram: removing from an empty bucket");
+  }
+  --slot;
+  --total_;
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (counts_.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.counts_.empty()) return;
+  if (counts_.size() != other.counts_.size() ||
+      domain_min_ != other.domain_min_ || domain_max_ != other.domain_max_) {
+    throw std::invalid_argument("Histogram: merging incompatible histograms");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+bool Histogram::matches_range(double lo, double hi) const {
+  return count_in_range(lo, hi) > 0;
+}
+
+std::uint64_t Histogram::count_in_range(double lo, double hi) const {
+  if (counts_.empty() || total_ == 0 || lo > hi) return 0;
+  if (hi < domain_min_ || lo > domain_max_) return 0;
+  const std::size_t first = bucket_index(std::max(lo, domain_min_));
+  const std::size_t last = bucket_index(std::min(hi, domain_max_));
+  std::uint64_t count = 0;
+  for (std::size_t i = first; i <= last; ++i) count += counts_[i];
+  return count;
+}
+
+std::uint64_t Histogram::wire_size() const {
+  return 16 + 4 * counts_.size();
+}
+
+}  // namespace roads::summary

@@ -1,0 +1,64 @@
+// Equi-width histogram summary for numeric attributes (§III-B).
+//
+// A histogram partitions the attribute's domain into a fixed number of
+// buckets, each holding a count of values that fell in it. Aggregation
+// of two histograms is element-wise counter addition, which is exactly
+// how branch summaries combine as they flow up the ROADS hierarchy. A
+// range predicate matches when any overlapped bucket is non-empty —
+// a conservative (no false negative, possible false positive) test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace roads::summary {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Buckets partition [domain_min, domain_max); values are clamped into
+  /// the domain so boundary noise cannot drop data silently.
+  Histogram(std::size_t buckets, double domain_min, double domain_max);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  double domain_min() const { return domain_min_; }
+  double domain_max() const { return domain_max_; }
+  bool empty() const { return total_ == 0; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t index) const { return counts_.at(index); }
+
+  void add(double value);
+  void remove(double value);
+  void clear();
+
+  /// Element-wise counter addition; both histograms must share bucket
+  /// count and domain (throws std::invalid_argument otherwise).
+  void merge(const Histogram& other);
+
+  /// Conservative range test: true iff some bucket overlapping
+  /// [lo, hi] has a non-zero count.
+  bool matches_range(double lo, double hi) const;
+
+  /// Upper bound on how many summarized values lie in [lo, hi]
+  /// (counts of all overlapped buckets). Used for search-scope
+  /// estimation and the ablation benches.
+  std::uint64_t count_in_range(double lo, double hi) const;
+
+  /// Index of the bucket a value falls in (after clamping).
+  std::size_t bucket_index(double value) const;
+
+  /// Wire footprint: 16-byte domain header + 4 bytes per bucket counter.
+  std::uint64_t wire_size() const;
+
+  bool operator==(const Histogram& other) const = default;
+
+ private:
+  double domain_min_ = 0.0;
+  double domain_max_ = 1.0;
+  double bucket_width_ = 1.0;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace roads::summary

@@ -1,0 +1,100 @@
+#include "summary/resource_summary.h"
+
+#include <stdexcept>
+
+namespace roads::summary {
+
+ResourceSummary::ResourceSummary(const record::Schema& schema,
+                                 const SummaryConfig& config) {
+  slot_index_.assign(schema.size(), kNotSearchable);
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (!schema.at(i).searchable) continue;
+    slot_index_[i] = slots_.size();
+    slots_.emplace_back(schema.at(i), config);
+  }
+}
+
+ResourceSummary ResourceSummary::of_records(
+    const record::Schema& schema, const SummaryConfig& config,
+    const std::vector<record::ResourceRecord>& records) {
+  ResourceSummary summary(schema, config);
+  for (const auto& r : records) summary.add(r);
+  return summary;
+}
+
+bool ResourceSummary::empty() const {
+  for (const auto& s : slots_) {
+    if (!s.empty()) return false;
+  }
+  return true;
+}
+
+void ResourceSummary::add(const record::ResourceRecord& record) {
+  if (record.values().size() < slot_index_.size()) {
+    throw std::invalid_argument("ResourceSummary: record too short for schema");
+  }
+  for (std::size_t i = 0; i < slot_index_.size(); ++i) {
+    if (slot_index_[i] == kNotSearchable) continue;
+    slots_[slot_index_[i]].add(record.value(i));
+  }
+  ++record_count_;
+}
+
+void ResourceSummary::remove(const record::ResourceRecord& record) {
+  if (record_count_ == 0) {
+    throw std::logic_error("ResourceSummary: remove from empty summary");
+  }
+  for (std::size_t i = 0; i < slot_index_.size(); ++i) {
+    if (slot_index_[i] == kNotSearchable) continue;
+    slots_[slot_index_[i]].remove(record.value(i));
+  }
+  --record_count_;
+}
+
+void ResourceSummary::merge(const ResourceSummary& other) {
+  if (!other.initialized()) return;
+  if (!initialized()) {
+    *this = other;
+    return;
+  }
+  if (slots_.size() != other.slots_.size()) {
+    throw std::invalid_argument("ResourceSummary: schema mismatch in merge");
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].merge(other.slots_[i]);
+  }
+  record_count_ += other.record_count_;
+}
+
+void ResourceSummary::clear() {
+  for (auto& s : slots_) s.clear();
+  record_count_ = 0;
+}
+
+bool ResourceSummary::matches(const record::Query& query) const {
+  if (!initialized() || record_count_ == 0) return false;
+  for (const auto& p : query.predicates()) {
+    if (p.attribute >= slot_index_.size() ||
+        slot_index_[p.attribute] == kNotSearchable) {
+      return false;  // unsearchable/unknown attribute cannot match
+    }
+    if (!slots_[slot_index_[p.attribute]].matches(p)) return false;
+  }
+  return true;
+}
+
+std::uint64_t ResourceSummary::wire_size() const {
+  std::uint64_t size = 16;  // origin + record count + slot count
+  for (const auto& s : slots_) size += s.wire_size();
+  return size;
+}
+
+const AttributeSummary& ResourceSummary::slot(std::size_t attribute) const {
+  if (attribute >= slot_index_.size() ||
+      slot_index_[attribute] == kNotSearchable) {
+    throw std::out_of_range("ResourceSummary: attribute has no summary slot");
+  }
+  return slots_[slot_index_[attribute]];
+}
+
+}  // namespace roads::summary

@@ -1,0 +1,67 @@
+// ResourceSummary: the condensed representation of a set of resource
+// records that an owner exports instead of the records themselves
+// (§III-B). One AttributeSummary per searchable schema attribute; a
+// query matches iff every one of its predicates matches the
+// corresponding attribute summary (conjunction over all queried
+// dimensions, which is what lets ROADS confine search scope using every
+// dimension at once).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "record/query.h"
+#include "record/record.h"
+#include "record/schema.h"
+#include "summary/attribute_summary.h"
+
+namespace roads::summary {
+
+class ResourceSummary {
+ public:
+  ResourceSummary() = default;
+
+  /// Empty summary with one slot per searchable attribute of `schema`.
+  ResourceSummary(const record::Schema& schema, const SummaryConfig& config);
+
+  /// Summarizes a record set in one pass.
+  static ResourceSummary of_records(
+      const record::Schema& schema, const SummaryConfig& config,
+      const std::vector<record::ResourceRecord>& records);
+
+  bool initialized() const { return !slots_.empty(); }
+  bool empty() const;
+  /// Number of records folded in (via add/merge minus remove).
+  std::uint64_t record_count() const { return record_count_; }
+
+  /// Folds one record's searchable values in / out.
+  void add(const record::ResourceRecord& record);
+  void remove(const record::ResourceRecord& record);
+
+  /// Aggregates another summary (histogram counter addition, set union,
+  /// Bloom OR) — the bottom-up merge of the hierarchy.
+  void merge(const ResourceSummary& other);
+  void clear();
+
+  /// Conservative query evaluation: true iff EVERY predicate matches its
+  /// attribute summary. No false negatives w.r.t. the summarized records.
+  bool matches(const record::Query& query) const;
+
+  /// Summary wire footprint: 16-byte header plus attribute payloads.
+  /// Constant in the number of summarized records for histogram/Bloom
+  /// slots — the property the paper's overhead equations rest on.
+  std::uint64_t wire_size() const;
+
+  /// Per-attribute access for tests; `attribute` is a schema index.
+  const AttributeSummary& slot(std::size_t attribute) const;
+
+ private:
+  /// slot_index_[schema attr] = index into slots_, or npos if the
+  /// attribute is not searchable.
+  static constexpr std::size_t kNotSearchable = ~std::size_t{0};
+  std::vector<std::size_t> slot_index_;
+  std::vector<AttributeSummary> slots_;
+  std::uint64_t record_count_ = 0;
+};
+
+}  // namespace roads::summary

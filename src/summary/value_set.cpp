@@ -1,0 +1,55 @@
+#include "summary/value_set.h"
+
+#include <stdexcept>
+
+namespace roads::summary {
+
+void ValueSet::add(const std::string& value) {
+  ++counts_[value];
+  ++total_;
+}
+
+void ValueSet::remove(const std::string& value) {
+  auto it = counts_.find(value);
+  if (it == counts_.end()) {
+    throw std::logic_error("ValueSet: removing an absent value");
+  }
+  if (--it->second == 0) counts_.erase(it);
+  --total_;
+}
+
+void ValueSet::clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+void ValueSet::merge(const ValueSet& other) {
+  for (const auto& [value, count] : other.counts_) {
+    counts_[value] += count;
+  }
+  total_ += other.total_;
+}
+
+bool ValueSet::contains(const std::string& value) const {
+  return counts_.count(value) > 0;
+}
+
+std::uint64_t ValueSet::count(const std::string& value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> ValueSet::values() const {
+  std::vector<std::string> out;
+  out.reserve(counts_.size());
+  for (const auto& [value, _] : counts_) out.push_back(value);
+  return out;
+}
+
+std::uint64_t ValueSet::wire_size() const {
+  std::uint64_t size = 8;
+  for (const auto& [value, _] : counts_) size += value.size() + 1 + 4;
+  return size;
+}
+
+}  // namespace roads::summary

@@ -1,0 +1,40 @@
+#include "sword/locality_hash.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roads::sword {
+
+namespace {
+constexpr double kAlmostOne = 0x1.fffffffffffffp-1;  // largest double < 1
+}
+
+LocalityHash::LocalityHash(double domain_min, double domain_max)
+    : min_(domain_min), max_(domain_max) {
+  if (!(min_ < max_)) {
+    throw std::invalid_argument("LocalityHash: empty domain");
+  }
+}
+
+double LocalityHash::position(double value) const {
+  const double clamped = std::clamp(value, min_, max_);
+  const double pos = (clamped - min_) / (max_ - min_);
+  return std::min(pos, kAlmostOne);
+}
+
+std::pair<double, double> LocalityHash::range(double lo, double hi) const {
+  if (lo > hi) std::swap(lo, hi);
+  return {position(lo), position(hi)};
+}
+
+double LocalityHash::position(const std::string& value) const {
+  // FNV-1a folded into [0,1); stable across runs.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : value) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return std::min(static_cast<double>(h >> 11) * 0x1.0p-53, kAlmostOne);
+}
+
+}  // namespace roads::sword

@@ -1,0 +1,36 @@
+// Locality-preserving hash for SWORD-style range-searchable DHT rings
+// (§IV of the ROADS paper, after Oppenheimer et al.). Unlike a
+// cryptographic DHT hash, it maps an attribute's value domain onto ring
+// positions monotonically, so a value range corresponds to one
+// contiguous ring segment — the property that lets a range query walk a
+// segment instead of flooding the ring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace roads::sword {
+
+/// Ring positions live in [0, 1).
+class LocalityHash {
+ public:
+  LocalityHash() = default;
+  LocalityHash(double domain_min, double domain_max);
+
+  /// Monotone map of a numeric value into [0, 1); values outside the
+  /// domain clamp to the ends.
+  double position(double value) const;
+
+  /// Positions of a range's ends (lo_pos <= hi_pos).
+  std::pair<double, double> range(double lo, double hi) const;
+
+  /// Categorical values hash to a stable (non-locality) position —
+  /// equality queries need a point lookup only.
+  double position(const std::string& value) const;
+
+ private:
+  double min_ = 0.0;
+  double max_ = 1.0;
+};
+
+}  // namespace roads::sword

@@ -1,0 +1,59 @@
+#include "sword/ring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roads::sword {
+
+Ring::Ring(std::vector<NodeId> members) : members_(std::move(members)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("Ring: needs at least one member");
+  }
+}
+
+std::size_t Ring::index_for(double position) const {
+  if (position < 0.0 || position >= 1.0) {
+    throw std::out_of_range("Ring: position outside [0, 1)");
+  }
+  const auto index = static_cast<std::size_t>(
+      position * static_cast<double>(members_.size()));
+  return std::min(index, members_.size() - 1);
+}
+
+NodeId Ring::server_for(double position) const {
+  return members_[index_for(position)];
+}
+
+std::size_t Ring::successor(std::size_t index) const {
+  return (index + 1) % members_.size();
+}
+
+std::vector<std::size_t> Ring::route(std::size_t from, std::size_t to) const {
+  if (from >= members_.size() || to >= members_.size()) {
+    throw std::out_of_range("Ring: member index out of range");
+  }
+  std::vector<std::size_t> path;
+  const std::size_t s = members_.size();
+  std::size_t cur = from;
+  while (cur != to) {
+    std::size_t dist = (to + s - cur) % s;
+    // Largest power of two <= dist (the best finger).
+    std::size_t step = 1;
+    while (step * 2 <= dist) step *= 2;
+    cur = (cur + step) % s;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::vector<std::size_t> Ring::segment(double lo_pos, double hi_pos) const {
+  if (lo_pos > hi_pos) std::swap(lo_pos, hi_pos);
+  const std::size_t first = index_for(lo_pos);
+  const std::size_t last = index_for(hi_pos);
+  std::vector<std::size_t> out;
+  for (std::size_t i = first; i <= last; ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace roads::sword

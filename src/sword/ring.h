@@ -1,0 +1,47 @@
+// One SWORD DHT ring: an ordered set of member servers that partition
+// the position space [0, 1) into equal segments, with Chord-style
+// binary finger routing between members. The ring is a structural
+// object — which member owns a position, what path a lookup takes —
+// while message simulation lives in SwordSystem.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/delay_space.h"
+
+namespace roads::sword {
+
+using sim::NodeId;
+
+class Ring {
+ public:
+  Ring() = default;
+  /// `members` in segment order: member j owns [j/s, (j+1)/s).
+  explicit Ring(std::vector<NodeId> members);
+
+  std::size_t size() const { return members_.size(); }
+  const std::vector<NodeId>& members() const { return members_; }
+  NodeId member(std::size_t index) const { return members_.at(index); }
+
+  /// Index of the member owning `position` in [0, 1).
+  std::size_t index_for(double position) const;
+  NodeId server_for(double position) const;
+
+  /// Successor in ring order (wraps).
+  std::size_t successor(std::size_t index) const;
+
+  /// Member indices a Chord-style lookup visits from `from` to `to`,
+  /// excluding `from`, including `to`: each hop covers the largest
+  /// power-of-two distance not overshooting (O(log s) hops).
+  std::vector<std::size_t> route(std::size_t from, std::size_t to) const;
+
+  /// Member indices whose segments intersect [lo_pos, hi_pos] — the
+  /// segment a range query must walk, in walk order.
+  std::vector<std::size_t> segment(double lo_pos, double hi_pos) const;
+
+ private:
+  std::vector<NodeId> members_;
+};
+
+}  // namespace roads::sword

@@ -1,0 +1,330 @@
+#include "sword/sword_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace roads::sword {
+
+namespace {
+/// Per-record routing header riding with each registration.
+constexpr std::uint64_t kRegistrationHeader = 8;
+/// Query reply: header + match count + walk bookkeeping.
+constexpr std::uint64_t kReplyBytes = 24;
+
+std::uint64_t msg_query_bytes(const record::Query& q) {
+  return q.wire_size() + 1;  // payload + walk-mode byte
+}
+}  // namespace
+
+SwordSystem::SwordSystem(std::size_t servers, SwordParams params)
+    : params_(std::move(params)),
+      rng_(params_.seed),
+      simulator_(),
+      delay_space_(servers, rng_.fork(0x5e1f), params_.delay),
+      network_(simulator_, delay_space_, rng_.fork(0x2e70)),
+      server_count_(servers) {
+  if (servers == 0) {
+    throw std::invalid_argument("SwordSystem: needs at least one server");
+  }
+  const auto searchable = params_.schema.searchable_indices();
+  if (searchable.empty()) {
+    throw std::invalid_argument("SwordSystem: schema has no searchable attrs");
+  }
+  ring_of_attribute_.assign(params_.schema.size(), ~std::size_t{0});
+  // One ring per searchable attribute; servers are partitioned
+  // round-robin so ring i owns servers {j : j mod r == i}.
+  const std::size_t r = searchable.size();
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t attr = searchable[i];
+    ring_of_attribute_[attr] = i;
+    attribute_of_ring_.push_back(attr);
+    std::vector<sim::NodeId> members;
+    for (std::size_t j = i; j < servers; j += r) {
+      members.push_back(static_cast<sim::NodeId>(j));
+    }
+    if (members.empty()) {
+      // Fewer servers than attributes: fall back to sharing a server.
+      members.push_back(static_cast<sim::NodeId>(i % servers));
+    }
+    rings_.emplace_back(std::move(members));
+    const auto& def = params_.schema.at(attr);
+    if (def.type == record::AttributeType::kNumeric) {
+      hashes_.emplace_back(def.domain_min, def.domain_max);
+    } else {
+      hashes_.emplace_back();  // categorical: point hash only
+    }
+  }
+  stored_.resize(rings_.size());
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    stored_[i].resize(rings_[i].size());
+  }
+}
+
+const Ring& SwordSystem::ring(std::size_t attribute) const {
+  if (attribute >= ring_of_attribute_.size() ||
+      ring_of_attribute_[attribute] == ~std::size_t{0}) {
+    throw std::out_of_range("SwordSystem: attribute has no ring");
+  }
+  return rings_[ring_of_attribute_[attribute]];
+}
+
+void SwordSystem::set_records(sim::NodeId node,
+                              std::vector<record::ResourceRecord> records) {
+  if (node >= server_count_) {
+    throw std::out_of_range("SwordSystem: unknown owner node");
+  }
+  auto& mine = records_of_owner_[node];
+  // Replace: mark old slots as tombstones (arena never shrinks; rounds
+  // re-register only live records).
+  mine.clear();
+  for (auto& rec : records) {
+    mine.push_back(arena_.size());
+    arena_.push_back(std::move(rec));
+  }
+}
+
+std::uint64_t SwordSystem::run_registration_round() {
+  const auto before = network_.meter(sim::Channel::kUpdate).bytes;
+  // Soft-state refresh: wipe ring storage, then every owner routes each
+  // record into each ring.
+  for (auto& ring_store : stored_) {
+    for (auto& slot : ring_store) slot.clear();
+  }
+  for (const auto& [owner, indices] : records_of_owner_) {
+    for (std::size_t ring_index = 0; ring_index < rings_.size();
+         ++ring_index) {
+      const Ring& ring = rings_[ring_index];
+      const LocalityHash& hash = hashes_[ring_index];
+      const std::size_t attr = attribute_of_ring_[ring_index];
+
+      // Group this owner's records by target member: records that land
+      // on the same member travel together (one bulk flow per hop) but
+      // still count as per-record messages.
+      std::map<std::size_t, std::vector<std::size_t>> groups;
+      for (const auto idx : indices) {
+        const auto& value = arena_[idx].value(attr);
+        const double pos = value.is_numeric() ? hash.position(value.number())
+                                              : hash.position(value.category());
+        groups[ring.index_for(pos)].push_back(idx);
+      }
+
+      // The owner enters the ring at a deterministic access member and
+      // fingers its way to each target.
+      const std::size_t entry = owner % ring.size();
+      for (const auto& [target, group] : groups) {
+        std::uint64_t bytes = 0;
+        for (const auto idx : group) {
+          bytes += arena_[idx].wire_size() + kRegistrationHeader;
+        }
+        const auto count = static_cast<std::uint64_t>(group.size());
+
+        // Hop owner -> entry member, then finger hops entry -> target.
+        std::vector<sim::NodeId> path;
+        path.push_back(ring.member(entry));
+        for (const auto step : ring.route(entry, target)) {
+          path.push_back(ring.member(step));
+        }
+        sim::NodeId prev = owner;
+        for (const auto hop : path) {
+          if (hop != prev) {
+            network_.send_bulk(prev, hop, count, bytes,
+                               sim::Channel::kUpdate, [] {});
+          }
+          prev = hop;
+        }
+        // Storage lands at the target regardless of the simulated
+        // message timing (registration has no reply path to model).
+        auto& slot = stored_[ring_index][target];
+        slot.insert(slot.end(), group.begin(), group.end());
+      }
+    }
+  }
+  simulator_.run();
+  return network_.meter(sim::Channel::kUpdate).bytes - before;
+}
+
+std::size_t SwordSystem::choose_ring(const record::Query& query) const {
+  if (query.empty()) {
+    throw std::invalid_argument("SwordSystem: empty query");
+  }
+  std::size_t best_ring = ~std::size_t{0};
+  double best_length = std::numeric_limits<double>::infinity();
+  for (const auto& p : query.predicates()) {
+    if (p.attribute >= ring_of_attribute_.size()) continue;
+    const std::size_t ring_index = ring_of_attribute_[p.attribute];
+    if (ring_index == ~std::size_t{0}) continue;
+    double length = 0.0;  // equality: a point
+    if (p.kind == record::Predicate::Kind::kRange) {
+      const auto& def = params_.schema.at(p.attribute);
+      const double width = def.domain_max - def.domain_min;
+      const double lo = std::max(p.lo, def.domain_min);
+      const double hi = std::min(p.hi, def.domain_max);
+      length = std::clamp((hi - lo) / width, 0.0, 1.0);
+    }
+    if (length < best_length) {
+      best_length = length;
+      best_ring = ring_index;
+    }
+  }
+  if (best_ring == ~std::size_t{0}) {
+    throw std::invalid_argument("SwordSystem: no queried attribute has a ring");
+  }
+  return best_ring;
+}
+
+struct SwordSystem::QueryRun {
+  record::Query query;
+  sim::NodeId client = 0;
+  std::size_t ring_index = 0;
+  std::vector<std::size_t> segment;  // walk order of member indices
+  sim::Time issued_at = 0;
+  sim::Time last_arrival = 0;
+  std::size_t servers_contacted = 0;
+  std::size_t replies = 0;
+  std::size_t matches = 0;
+  bool done = false;
+};
+
+void SwordSystem::deliver_to_segment(const std::shared_ptr<QueryRun>& run,
+                                     std::size_t walk_index) {
+  const Ring& ring = rings_[run->ring_index];
+  const std::size_t member_index = run->segment[walk_index];
+  const sim::NodeId node = ring.member(member_index);
+  run->last_arrival = std::max(run->last_arrival, simulator_.now());
+  ++run->servers_contacted;
+
+  simulator_.schedule_after(
+      params_.query_processing_delay, [this, run, walk_index, node] {
+        // Scan locally stored records of this ring against ALL query
+        // predicates (SWORD confines routing to one dimension but
+        // filters on every one).
+        std::size_t local = 0;
+        for (const auto idx :
+             stored_[run->ring_index][run->segment[walk_index]]) {
+          if (run->query.matches(arena_[idx])) ++local;
+        }
+        // Reply to the client.
+        network_.send(node, run->client, kReplyBytes, sim::Channel::kQuery,
+                      [this, run, local] {
+                        run->matches += local;
+                        ++run->replies;
+                        if (run->replies == run->segment.size()) {
+                          run->done = true;
+                        }
+                      });
+        // Forward along the segment; with acked handoff the forwarder
+        // waits one ack leg before the successor takes over.
+        if (walk_index + 1 < run->segment.size()) {
+          const sim::NodeId next =
+              rings_[run->ring_index].member(run->segment[walk_index + 1]);
+          const sim::Time ack_delay =
+              params_.acked_segment_walk ? network_.latency(node, next) : 0;
+          simulator_.schedule_after(ack_delay, [this, run, walk_index, node,
+                                                next] {
+            network_.send(node, next, msg_query_bytes(run->query),
+                          sim::Channel::kQuery, [this, run, walk_index] {
+                            deliver_to_segment(run, walk_index + 1);
+                          });
+          });
+        }
+      });
+}
+
+SwordQueryOutcome SwordSystem::run_query(const record::Query& query,
+                                         sim::NodeId start) {
+  const auto bytes_before = network_.meter(sim::Channel::kQuery).bytes;
+
+  auto run = std::make_shared<QueryRun>();
+  run->query = query;
+  run->client = start;
+  run->ring_index = choose_ring(query);
+  run->issued_at = simulator_.now();
+  run->last_arrival = run->issued_at;
+
+  const Ring& ring = rings_[run->ring_index];
+  const LocalityHash& hash = hashes_[run->ring_index];
+  const std::size_t attr = attribute_of_ring_[run->ring_index];
+
+  // Segment covered by the chosen predicate.
+  double lo_pos = 0.0;
+  double hi_pos = 0.0;
+  for (const auto& p : query.predicates()) {
+    if (p.attribute != attr) continue;
+    if (p.kind == record::Predicate::Kind::kRange) {
+      const auto& def = params_.schema.at(p.attribute);
+      std::tie(lo_pos, hi_pos) = hash.range(std::max(p.lo, def.domain_min),
+                                            std::min(p.hi, def.domain_max));
+    } else {
+      lo_pos = hi_pos = hash.position(p.value);
+    }
+    break;
+  }
+  run->segment = ring.segment(lo_pos, hi_pos);
+
+  // Client -> entry member -> (finger hops) -> segment start; then the
+  // walk takes over.
+  const std::size_t entry = start % ring.size();
+  std::vector<sim::NodeId> path;
+  path.push_back(ring.member(entry));
+  for (const auto step : ring.route(entry, run->segment.front())) {
+    path.push_back(ring.member(step));
+  }
+
+  // Chain the routing hops as events; arrivals at routing servers count
+  // toward latency (they are servers the query contacts).
+  auto hop_fn = std::make_shared<std::function<void(std::size_t)>>();
+  *hop_fn = [this, run, path, hop_fn](std::size_t i) {
+    run->last_arrival = std::max(run->last_arrival, simulator_.now());
+    if (i + 1 < path.size()) {
+      ++run->servers_contacted;  // intermediate routing server
+      network_.send(path[i], path[i + 1], msg_query_bytes(run->query),
+                    sim::Channel::kQuery,
+                    [hop_fn, i] { (*hop_fn)(i + 1); });
+    } else {
+      deliver_to_segment(run, 0);
+    }
+  };
+  network_.send(start, path.front(), msg_query_bytes(query),
+                sim::Channel::kQuery, [hop_fn] { (*hop_fn)(0); });
+
+  std::size_t guard = 0;
+  while (!run->done && simulator_.run_steps(1) > 0) {
+    if (++guard > 50'000'000) {
+      throw std::runtime_error("SwordSystem: query did not complete");
+    }
+  }
+
+  SwordQueryOutcome out;
+  out.complete = run->done;
+  out.latency_ms = sim::to_ms(run->last_arrival - run->issued_at);
+  out.query_bytes = network_.meter(sim::Channel::kQuery).bytes - bytes_before;
+  out.servers_contacted = run->servers_contacted;
+  out.matching_records = run->matches;
+  return out;
+}
+
+std::uint64_t SwordSystem::stored_bytes(sim::NodeId server) const {
+  std::uint64_t total = 0;
+  for (std::size_t ring_index = 0; ring_index < rings_.size(); ++ring_index) {
+    const auto& members = rings_[ring_index].members();
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      if (members[m] != server) continue;
+      for (const auto idx : stored_[ring_index][m]) {
+        total += arena_[idx].wire_size();
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t SwordSystem::max_stored_bytes() const {
+  std::uint64_t best = 0;
+  for (std::size_t s = 0; s < server_count_; ++s) {
+    best = std::max(best, stored_bytes(static_cast<sim::NodeId>(s)));
+  }
+  return best;
+}
+
+}  // namespace roads::sword

@@ -1,0 +1,74 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace roads::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Flags: positional argument '" + arg +
+                                  "' not supported");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  for (const auto& [name, _] : values_) touched_[name] = false;
+}
+
+bool Flags::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) touched_[name] = true;
+  return it != values_.end();
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  touched_[name] = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  touched_[name] = true;
+  return std::stoll(it->second);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  touched_[name] = true;
+  return std::stod(it->second);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  touched_[name] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Flags::unused_flags() const {
+  std::string out;
+  for (const auto& [name, used] : touched_) {
+    if (!used) {
+      if (!out.empty()) out += ", ";
+      out += name;
+    }
+  }
+  return out;
+}
+
+}  // namespace roads::util

@@ -1,0 +1,34 @@
+// Tiny --key=value command-line parser for bench and example binaries.
+// Unknown flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace roads::util {
+
+class Flags {
+ public:
+  /// Parses argv of the form --name=value or --name value. Positional
+  /// arguments are rejected. Throws std::invalid_argument on malformed
+  /// input.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Names seen on the command line but never queried; benches check this
+  /// to reject typoed flags.
+  std::string unused_flags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace roads::util

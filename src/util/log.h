@@ -1,0 +1,52 @@
+// Minimal leveled logger. Defaults to warnings-and-up so tests and
+// benches stay quiet; examples raise the level to narrate what the
+// federation is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace roads::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level tag; thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace roads::util
+
+#define ROADS_LOG(level)                                          \
+  if (static_cast<int>(level) < static_cast<int>(::roads::util::log_level())) \
+    ;                                                             \
+  else                                                            \
+    ::roads::util::internal::LogMessage(level)
+
+#define ROADS_DEBUG ROADS_LOG(::roads::util::LogLevel::kDebug)
+#define ROADS_INFO ROADS_LOG(::roads::util::LogLevel::kInfo)
+#define ROADS_WARN ROADS_LOG(::roads::util::LogLevel::kWarn)
+#define ROADS_ERROR ROADS_LOG(::roads::util::LogLevel::kError)

@@ -1,0 +1,149 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace roads::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+void Samples::add_all(const std::vector<double>& xs) {
+  xs_.insert(xs_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  return sum() / static_cast<double>(xs_.size());
+}
+
+double Samples::sum() const {
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0);
+}
+
+double Samples::min() const {
+  if (xs_.empty()) return 0.0;
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const {
+  if (xs_.empty()) return 0.0;
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double MetricSet::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw std::out_of_range("MetricSet: no metric named '" + name + "'");
+  }
+  return it->second;
+}
+
+MetricSet MetricSet::average(const std::vector<MetricSet>& runs) {
+  MetricSet out;
+  std::map<std::string, std::pair<double, std::size_t>> acc;
+  for (const auto& run : runs) {
+    for (const auto& [name, value] : run.values()) {
+      auto& slot = acc[name];
+      slot.first += value;
+      slot.second += 1;
+    }
+  }
+  for (const auto& [name, slot] : acc) {
+    out.set(name, slot.first / static_cast<double>(slot.second));
+  }
+  return out;
+}
+
+double linear_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+double correlation(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace roads::util

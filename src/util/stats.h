@@ -1,0 +1,94 @@
+// Small statistics helpers used by the experiment drivers: streaming
+// moments (Welford), percentiles over stored samples, and multi-run
+// aggregation of metric series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace roads::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// O(1) memory; suitable for high-volume metric streams.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Pools another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample container that also answers percentile queries. Stores all
+/// samples; use for per-query latencies (bounded by query count).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile; p in [0, 100]. Empty -> 0.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Named scalar metrics collected from one experiment run, with merge
+/// support for averaging across repetitions.
+class MetricSet {
+ public:
+  void set(const std::string& name, double value) { values_[name] = value; }
+  void add(const std::string& name, double delta) { values_[name] += delta; }
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  double get(const std::string& name) const;
+
+  const std::map<std::string, double>& values() const { return values_; }
+
+  /// Element-wise mean of several runs' metric sets. Metrics missing from
+  /// some runs are averaged over the runs that define them.
+  static MetricSet average(const std::vector<MetricSet>& runs);
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Least-squares slope of y over x; used by shape tests to check
+/// linear-vs-logarithmic growth claims from the paper.
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient; 0 when undefined.
+double correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace roads::util

@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printer. The bench binaries use it to emit the
+// same rows/series the paper's tables and figures report, in a form that
+// is easy to diff and to paste into EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace roads::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  /// Scientific notation for wide-range overhead numbers.
+  static std::string sci(double value, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace roads::util

@@ -1,0 +1,128 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roads::workload {
+
+const char* to_string(DistKind kind) {
+  switch (kind) {
+    case DistKind::kUniform:
+      return "uniform";
+    case DistKind::kWindow:
+      return "range";
+    case DistKind::kGaussian:
+      return "gaussian";
+    case DistKind::kPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+AttributeDist AttributeDist::uniform() { return AttributeDist{}; }
+
+AttributeDist AttributeDist::window(double length) {
+  AttributeDist d;
+  d.kind = DistKind::kWindow;
+  d.window_length = std::clamp(length, 0.0, 1.0);
+  return d;
+}
+
+AttributeDist AttributeDist::gaussian(double mean, double stddev,
+                                      bool localized) {
+  AttributeDist d;
+  d.kind = DistKind::kGaussian;
+  d.mean = mean;
+  d.stddev = stddev;
+  d.localized = localized;
+  return d;
+}
+
+AttributeDist AttributeDist::pareto(double xm, double alpha, bool localized) {
+  AttributeDist d;
+  d.kind = DistKind::kPareto;
+  d.pareto_xm = xm;
+  d.pareto_alpha = alpha;
+  d.localized = localized;
+  return d;
+}
+
+double sample(const AttributeDist& dist, double anchor, util::Rng& rng) {
+  switch (dist.kind) {
+    case DistKind::kUniform:
+      return rng.uniform01();
+    case DistKind::kWindow:
+      return anchor + dist.window_length * rng.uniform01();
+    case DistKind::kGaussian: {
+      // Localized nodes cluster around a per-node mean in [0.15, 0.85].
+      const double mean =
+          dist.localized ? 0.15 + 0.7 * anchor : dist.mean;
+      // Truncate by rejection; falls back to clamping if the parameters
+      // make acceptance unlikely.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const double v = rng.gaussian(mean, dist.stddev);
+        if (v >= 0.0 && v <= 1.0) return v;
+      }
+      return std::clamp(rng.gaussian(mean, dist.stddev), 0.0, 1.0);
+    }
+    case DistKind::kPareto: {
+      // Localized nodes shift the scale parameter (xm in [0.02, 0.62])
+      // and truncate the tail at 2.5*xm — the paper's "scaled and
+      // truncated" Pareto — so each node's support is a heavy-headed
+      // band rather than the whole domain.
+      const double xm =
+          dist.localized ? 0.02 + 0.6 * anchor : dist.pareto_xm;
+      const double cap = dist.localized ? std::min(2.5 * xm, 1.0) : 1.0;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const double v = rng.pareto(xm, dist.pareto_alpha);
+        if (v <= cap) return std::clamp(v, 0.0, 1.0);
+      }
+      return cap;
+    }
+  }
+  throw std::logic_error("sample: unknown distribution kind");
+}
+
+WorkloadSpec WorkloadSpec::paper_default(std::size_t attribute_count,
+                                         std::size_t records_per_node) {
+  WorkloadSpec spec;
+  spec.records_per_node = records_per_node;
+  spec.attributes.reserve(attribute_count);
+  for (std::size_t i = 0; i < attribute_count; ++i) {
+    switch (i % 4) {
+      case 0:
+        spec.attributes.push_back(AttributeDist::uniform());
+        break;
+      case 1:
+        spec.attributes.push_back(AttributeDist::window(0.5));
+        break;
+      case 2:
+        spec.attributes.push_back(
+            AttributeDist::gaussian(0.5, 0.05, /*localized=*/true));
+        break;
+      default:
+        spec.attributes.push_back(
+            AttributeDist::pareto(0.05, 1.5, /*localized=*/true));
+        break;
+    }
+  }
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::with_overlap_factor(double overlap_factor,
+                                               std::size_t nodes,
+                                               std::size_t attribute_count,
+                                               std::size_t records_per_node) {
+  if (nodes == 0) {
+    throw std::invalid_argument("WorkloadSpec: nodes must be positive");
+  }
+  auto spec = paper_default(attribute_count, records_per_node);
+  const double length =
+      std::clamp(overlap_factor / static_cast<double>(nodes), 0.0, 1.0);
+  for (std::size_t i = 0; i < spec.attributes.size() && i < 8; ++i) {
+    spec.attributes[i] = AttributeDist::window(length);
+  }
+  return spec;
+}
+
+}  // namespace roads::workload

@@ -1,0 +1,70 @@
+// Attribute value distributions from the paper's simulation setup
+// (§V): uniform in [0,1]; "range" (uniform within a per-node window of
+// fixed length, randomly placed — this is what makes servers' data
+// heterogeneous and gives summaries pruning power); Gaussian (scaled
+// and truncated into [0,1]); Pareto (scaled and truncated into [0,1]).
+// The overlap-factor experiment (Fig. 9) shrinks the windows to
+// Of/nodes to control how much servers' data overlaps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace roads::workload {
+
+enum class DistKind : std::uint8_t { kUniform, kWindow, kGaussian, kPareto };
+
+const char* to_string(DistKind kind);
+
+struct AttributeDist {
+  DistKind kind = DistKind::kUniform;
+  /// kWindow: per-node window length in [0, 1].
+  double window_length = 0.5;
+  /// kGaussian parameters (before truncation to [0, 1]).
+  double mean = 0.5;
+  double stddev = 0.15;
+  /// kPareto parameters (scale xm, shape alpha), truncated to [0, 1].
+  double pareto_xm = 0.05;
+  double pareto_alpha = 1.5;
+  /// When set, Gaussian means / Pareto scales shift per node (driven by
+  /// the node's anchor in [0,1]), localizing each node's data the way
+  /// real per-site resources are. Without this, 500 records per node
+  /// make every node match nearly every range on these attributes and
+  /// summaries cannot prune (see DESIGN.md, substitutions).
+  bool localized = false;
+
+  static AttributeDist uniform();
+  static AttributeDist window(double length);
+  static AttributeDist gaussian(double mean, double stddev,
+                                bool localized = false);
+  static AttributeDist pareto(double xm, double alpha,
+                              bool localized = false);
+};
+
+/// Draws one value in [0, 1]. `anchor` is the node's placement in
+/// [0, 1]: the window start fraction for kWindow, and the per-node
+/// parameter shift for localized Gaussian/Pareto (ignored otherwise).
+double sample(const AttributeDist& dist, double anchor, util::Rng& rng);
+
+/// A workload: one distribution per schema attribute plus sizing.
+struct WorkloadSpec {
+  std::vector<AttributeDist> attributes;
+  std::size_t records_per_node = 500;
+
+  /// The paper's default: attribute i cycles uniform, range(0.5),
+  /// Gaussian, Pareto — 4 of each for the default 16 attributes.
+  static WorkloadSpec paper_default(std::size_t attribute_count = 16,
+                                    std::size_t records_per_node = 500);
+
+  /// Fig. 9 variant: the first 8 attributes become per-node windows of
+  /// length overlap_factor / nodes; the rest keep the default cycle.
+  static WorkloadSpec with_overlap_factor(double overlap_factor,
+                                          std::size_t nodes,
+                                          std::size_t attribute_count = 16,
+                                          std::size_t records_per_node = 500);
+};
+
+}  // namespace roads::workload

@@ -1,0 +1,123 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roads::workload {
+
+QueryGenerator::QueryGenerator(record::Schema schema, WorkloadSpec spec,
+                               std::uint64_t seed)
+    : schema_(std::move(schema)), spec_(std::move(spec)), rng_(seed) {
+  if (spec_.attributes.size() != schema_.size()) {
+    throw std::invalid_argument(
+        "QueryGenerator: spec/schema attribute count mismatch");
+  }
+  // Build the canonical dimension order: cycle through the kinds,
+  // picking the next unused attribute of each kind.
+  const DistKind cycle[] = {DistKind::kUniform, DistKind::kWindow,
+                            DistKind::kGaussian, DistKind::kPareto};
+  std::vector<bool> used(spec_.attributes.size(), false);
+  bool progress = true;
+  while (progress && order_.size() < spec_.attributes.size()) {
+    progress = false;
+    for (const auto kind : cycle) {
+      for (std::size_t a = 0; a < spec_.attributes.size(); ++a) {
+        if (used[a] || spec_.attributes[a].kind != kind) continue;
+        if (!schema_.at(a).searchable) continue;
+        used[a] = true;
+        order_.push_back(a);
+        progress = true;
+        break;
+      }
+    }
+  }
+  // Any searchable attributes of kinds missing from the cycle pattern.
+  for (std::size_t a = 0; a < spec_.attributes.size(); ++a) {
+    if (!used[a] && schema_.at(a).searchable) order_.push_back(a);
+  }
+}
+
+record::Query QueryGenerator::query_with_length(
+    const std::vector<double>& centers, std::size_t dimensions,
+    double range_length) const {
+  record::Query q;
+  for (std::size_t d = 0; d < dimensions && d < order_.size(); ++d) {
+    const std::size_t attr = order_[d];
+    const auto& def = schema_.at(attr);
+    const double width = def.domain_max - def.domain_min;
+    const double len = std::clamp(range_length, 0.0, 1.0) * width;
+    const double center =
+        def.domain_min + centers[d] * width;
+    const double lo = std::max(def.domain_min, center - len / 2.0);
+    const double hi = std::min(def.domain_max, lo + len);
+    q.add(record::Predicate::range(attr, lo, hi));
+  }
+  return q;
+}
+
+record::Query QueryGenerator::generate(std::size_t dimensions,
+                                       double range_length) {
+  if (dimensions > order_.size()) {
+    throw std::invalid_argument("QueryGenerator: more dimensions than attrs");
+  }
+  std::vector<double> centers(dimensions);
+  for (auto& c : centers) c = rng_.uniform01();
+  return query_with_length(centers, dimensions, range_length);
+}
+
+std::vector<record::Query> QueryGenerator::generate_batch(
+    std::size_t count, std::size_t dimensions, double range_length) {
+  std::vector<record::Query> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(generate(dimensions, range_length));
+  }
+  return out;
+}
+
+double QueryGenerator::selectivity(
+    const record::Query& query,
+    const std::vector<record::ResourceRecord>& sample) {
+  if (sample.empty()) return 0.0;
+  std::size_t matches = 0;
+  for (const auto& r : sample) {
+    if (query.matches(r)) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(sample.size());
+}
+
+std::optional<record::Query> QueryGenerator::generate_with_selectivity(
+    const std::vector<record::ResourceRecord>& sample, double target,
+    double tolerance, std::size_t dimensions, std::size_t max_attempts) {
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<double> centers(dimensions);
+    for (auto& c : centers) c = rng_.uniform01();
+
+    // Selectivity grows monotonically with range length for fixed
+    // centers: bisect.
+    double lo = 0.0;
+    double hi = 1.0;
+    record::Query best;
+    bool found = false;
+    for (int iter = 0; iter < 40; ++iter) {
+      const double mid = (lo + hi) / 2.0;
+      auto q = query_with_length(centers, dimensions, mid);
+      const double s = selectivity(q, sample);
+      if (std::abs(s - target) <= tolerance * target) {
+        best = std::move(q);
+        found = true;
+        break;
+      }
+      if (s < target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    if (found) return best;
+  }
+  return std::nullopt;
+}
+
+}  // namespace roads::workload

@@ -1,0 +1,63 @@
+// QueryGenerator: multi-dimensional range queries matching the paper's
+// setup (§V): each queried dimension specifies a range of length 0.25;
+// the default 6-dimensional query touches two uniform attributes, two
+// range attributes, one Gaussian and one Pareto. For the prototype
+// benchmark (Fig. 11) it can also target a global selectivity by
+// bisecting the per-dimension range length against a record sample.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "record/query.h"
+#include "record/record.h"
+#include "record/schema.h"
+#include "util/rng.h"
+#include "workload/distributions.h"
+
+namespace roads::workload {
+
+class QueryGenerator {
+ public:
+  QueryGenerator(record::Schema schema, WorkloadSpec spec, std::uint64_t seed);
+
+  /// The canonical order queried attributes are drawn in: one of each
+  /// distribution kind, cycling (uniform, range, Gaussian, Pareto,
+  /// uniform, ...), so 6 dimensions hit 2 uniform + 2 range + 1
+  /// Gaussian + 1 Pareto, exactly the paper's mix.
+  const std::vector<std::size_t>& dimension_order() const { return order_; }
+
+  /// One query with `dimensions` predicates, each a range of length
+  /// `range_length` placed uniformly at random.
+  record::Query generate(std::size_t dimensions, double range_length = 0.25);
+
+  /// A batch of queries (the paper uses 500 per run).
+  std::vector<record::Query> generate_batch(std::size_t count,
+                                            std::size_t dimensions,
+                                            double range_length = 0.25);
+
+  /// A query whose global selectivity over `sample` is within
+  /// `tolerance` (relative) of `target`: random range centers, range
+  /// length found by bisection. Returns nullopt if no length within
+  /// [0,1] gets close enough after `max_attempts` center draws.
+  std::optional<record::Query> generate_with_selectivity(
+      const std::vector<record::ResourceRecord>& sample, double target,
+      double tolerance, std::size_t dimensions, std::size_t max_attempts = 32);
+
+  /// Fraction of `sample` matching `query`.
+  static double selectivity(const record::Query& query,
+                            const std::vector<record::ResourceRecord>& sample);
+
+ private:
+  record::Query query_with_length(const std::vector<double>& centers,
+                                  std::size_t dimensions,
+                                  double range_length) const;
+
+  record::Schema schema_;
+  WorkloadSpec spec_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace roads::workload

@@ -1,0 +1,90 @@
+#include "workload/record_generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hierarchy/topology.h"
+
+namespace roads::workload {
+
+RecordGenerator::RecordGenerator(record::Schema schema, WorkloadSpec spec,
+                                 std::uint64_t seed)
+    : schema_(std::move(schema)), spec_(std::move(spec)), seed_(seed) {
+  if (spec_.attributes.size() != schema_.size()) {
+    throw std::invalid_argument(
+        "RecordGenerator: spec/schema attribute count mismatch");
+  }
+}
+
+void RecordGenerator::set_anchor_rank(std::uint32_t node, double rank) {
+  if (node >= anchor_ranks_.size()) anchor_ranks_.resize(node + 1, -1.0);
+  anchor_ranks_[node] = rank;
+}
+
+void RecordGenerator::anchor_by_balanced_tree(std::size_t nodes,
+                                              std::size_t children) {
+  const auto topo = hierarchy::Topology::join_filled(nodes, children);
+  const auto order = topo.subtree(topo.root());  // DFS preorder
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    set_anchor_rank(order[i],
+                    static_cast<double>(i) / static_cast<double>(nodes));
+  }
+}
+
+double RecordGenerator::node_anchor(std::uint32_t node,
+                                    std::size_t attribute) const {
+  const auto& dist = spec_.attributes.at(attribute);
+  const bool placed =
+      dist.kind == DistKind::kWindow || dist.localized;
+  if (!placed) return 0.0;
+
+  double base;
+  if (node < anchor_ranks_.size() && anchor_ranks_[node] >= 0.0) {
+    // Rank-anchored: rotate per attribute so the dimensions are
+    // related but not identical.
+    const double rotated =
+        anchor_ranks_[node] + 0.61803398875 * static_cast<double>(attribute);
+    base = rotated - std::floor(rotated);
+  } else {
+    // Independent random placement per (seed, node, attribute).
+    util::Rng placement(seed_ * 0x9e3779b97f4a7c15ULL + node * 1000003ULL +
+                        attribute);
+    base = placement.uniform01();
+  }
+  if (dist.kind == DistKind::kWindow) {
+    const double span = 1.0 - dist.window_length;
+    return base * span;
+  }
+  return base;
+}
+
+std::vector<record::ResourceRecord> RecordGenerator::records_for_node(
+    std::uint32_t node, record::OwnerId owner) const {
+  util::Rng rng(seed_ + 0x7ec0ULL * (node + 1));
+  std::vector<record::ResourceRecord> out;
+  out.reserve(spec_.records_per_node);
+  for (std::size_t i = 0; i < spec_.records_per_node; ++i) {
+    std::vector<record::AttributeValue> values;
+    values.reserve(schema_.size());
+    for (std::size_t a = 0; a < schema_.size(); ++a) {
+      const double v = sample(spec_.attributes[a], node_anchor(node, a), rng);
+      values.emplace_back(v);
+    }
+    const auto id = static_cast<record::RecordId>(node) * 1'000'000ULL + i;
+    out.emplace_back(id, owner, std::move(values));
+  }
+  return out;
+}
+
+std::vector<std::vector<record::ResourceRecord>> RecordGenerator::all_records(
+    std::size_t nodes) const {
+  std::vector<std::vector<record::ResourceRecord>> out;
+  out.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    out.push_back(records_for_node(static_cast<std::uint32_t>(n),
+                                   static_cast<record::OwnerId>(n + 1)));
+  }
+  return out;
+}
+
+}  // namespace roads::workload

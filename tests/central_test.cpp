@@ -1,0 +1,133 @@
+// Tests for the central-repository baseline: export rounds, exact query
+// answers, and the response-time behaviour Fig. 11 relies on.
+#include <gtest/gtest.h>
+
+#include "central/central_repository.h"
+#include "record/query.h"
+#include "util/rng.h"
+
+namespace roads::central {
+namespace {
+
+using record::Predicate;
+using record::Query;
+
+CentralParams small_params() {
+  CentralParams p;
+  p.schema = record::Schema::uniform_numeric(4);
+  p.seed = 5;
+  return p;
+}
+
+std::vector<record::ResourceRecord> random_records(std::size_t owner,
+                                                   std::size_t count) {
+  util::Rng rng(400 + owner);
+  std::vector<record::ResourceRecord> out;
+  for (std::size_t j = 0; j < count; ++j) {
+    out.emplace_back(
+        owner * 10000 + j, static_cast<record::OwnerId>(owner),
+        std::vector<record::AttributeValue>{
+            record::AttributeValue(rng.uniform01()),
+            record::AttributeValue(rng.uniform01()),
+            record::AttributeValue(rng.uniform01()),
+            record::AttributeValue(rng.uniform01())});
+  }
+  return out;
+}
+
+TEST(CentralRepository, ExportRoundGathersAllRecords) {
+  CentralRepository repo(4, small_params());
+  for (std::size_t o = 1; o <= 4; ++o) {
+    repo.set_records(static_cast<sim::NodeId>(o), random_records(o, 25));
+  }
+  const auto bytes = repo.run_export_round();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(repo.store().size(), 100u);
+}
+
+TEST(CentralRepository, ReExportIsIdempotentOnStorage) {
+  CentralRepository repo(2, small_params());
+  repo.set_records(1, random_records(1, 10));
+  repo.run_export_round();
+  const auto stored = repo.stored_bytes();
+  repo.run_export_round();
+  EXPECT_EQ(repo.stored_bytes(), stored);
+}
+
+TEST(CentralRepository, QueryMatchesBruteForce) {
+  CentralRepository repo(4, small_params());
+  std::vector<record::ResourceRecord> all;
+  for (std::size_t o = 1; o <= 4; ++o) {
+    auto records = random_records(o, 50);
+    for (const auto& r : records) all.push_back(r);
+    repo.set_records(static_cast<sim::NodeId>(o), std::move(records));
+  }
+  repo.run_export_round();
+
+  util::Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    Query q;
+    const double lo = rng.uniform01() * 0.6;
+    q.add(Predicate::range(0, lo, lo + 0.4));
+    q.add(Predicate::range(1, lo, lo + 0.4));
+    const auto outcome = repo.run_query(q, 2);
+    EXPECT_TRUE(outcome.complete);
+    std::size_t expected = 0;
+    for (const auto& r : all) {
+      if (q.matches(r)) ++expected;
+    }
+    EXPECT_EQ(outcome.matching_records, expected);
+  }
+}
+
+TEST(CentralRepository, ResponseTimeGrowsWithSelectivity) {
+  auto params = small_params();
+  params.service_model.per_result_us = 500.0;
+  CentralRepository repo(2, params);
+  repo.set_records(1, random_records(1, 2000));
+  repo.run_export_round();
+
+  Query narrow;
+  narrow.add(Predicate::range(0, 0.50, 0.51));
+  Query wide;
+  wide.add(Predicate::range(0, 0.0, 1.0));
+  const auto fast = repo.run_query(narrow, 2);
+  const auto slow = repo.run_query(wide, 2);
+  EXPECT_TRUE(fast.complete);
+  EXPECT_TRUE(slow.complete);
+  EXPECT_GT(slow.matching_records, fast.matching_records);
+  EXPECT_GT(slow.response_ms, fast.response_ms * 2);
+}
+
+TEST(CentralRepository, LatencyIsOneRoundTripPlusService) {
+  CentralRepository repo(2, small_params());
+  repo.set_records(1, random_records(1, 10));
+  repo.run_export_round();
+  Query q;
+  q.add(Predicate::range(0, 0.0, 1.0));
+  const auto outcome = repo.run_query(q, 2);
+  const double rtt_ms =
+      sim::to_ms(2 * repo.network().latency(2, repo.repository_node()));
+  EXPECT_GE(outcome.latency_ms, rtt_ms);
+  EXPECT_LT(outcome.latency_ms, rtt_ms + 100.0);
+}
+
+TEST(CentralRepository, RejectsUnknownOwnerNode) {
+  CentralRepository repo(2, small_params());
+  EXPECT_THROW(repo.set_records(99, random_records(1, 1)), std::out_of_range);
+}
+
+TEST(CentralRepository, UpdateOverheadLinearInRecords) {
+  auto run = [](std::size_t count) {
+    CentralRepository repo(2, small_params());
+    repo.set_records(1, random_records(1, count));
+    return repo.run_export_round();
+  };
+  const auto at100 = run(100);
+  const auto at400 = run(400);
+  EXPECT_NEAR(static_cast<double>(at400) / static_cast<double>(at100), 4.0,
+              0.2);
+}
+
+}  // namespace
+}  // namespace roads::central

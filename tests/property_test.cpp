@@ -1,0 +1,188 @@
+// Parameterized property sweeps across federation shapes and seeds:
+// the invariants that must hold for EVERY configuration, not just the
+// defaults — exact-match correctness from every start server, overlay
+// coverage after the live protocol ran, and ROADS/SWORD parity.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "exp/experiment.h"
+#include "overlay/replica_set.h"
+#include "roads/federation.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace roads {
+namespace {
+
+// (nodes, degree, seed)
+using Shape = std::tuple<std::size_t, std::size_t, std::uint64_t>;
+
+class FederationProperty : public ::testing::TestWithParam<Shape> {
+ protected:
+  void Build() {
+    const auto [nodes, degree, seed] = GetParam();
+    nodes_ = nodes;
+    schema_ = record::Schema::uniform_numeric(6);
+    spec_ = workload::WorkloadSpec::paper_default(6, 40);
+    workload::RecordGenerator gen(schema_, spec_, seed);
+    gen.anchor_by_balanced_tree(nodes, degree);
+
+    core::FederationParams params;
+    params.schema = schema_;
+    params.seed = seed;
+    params.config.max_children = degree;
+    params.config.summary.histogram_buckets = 60;
+    fed_ = std::make_unique<core::Federation>(std::move(params));
+    fed_->add_servers(nodes);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      auto owner = fed_->add_owner(static_cast<sim::NodeId>(n),
+                                   core::ExportMode::kDetailedRecords);
+      for (auto& r : gen.records_for_node(static_cast<std::uint32_t>(n),
+                                          owner->id())) {
+        all_.push_back(r);
+        owner->store().insert(std::move(r));
+      }
+      fed_->server(static_cast<sim::NodeId>(n))
+          .attach_owner(owner, core::ExportMode::kDetailedRecords);
+    }
+    fed_->start();
+    fed_->stabilize();
+  }
+
+  std::size_t brute_force(const record::Query& q) const {
+    std::size_t count = 0;
+    for (const auto& r : all_) {
+      if (q.matches(r)) ++count;
+    }
+    return count;
+  }
+
+  std::size_t nodes_ = 0;
+  record::Schema schema_;
+  workload::WorkloadSpec spec_;
+  std::unique_ptr<core::Federation> fed_;
+  std::vector<record::ResourceRecord> all_;
+};
+
+TEST_P(FederationProperty, OverlayStateMatchesComputedReplicaSets) {
+  Build();
+  const auto topo = fed_->topology();
+  for (sim::NodeId i = 0; i < nodes_; ++i) {
+    const auto expected = overlay::replica_set(topo, i);
+    EXPECT_EQ(fed_->server(i).replicas().size(), expected.size())
+        << "node " << i;
+    for (const auto& spec : expected) {
+      EXPECT_TRUE(fed_->server(i).replicas().has(spec.origin, spec.kind));
+    }
+  }
+}
+
+TEST_P(FederationProperty, ExactMatchesFromRandomStartServers) {
+  Build();
+  const auto [nodes, degree, seed] = GetParam();
+  (void)degree;
+  workload::QueryGenerator qgen(schema_, spec_, seed ^ 0xabc);
+  util::Rng pick(seed ^ 0xdef);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto q = qgen.generate(4, 0.3);
+    const auto start = static_cast<sim::NodeId>(
+        pick.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+    const auto outcome = fed_->run_query(q, start);
+    ASSERT_TRUE(outcome.complete);
+    EXPECT_EQ(outcome.matching_records, brute_force(q))
+        << "trial " << trial << " start " << start;
+  }
+}
+
+TEST_P(FederationProperty, ContactsNeverExceedServerCount) {
+  Build();
+  workload::QueryGenerator qgen(schema_, spec_, 99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto outcome = fed_->run_query(qgen.generate(2, 0.5), 0);
+    EXPECT_LE(outcome.servers_contacted, nodes_);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FederationProperty,
+    ::testing::Values(Shape{4, 2, 1}, Shape{9, 2, 2}, Shape{15, 2, 3},
+                      Shape{13, 3, 4}, Shape{31, 5, 5}, Shape{40, 8, 6},
+                      Shape{64, 8, 7}, Shape{27, 4, 8}));
+
+// --- ROADS vs SWORD parity across seeds ---
+
+class ParitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParitySweep, SameWorkloadSameMatches) {
+  exp::ExpConfig cfg;
+  cfg.nodes = 36;
+  cfg.records_per_node = 80;
+  cfg.queries = 25;
+  cfg.runs = 1;
+  cfg.seed = GetParam();
+  const auto roads = exp::run_roads_once(cfg, cfg.seed);
+  const auto sword = exp::run_sword_once(cfg, cfg.seed);
+  EXPECT_NEAR(roads.matches_avg, sword.matches_avg, 1e-9)
+      << "seed " << GetParam();
+  EXPECT_EQ(roads.queries_completed, 25.0);
+  EXPECT_EQ(sword.queries_completed, 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParitySweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// --- Bucket-count sweep: conservativeness must hold at any resolution ---
+
+class BucketSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BucketSweep, CoarseSummariesStayConservative) {
+  const auto buckets = GetParam();
+  const auto schema = record::Schema::uniform_numeric(4);
+  workload::RecordGenerator gen(
+      schema, workload::WorkloadSpec::paper_default(4, 50), 17);
+
+  core::FederationParams params;
+  params.schema = schema;
+  params.seed = 17;
+  params.config.max_children = 3;
+  params.config.summary.histogram_buckets = buckets;
+  core::Federation fed(std::move(params));
+  fed.add_servers(12);
+  std::vector<record::ResourceRecord> all;
+  for (std::size_t n = 0; n < 12; ++n) {
+    auto owner = fed.add_owner(static_cast<sim::NodeId>(n),
+                               core::ExportMode::kDetailedRecords);
+    for (auto& r : gen.records_for_node(static_cast<std::uint32_t>(n),
+                                        owner->id())) {
+      all.push_back(r);
+      owner->store().insert(std::move(r));
+    }
+    fed.server(static_cast<sim::NodeId>(n))
+        .attach_owner(owner, core::ExportMode::kDetailedRecords);
+  }
+  fed.start();
+  fed.stabilize();
+
+  workload::QueryGenerator qgen(
+      schema, workload::WorkloadSpec::paper_default(4, 50), 18);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto q = qgen.generate(3, 0.25);
+    std::size_t expected = 0;
+    for (const auto& r : all) {
+      if (q.matches(r)) ++expected;
+    }
+    const auto outcome = fed.run_query(q, static_cast<sim::NodeId>(trial % 12));
+    // Coarser buckets may contact more servers (false positives) but
+    // can never lose a match.
+    EXPECT_EQ(outcome.matching_records, expected)
+        << "buckets=" << buckets << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, BucketSweep,
+                         ::testing::Values(2u, 5u, 10u, 100u, 1000u));
+
+}  // namespace
+}  // namespace roads

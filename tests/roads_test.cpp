@@ -1,0 +1,385 @@
+// End-to-end tests of the ROADS core: federation construction via the
+// join protocol, summary aggregation and replication, query resolution
+// from arbitrary start servers, voluntary-sharing policies, and churn
+// (failures, departures, root election).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "overlay/replica_set.h"
+#include "record/query.h"
+#include "roads/federation.h"
+
+namespace roads {
+namespace {
+
+using core::ExportMode;
+using core::Federation;
+using core::FederationParams;
+using record::Predicate;
+using record::Query;
+
+FederationParams small_params(std::size_t attrs = 4,
+                              std::size_t max_children = 3) {
+  FederationParams p;
+  p.schema = record::Schema::uniform_numeric(attrs);
+  p.seed = 7;
+  p.config.max_children = max_children;
+  p.config.summary.histogram_buckets = 50;
+  p.config.summary_refresh_period = sim::seconds(10);
+  p.config.summary_ttl = sim::seconds(35);
+  return p;
+}
+
+/// Builds a federation of n servers, each with one co-located detailed
+/// owner holding `records_per_node` records whose attr0 identifies the
+/// node: all its values equal (node + 0.5) / n.
+Federation& build_identifiable(std::unique_ptr<Federation>& holder,
+                               std::size_t n, std::size_t records_per_node,
+                               std::size_t attrs = 4) {
+  holder = std::make_unique<Federation>(small_params(attrs));
+  auto& fed = *holder;
+  fed.add_servers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto node = static_cast<sim::NodeId>(i);
+    auto owner = fed.add_owner(node, ExportMode::kDetailedRecords);
+    for (std::size_t j = 0; j < records_per_node; ++j) {
+      std::vector<record::AttributeValue> values;
+      const double center =
+          (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+      values.emplace_back(center);  // attr0: node identity
+      for (std::size_t a = 1; a < attrs; ++a) {
+        values.emplace_back(0.5);  // constant elsewhere
+      }
+      owner->store().insert(record::ResourceRecord(
+          static_cast<record::RecordId>(i * 1000 + j), owner->id(),
+          std::move(values)));
+    }
+    fed.server(node).attach_owner(owner, ExportMode::kDetailedRecords);
+  }
+  fed.start();
+  fed.stabilize();
+  return fed;
+}
+
+Query query_attr0(double lo, double hi) {
+  Query q;
+  q.add(Predicate::range(0, lo, hi));
+  return q;
+}
+
+// --- Join protocol / topology ---
+
+TEST(FederationJoin, BuildsSingleTree) {
+  Federation fed(small_params());
+  fed.add_servers(13);
+  const auto topo = fed.topology();
+  EXPECT_EQ(topo.node_count(), 13u);
+  EXPECT_EQ(topo.root(), 0u);
+  EXPECT_EQ(topo.subtree(topo.root()).size(), 13u);
+}
+
+TEST(FederationJoin, RespectsMaxChildren) {
+  Federation fed(small_params(4, 3));
+  fed.add_servers(20);
+  const auto topo = fed.topology();
+  for (sim::NodeId i = 0; i < 20; ++i) {
+    EXPECT_LE(topo.children(i).size(), 3u) << "node " << i;
+  }
+}
+
+TEST(FederationJoin, BalancedPolicyYieldsLogDepth) {
+  Federation fed(small_params(4, 4));
+  fed.add_servers(64);
+  // A balanced 4-ary tree over 64 nodes has height 3; allow 1 slack.
+  EXPECT_LE(fed.topology().height(), 4u);
+}
+
+TEST(FederationJoin, RootPathsAreConsistent) {
+  Federation fed(small_params());
+  fed.add_servers(10);
+  const auto topo = fed.topology();
+  for (sim::NodeId i = 0; i < 10; ++i) {
+    const auto& path = fed.server(i).root_path();
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.self(), i);
+    EXPECT_EQ(path.root(), topo.root());
+    EXPECT_EQ(path.nodes(), topo.path_from_root(i));
+  }
+}
+
+// --- Aggregation & replication ---
+
+TEST(FederationSummaries, RootSeesAllRecords) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 9, 5);
+  const auto root = fed.topology().root();
+  auto branch = fed.server(root).branch_summary();
+  ASSERT_TRUE(branch);
+  EXPECT_EQ(branch->record_count(), 9u * 5u);
+}
+
+TEST(FederationSummaries, ReplicaSetsMatchTheOverlaySpec) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 13, 2);
+  const auto topo = fed.topology();
+  for (sim::NodeId i = 0; i < 13; ++i) {
+    for (const auto& spec : overlay::replica_set(topo, i)) {
+      EXPECT_TRUE(fed.server(i).replicas().has(spec.origin, spec.kind))
+          << "node " << i << " missing replica of " << spec.origin << " kind "
+          << overlay::to_string(spec.kind);
+    }
+  }
+}
+
+TEST(FederationSummaries, BranchSummaryCountsSubtreeRecords) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 9, 5);
+  const auto topo = fed.topology();
+  for (sim::NodeId i = 0; i < 9; ++i) {
+    auto branch = fed.server(i).branch_summary();
+    ASSERT_TRUE(branch);
+    std::size_t expected = 0;
+    for (const auto n : topo.subtree(i)) {
+      expected += fed.server(n).local_store().size();
+    }
+    EXPECT_EQ(branch->record_count(), expected) << "node " << i;
+  }
+}
+
+// --- Query resolution ---
+
+TEST(FederationQuery, FindsAllMatchingRecordsFromRoot) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 9, 5);
+  const auto q = query_attr0(4.4 / 9.0, 4.6 / 9.0);  // node 4 only
+  const auto outcome = fed.run_query(q, fed.topology().root());
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.matching_records, 5u);
+}
+
+TEST(FederationQuery, FindsAllMatchingRecordsFromEveryStartServer) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 13, 3);
+  const auto q = query_attr0(7.4 / 13.0, 7.6 / 13.0);
+  for (sim::NodeId start = 0; start < 13; ++start) {
+    const auto outcome = fed.run_query(q, start);
+    EXPECT_TRUE(outcome.complete) << "start " << start;
+    EXPECT_EQ(outcome.matching_records, 3u) << "start " << start;
+  }
+}
+
+TEST(FederationQuery, WideQueryFindsEverything) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 9, 4);
+  const auto outcome = fed.run_query(query_attr0(0.0, 1.0), 3);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.matching_records, 9u * 4u);
+}
+
+TEST(FederationQuery, NonMatchingQueryContactsOnlyStartServer) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 13, 3);
+  // attr1 is constant 0.5 everywhere; query far away from it.
+  Query q;
+  q.add(Predicate::range(1, 0.9, 0.95));
+  const auto outcome = fed.run_query(q, 5);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.matching_records, 0u);
+  EXPECT_EQ(outcome.servers_contacted, 1u);
+}
+
+TEST(FederationQuery, MultiDimensionalConjunction) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 9, 5);
+  Query q;
+  q.add(Predicate::range(0, 2.4 / 9.0, 2.6 / 9.0));  // node 2 only
+  q.add(Predicate::range(1, 0.4, 0.6));              // matches (0.5)
+  q.add(Predicate::range(2, 0.4, 0.6));
+  const auto outcome = fed.run_query(q, 7);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.matching_records, 5u);
+
+  // A contradictory extra dimension kills all matches.
+  q.add(Predicate::range(3, 0.0, 0.1));
+  const auto none = fed.run_query(q, 7);
+  EXPECT_TRUE(none.complete);
+  EXPECT_EQ(none.matching_records, 0u);
+}
+
+TEST(FederationQuery, LatencyIsPositiveAndBounded) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_identifiable(holder, 13, 3);
+  const auto outcome = fed.run_query(query_attr0(0.0, 1.0), 11);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_GT(outcome.latency_ms, 0.0);
+  EXPECT_LT(outcome.latency_ms, 5000.0);
+}
+
+// --- Voluntary sharing ---
+
+TEST(VoluntarySharing, SummaryOnlyOwnerAnswersThroughPolicy) {
+  Federation fed(small_params());
+  fed.add_servers(4);
+  // Remote owner attaches to server 2 with a summary; its policy only
+  // shows records to principal 42.
+  auto owner = fed.add_owner(2, ExportMode::kSummaryOnly, /*colocated=*/false);
+  for (int j = 0; j < 6; ++j) {
+    owner->store().insert(record::ResourceRecord(
+        static_cast<record::RecordId>(j), owner->id(),
+        {record::AttributeValue(0.3), record::AttributeValue(0.5),
+         record::AttributeValue(0.5), record::AttributeValue(0.5)}));
+  }
+  owner->set_policy([](core::Principal p, const record::ResourceRecord&) {
+    return p == 42;
+  });
+  fed.server(2).attach_owner(owner, ExportMode::kSummaryOnly);
+  fed.start();
+  fed.stabilize();
+
+  const auto q = query_attr0(0.25, 0.35);
+  const auto stranger = fed.run_query(q, 0, /*principal=*/7);
+  EXPECT_TRUE(stranger.complete);
+  EXPECT_EQ(stranger.matching_records, 0u);
+
+  const auto partner = fed.run_query(q, 0, /*principal=*/42);
+  EXPECT_TRUE(partner.complete);
+  EXPECT_EQ(partner.matching_records, 6u);
+}
+
+TEST(VoluntarySharing, SummaryOnlyKeepsRecordsOffTheServer) {
+  Federation fed(small_params());
+  fed.add_servers(2);
+  auto owner = fed.add_owner(1, ExportMode::kSummaryOnly, /*colocated=*/false);
+  owner->store().insert(record::ResourceRecord(
+      1, owner->id(),
+      {record::AttributeValue(0.3), record::AttributeValue(0.5),
+       record::AttributeValue(0.5), record::AttributeValue(0.5)}));
+  fed.server(1).attach_owner(owner, ExportMode::kSummaryOnly);
+  EXPECT_EQ(fed.server(1).local_store().size(), 0u);
+}
+
+// --- Churn ---
+
+FederationParams churn_params() {
+  auto p = small_params();
+  p.config.maintenance_enabled = true;
+  p.config.heartbeat_period = sim::seconds(5);
+  p.config.heartbeat_miss_limit = 3;
+  return p;
+}
+
+TEST(FederationChurn, LeafFailureIsDetectedAndCleaned) {
+  Federation fed(churn_params());
+  fed.add_servers(10);
+  fed.start();
+  fed.stabilize();
+
+  const auto topo = fed.topology();
+  sim::NodeId leaf = 0;
+  for (sim::NodeId i = 0; i < 10; ++i) {
+    if (topo.is_leaf(i)) leaf = i;
+  }
+  const auto parent = topo.parent(leaf);
+  fed.server(leaf).fail();
+  fed.advance(sim::seconds(60));
+  EXPECT_FALSE(fed.server(parent).children().has(leaf));
+}
+
+TEST(FederationChurn, InteriorFailureChildrenRejoin) {
+  Federation fed(churn_params());
+  fed.add_servers(13);
+  fed.start();
+  fed.stabilize();
+
+  const auto topo = fed.topology();
+  sim::NodeId victim = 0;
+  for (sim::NodeId i = 1; i < 13; ++i) {
+    if (!topo.children(i).empty()) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u);
+  const auto orphans = topo.children(victim);
+  ASSERT_FALSE(orphans.empty());
+  fed.server(victim).fail();
+  fed.advance(sim::seconds(120));
+
+  for (const auto orphan : orphans) {
+    ASSERT_TRUE(fed.server(orphan).parent().has_value()) << "orphan "
+                                                         << orphan;
+    EXPECT_TRUE(fed.server(*fed.server(orphan).parent()).alive());
+  }
+}
+
+TEST(FederationChurn, GracefulLeaveNotifiesImmediately) {
+  Federation fed(churn_params());
+  fed.add_servers(8);
+  fed.start();
+  fed.stabilize();
+  const auto topo = fed.topology();
+  sim::NodeId leaf = 0;
+  for (sim::NodeId i = 0; i < 8; ++i) {
+    if (topo.is_leaf(i)) leaf = i;
+  }
+  const auto parent = topo.parent(leaf);
+  fed.server(leaf).leave();
+  fed.advance(sim::seconds(2));
+  EXPECT_FALSE(fed.server(parent).children().has(leaf));
+}
+
+TEST(FederationChurn, RootFailureTriggersElection) {
+  Federation fed(churn_params());
+  fed.add_servers(10);
+  fed.start();
+  fed.stabilize();
+
+  const auto old_root = fed.topology().root();
+  fed.server(old_root).fail();
+  fed.advance(sim::seconds(180));
+
+  std::vector<sim::NodeId> roots;
+  for (sim::NodeId i = 0; i < 10; ++i) {
+    if (fed.server(i).alive() && fed.server(i).is_root()) roots.push_back(i);
+  }
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NE(roots[0], old_root);
+}
+
+TEST(FederationChurn, QueriesStillResolveAfterFailure) {
+  Federation fed(churn_params());
+  fed.add_servers(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto node = static_cast<sim::NodeId>(i);
+    auto owner = fed.add_owner(node, ExportMode::kDetailedRecords);
+    owner->store().insert(record::ResourceRecord(
+        i, owner->id(),
+        {record::AttributeValue((i + 0.5) / 10.0), record::AttributeValue(0.5),
+         record::AttributeValue(0.5), record::AttributeValue(0.5)}));
+    fed.server(node).attach_owner(owner, ExportMode::kDetailedRecords);
+  }
+  fed.start();
+  fed.stabilize();
+
+  // Kill a leaf that is not node 3 (whose record we query for).
+  const auto topo = fed.topology();
+  sim::NodeId victim = 0;
+  for (sim::NodeId i = 0; i < 10; ++i) {
+    if (topo.is_leaf(i) && i != 3) victim = i;
+  }
+  fed.server(victim).fail();
+  fed.advance(sim::seconds(120));
+  fed.stabilize();
+
+  const auto q = query_attr0(3.4 / 10.0, 3.6 / 10.0);
+  const sim::NodeId start = victim == 5 ? 6 : 5;
+  const auto outcome = fed.run_query(q, start);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.matching_records, 1u);
+}
+
+}  // namespace
+}  // namespace roads

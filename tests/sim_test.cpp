@@ -1,0 +1,260 @@
+// Tests for the discrete-event substrate: simulator ordering and
+// cancellation, the 5-D delay space, and the metered network with
+// failure injection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/delay_space.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace roads::sim {
+namespace {
+
+// --- Simulator ---
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule_at(10, [&] { ran = true; });
+  sim.cancel(id);
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] { ++count; });
+  sim.schedule_at(20, [&] { ++count; });
+  sim.schedule_at(30, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, RunStepsLimits) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(sim.run_steps(3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+// --- DelaySpace ---
+
+TEST(DelaySpace, DeterministicPerSeed) {
+  DelaySpace a(50, util::Rng(9));
+  DelaySpace b(50, util::Rng(9));
+  for (NodeId i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.latency(0, i), b.latency(0, i));
+  }
+}
+
+TEST(DelaySpace, SymmetricAndZeroSelf) {
+  DelaySpace space(30, util::Rng(4));
+  for (NodeId i = 0; i < 30; ++i) {
+    EXPECT_EQ(space.latency(i, i), 0);
+    for (NodeId j = 0; j < 30; ++j) {
+      EXPECT_EQ(space.latency(i, j), space.latency(j, i));
+    }
+  }
+}
+
+TEST(DelaySpace, LatenciesHaveInternetScale) {
+  DelaySpace space(100, util::Rng(5));
+  double sum = 0;
+  int pairs = 0;
+  for (NodeId i = 0; i < 100; ++i) {
+    for (NodeId j = i + 1; j < 100; ++j) {
+      const auto l = space.latency(i, j);
+      EXPECT_GE(l, 5 * kMillisecond);  // base latency floor
+      EXPECT_LE(l, 300 * kMillisecond);
+      sum += static_cast<double>(l);
+      ++pairs;
+    }
+  }
+  const double mean_ms = sum / pairs / 1000.0;
+  EXPECT_GT(mean_ms, 50.0);
+  EXPECT_LT(mean_ms, 160.0);
+}
+
+TEST(DelaySpace, AddNodeExtends) {
+  DelaySpace space(2, util::Rng(6));
+  const auto id = space.add_node();
+  EXPECT_EQ(id, 2u);
+  EXPECT_GT(space.latency(0, 2), 0);
+  EXPECT_THROW(space.latency(0, 99), std::out_of_range);
+}
+
+// --- Network ---
+
+struct NetFixture {
+  Simulator sim;
+  DelaySpace space{10, util::Rng(7)};
+  Network net{sim, space, util::Rng(8)};
+};
+
+TEST(Network, DeliversAfterLatency) {
+  NetFixture f;
+  bool delivered = false;
+  Time at = 0;
+  f.net.send(0, 1, 100, Channel::kQuery, [&] {
+    delivered = true;
+    at = f.sim.now();
+  });
+  f.sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(at, f.space.latency(0, 1));
+}
+
+TEST(Network, MetersPerChannel) {
+  NetFixture f;
+  f.net.send(0, 1, 100, Channel::kQuery, [] {});
+  f.net.send(0, 2, 50, Channel::kUpdate, [] {});
+  f.net.send(0, 3, 25, Channel::kUpdate, [] {});
+  EXPECT_EQ(f.net.meter(Channel::kQuery).bytes, 100u);
+  EXPECT_EQ(f.net.meter(Channel::kQuery).messages, 1u);
+  EXPECT_EQ(f.net.meter(Channel::kUpdate).bytes, 75u);
+  EXPECT_EQ(f.net.meter(Channel::kUpdate).messages, 2u);
+  EXPECT_EQ(f.net.total_bytes(), 175u);
+  EXPECT_EQ(f.net.total_messages(), 3u);
+  f.net.reset_meters();
+  EXPECT_EQ(f.net.total_bytes(), 0u);
+}
+
+TEST(Network, BulkCountsLogicalMessages) {
+  NetFixture f;
+  int deliveries = 0;
+  f.net.send_bulk(0, 1, 500, 64000, Channel::kUpdate,
+                  [&] { ++deliveries; });
+  f.sim.run();
+  EXPECT_EQ(deliveries, 1);  // one event
+  EXPECT_EQ(f.net.meter(Channel::kUpdate).messages, 500u);
+  EXPECT_EQ(f.net.meter(Channel::kUpdate).bytes, 64000u);
+}
+
+TEST(Network, DeadReceiverDropsDelivery) {
+  NetFixture f;
+  bool delivered = false;
+  f.net.set_node_up(1, false);
+  f.net.send(0, 1, 10, Channel::kQuery, [&] { delivered = true; });
+  f.sim.run();
+  EXPECT_FALSE(delivered);
+  // Bytes were still spent by the sender.
+  EXPECT_EQ(f.net.meter(Channel::kQuery).bytes, 10u);
+}
+
+TEST(Network, DeadSenderEmitsNothing) {
+  NetFixture f;
+  bool delivered = false;
+  f.net.set_node_up(0, false);
+  f.net.send(0, 1, 10, Channel::kQuery, [&] { delivered = true; });
+  f.sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(f.net.meter(Channel::kQuery).bytes, 0u);
+}
+
+TEST(Network, ReceiverDiesInFlight) {
+  NetFixture f;
+  bool delivered = false;
+  f.net.send(0, 1, 10, Channel::kQuery, [&] { delivered = true; });
+  // Kill the receiver before the message lands.
+  f.sim.schedule_at(1, [&] { f.net.set_node_up(1, false); });
+  f.sim.run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, NodeCanComeBackUp) {
+  NetFixture f;
+  f.net.set_node_up(1, false);
+  f.net.set_node_up(1, true);
+  bool delivered = false;
+  f.net.send(0, 1, 10, Channel::kQuery, [&] { delivered = true; });
+  f.sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, LossRateDropsSomeMessages) {
+  NetFixture f;
+  f.net.set_loss_rate(0.5);
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    f.net.send(0, 1, 1, Channel::kQuery, [&] { ++delivered; });
+  }
+  f.sim.run();
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+}
+
+TEST(Network, SelfSendIsImmediate) {
+  NetFixture f;
+  Time at = -1;
+  f.net.send(3, 3, 10, Channel::kQuery, [&] { at = f.sim.now(); });
+  f.sim.run();
+  EXPECT_EQ(at, 0);
+}
+
+}  // namespace
+}  // namespace roads::sim

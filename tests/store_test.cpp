@@ -1,0 +1,199 @@
+// Tests for the record store (the DB2 substitute) and the service-time
+// model, including the property that the scan path and the indexed path
+// return identical results.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "record/query.h"
+#include "store/record_store.h"
+#include "store/service_model.h"
+#include "util/rng.h"
+#include "workload/record_generator.h"
+
+namespace roads::store {
+namespace {
+
+using record::AttributeValue;
+using record::Predicate;
+using record::Query;
+using record::ResourceRecord;
+
+record::Schema small_schema() { return record::Schema::uniform_numeric(4); }
+
+ResourceRecord rec4(record::RecordId id, double a, double b, double c,
+                    double d) {
+  return ResourceRecord(id, 1,
+                        {AttributeValue(a), AttributeValue(b),
+                         AttributeValue(c), AttributeValue(d)});
+}
+
+TEST(RecordStore, InsertGetErase) {
+  RecordStore store(small_schema());
+  store.insert(rec4(1, 0.1, 0.2, 0.3, 0.4));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_DOUBLE_EQ(store.get(1).value(0).number(), 0.1);
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_FALSE(store.erase(1));
+  EXPECT_THROW(store.get(1), std::out_of_range);
+}
+
+TEST(RecordStore, RejectsDuplicatesAndNonConforming) {
+  RecordStore store(small_schema());
+  store.insert(rec4(1, 0.1, 0.2, 0.3, 0.4));
+  EXPECT_THROW(store.insert(rec4(1, 0.5, 0.5, 0.5, 0.5)),
+               std::invalid_argument);
+  ResourceRecord bad(2, 1, {AttributeValue(0.1)});
+  EXPECT_THROW(store.insert(bad), std::invalid_argument);
+}
+
+TEST(RecordStore, UpdateReplacesValues) {
+  RecordStore store(small_schema());
+  store.insert(rec4(1, 0.1, 0.2, 0.3, 0.4));
+  store.update(rec4(1, 0.9, 0.2, 0.3, 0.4));
+  EXPECT_DOUBLE_EQ(store.get(1).value(0).number(), 0.9);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_THROW(store.update(rec4(99, 0, 0, 0, 0)), std::invalid_argument);
+}
+
+TEST(RecordStore, QueryFiltersConjunction) {
+  RecordStore store(small_schema());
+  store.insert(rec4(1, 0.1, 0.1, 0.1, 0.1));
+  store.insert(rec4(2, 0.5, 0.5, 0.5, 0.5));
+  store.insert(rec4(3, 0.5, 0.9, 0.5, 0.5));
+  Query q;
+  q.add(Predicate::range(0, 0.4, 0.6));
+  q.add(Predicate::range(1, 0.4, 0.6));
+  EXPECT_EQ(store.query(q), (std::vector<record::RecordId>{2}));
+  EXPECT_EQ(store.count_matching(q), 1u);
+}
+
+TEST(RecordStore, EmptyQueryReturnsAllSorted) {
+  RecordStore store(small_schema());
+  store.insert(rec4(3, 0, 0, 0, 0));
+  store.insert(rec4(1, 0, 0, 0, 0));
+  store.insert(rec4(2, 0, 0, 0, 0));
+  EXPECT_EQ(store.query(Query()), (std::vector<record::RecordId>{1, 2, 3}));
+}
+
+TEST(RecordStore, QueryAfterEraseExcludesTombstones) {
+  RecordStore store(small_schema());
+  store.insert(rec4(1, 0.5, 0.5, 0.5, 0.5));
+  store.insert(rec4(2, 0.5, 0.5, 0.5, 0.5));
+  store.erase(1);
+  Query q;
+  q.add(Predicate::range(0, 0.4, 0.6));
+  EXPECT_EQ(store.query(q), (std::vector<record::RecordId>{2}));
+  EXPECT_EQ(store.snapshot().size(), 1u);
+}
+
+TEST(RecordStore, ScanAndIndexPathsAgree) {
+  // Build a store past the index threshold and compare results of the
+  // indexed path against a brute-force reference on random queries.
+  const auto schema = record::Schema::uniform_numeric(6);
+  const auto spec = workload::WorkloadSpec::paper_default(6, 700);
+  workload::RecordGenerator gen(schema, spec, 5);
+  RecordStore store(schema);
+  std::vector<ResourceRecord> reference;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    for (auto& r : gen.records_for_node(n, n + 1)) {
+      reference.push_back(r);
+      store.insert(std::move(r));
+    }
+  }
+  ASSERT_GE(store.size(), RecordStore::kIndexThreshold);
+
+  util::Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    Query q;
+    for (std::size_t a = 0; a < 3; ++a) {
+      const double lo = rng.uniform01() * 0.7;
+      q.add(Predicate::range(a, lo, lo + 0.3));
+    }
+    QueryStats stats;
+    const auto got = store.query(q, &stats);
+    EXPECT_TRUE(stats.used_index);
+    std::vector<record::RecordId> expect;
+    for (const auto& r : reference) {
+      if (q.matches(r)) expect.push_back(r.id());
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(stats.matches, expect.size());
+    EXPECT_GE(stats.candidates_scanned, expect.size());
+  }
+}
+
+TEST(RecordStore, IndexInvalidatedByMutation) {
+  const auto schema = record::Schema::uniform_numeric(2);
+  RecordStore store(schema);
+  for (std::uint32_t i = 0; i < RecordStore::kIndexThreshold + 10; ++i) {
+    store.insert(ResourceRecord(
+        i, 1, {AttributeValue(0.5), AttributeValue(0.5)}));
+  }
+  Query q;
+  q.add(Predicate::range(0, 0.4, 0.6));
+  const auto before = store.query(q).size();
+  store.erase(0);
+  EXPECT_EQ(store.query(q).size(), before - 1);
+  store.insert(ResourceRecord(999999, 1,
+                              {AttributeValue(0.5), AttributeValue(0.5)}));
+  EXPECT_EQ(store.query(q).size(), before);
+}
+
+TEST(RecordStore, SummarizeMatchesContents) {
+  RecordStore store(small_schema());
+  store.insert(rec4(1, 0.25, 0.5, 0.5, 0.5));
+  store.insert(rec4(2, 0.75, 0.5, 0.5, 0.5));
+  summary::SummaryConfig config;
+  config.histogram_buckets = 10;
+  const auto s = store.summarize(config);
+  EXPECT_EQ(s.record_count(), 2u);
+  Query q;
+  q.add(Predicate::range(0, 0.2, 0.3));
+  EXPECT_TRUE(s.matches(q));
+  Query none;
+  none.add(Predicate::range(0, 0.45, 0.48));
+  EXPECT_FALSE(s.matches(none));
+}
+
+TEST(RecordStore, StoredBytesSumsWireSizes) {
+  RecordStore store(small_schema());
+  const auto r = rec4(1, 0, 0, 0, 0);
+  const auto one = r.wire_size();
+  store.insert(r);
+  store.insert(rec4(2, 0, 0, 0, 0));
+  EXPECT_EQ(store.stored_bytes(), 2 * one);
+}
+
+// --- Service model ---
+
+TEST(ServiceModel, MonotoneInWork) {
+  ServiceModelParams params;
+  QueryStats small{10, 1, true};
+  QueryStats large{10000, 500, true};
+  EXPECT_LT(service_time_us(params, small, 100),
+            service_time_us(params, large, 100));
+  EXPECT_LT(service_time_us(params, small, 100),
+            service_time_us(params, small, 1000000));
+}
+
+TEST(ServiceModel, FixedOverheadFloor) {
+  ServiceModelParams params;
+  params.query_overhead_us = 1500.0;
+  QueryStats none{0, 0, false};
+  EXPECT_EQ(service_time_us(params, none, 0), 1500);
+}
+
+TEST(ServiceModel, ZeroBandwidthMeansNoTransferTerm) {
+  ServiceModelParams params;
+  params.bandwidth_bytes_per_us = 0.0;
+  QueryStats none{0, 0, false};
+  EXPECT_EQ(service_time_us(params, none, 1 << 20),
+            static_cast<std::int64_t>(params.query_overhead_us));
+}
+
+}  // namespace
+}  // namespace roads::store

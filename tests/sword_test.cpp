@@ -1,0 +1,271 @@
+// Tests for the SWORD baseline: locality-preserving hashing, ring
+// structure and routing, registration placement, and exact query
+// results against a brute-force reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "record/query.h"
+#include "sword/locality_hash.h"
+#include "sword/ring.h"
+#include "sword/sword_system.h"
+#include "util/rng.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace roads::sword {
+namespace {
+
+using record::Predicate;
+using record::Query;
+
+// --- LocalityHash ---
+
+TEST(LocalityHash, MonotoneOverDomain) {
+  LocalityHash hash(0.0, 10.0);
+  double prev = -1.0;
+  for (double v = 0.0; v <= 10.0; v += 0.5) {
+    const double pos = hash.position(v);
+    EXPECT_GE(pos, 0.0);
+    EXPECT_LT(pos, 1.0);
+    EXPECT_GE(pos, prev);
+    prev = pos;
+  }
+}
+
+TEST(LocalityHash, ClampsOutOfDomain) {
+  LocalityHash hash(0.0, 1.0);
+  EXPECT_EQ(hash.position(-5.0), 0.0);
+  EXPECT_LT(hash.position(5.0), 1.0);
+  EXPECT_GT(hash.position(5.0), 0.99);
+}
+
+TEST(LocalityHash, RangeOrdersEnds) {
+  LocalityHash hash(0.0, 1.0);
+  const auto [lo, hi] = hash.range(0.8, 0.2);
+  EXPECT_LE(lo, hi);
+}
+
+TEST(LocalityHash, CategoricalStable) {
+  LocalityHash hash;
+  EXPECT_EQ(hash.position(std::string("MPEG2")),
+            hash.position(std::string("MPEG2")));
+  EXPECT_NE(hash.position(std::string("MPEG2")),
+            hash.position(std::string("H264")));
+}
+
+TEST(LocalityHash, RejectsEmptyDomain) {
+  EXPECT_THROW(LocalityHash(1.0, 1.0), std::invalid_argument);
+}
+
+// --- Ring ---
+
+TEST(Ring, SegmentOwnership) {
+  Ring ring({10, 20, 30, 40});  // four members, quarters of [0,1)
+  EXPECT_EQ(ring.server_for(0.0), 10u);
+  EXPECT_EQ(ring.server_for(0.26), 20u);
+  EXPECT_EQ(ring.server_for(0.5), 30u);
+  EXPECT_EQ(ring.server_for(0.999), 40u);
+  EXPECT_THROW(ring.index_for(1.0), std::out_of_range);
+  EXPECT_THROW(ring.index_for(-0.1), std::out_of_range);
+}
+
+TEST(Ring, SuccessorWraps) {
+  Ring ring({1, 2, 3});
+  EXPECT_EQ(ring.successor(0), 1u);
+  EXPECT_EQ(ring.successor(2), 0u);
+}
+
+TEST(Ring, RouteReachesTargetInLogHops) {
+  std::vector<sim::NodeId> members(64);
+  for (std::size_t i = 0; i < 64; ++i) members[i] = static_cast<sim::NodeId>(i);
+  Ring ring(members);
+  for (std::size_t from = 0; from < 64; from += 7) {
+    for (std::size_t to = 0; to < 64; to += 5) {
+      const auto path = ring.route(from, to);
+      if (from == to) {
+        EXPECT_TRUE(path.empty());
+      } else {
+        EXPECT_EQ(path.back(), to);
+        EXPECT_LE(path.size(), 7u);  // <= log2(64) + 1
+      }
+    }
+  }
+}
+
+TEST(Ring, RouteWrapsAround) {
+  Ring ring({0, 1, 2, 3, 4, 5, 6, 7});
+  const auto path = ring.route(6, 1);  // distance 3 across the wrap
+  EXPECT_EQ(path.back(), 1u);
+  EXPECT_LE(path.size(), 3u);
+}
+
+TEST(Ring, SegmentCoversRange) {
+  Ring ring({0, 1, 2, 3, 4, 5, 6, 7});
+  const auto segment = ring.segment(0.25, 0.6);
+  EXPECT_EQ(segment, (std::vector<std::size_t>{2, 3, 4}));
+  EXPECT_EQ(ring.segment(0.1, 0.1).size(), 1u);
+}
+
+TEST(Ring, RejectsEmpty) {
+  EXPECT_THROW(Ring(std::vector<sim::NodeId>{}), std::invalid_argument);
+}
+
+// --- SwordSystem ---
+
+SwordParams small_params(std::size_t attrs = 4) {
+  SwordParams p;
+  p.schema = record::Schema::uniform_numeric(attrs);
+  p.seed = 3;
+  return p;
+}
+
+std::vector<record::ResourceRecord> random_records(std::size_t node,
+                                                   std::size_t count,
+                                                   std::size_t attrs) {
+  util::Rng rng(100 + node);
+  std::vector<record::ResourceRecord> out;
+  for (std::size_t j = 0; j < count; ++j) {
+    std::vector<record::AttributeValue> values;
+    for (std::size_t a = 0; a < attrs; ++a) {
+      values.emplace_back(rng.uniform01());
+    }
+    out.emplace_back(node * 10000 + j, static_cast<record::OwnerId>(node),
+                     std::move(values));
+  }
+  return out;
+}
+
+TEST(SwordSystem, RingPartitioningCoversAllServers) {
+  SwordSystem sys(32, small_params(4));
+  ASSERT_EQ(sys.ring_count(), 4u);
+  std::set<sim::NodeId> all;
+  for (std::size_t a = 0; a < 4; ++a) {
+    const auto& ring = sys.ring(a);
+    EXPECT_EQ(ring.size(), 8u);  // 32 / 4
+    for (const auto m : ring.members()) {
+      EXPECT_TRUE(all.insert(m).second) << "server in two rings";
+    }
+  }
+  EXPECT_EQ(all.size(), 32u);
+}
+
+TEST(SwordSystem, RegistrationPlacesEveryRecordInEveryRing) {
+  SwordSystem sys(16, small_params(4));
+  for (std::size_t n = 0; n < 16; ++n) {
+    sys.set_records(static_cast<sim::NodeId>(n), random_records(n, 20, 4));
+  }
+  const auto bytes = sys.run_registration_round();
+  EXPECT_GT(bytes, 0u);
+  // Total stored bytes = records x rings x record wire size.
+  std::uint64_t stored = 0;
+  for (std::size_t s = 0; s < 16; ++s) {
+    stored += sys.stored_bytes(static_cast<sim::NodeId>(s));
+  }
+  const auto rec = random_records(0, 1, 4)[0];
+  EXPECT_EQ(stored, 16u * 20u * 4u * rec.wire_size());
+}
+
+TEST(SwordSystem, QueryMatchesBruteForce) {
+  const std::size_t attrs = 4;
+  SwordSystem sys(16, small_params(attrs));
+  std::vector<record::ResourceRecord> all;
+  for (std::size_t n = 0; n < 16; ++n) {
+    auto records = random_records(n, 30, attrs);
+    for (const auto& r : records) all.push_back(r);
+    sys.set_records(static_cast<sim::NodeId>(n), std::move(records));
+  }
+  sys.run_registration_round();
+
+  util::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    Query q;
+    for (std::size_t a = 0; a < 3; ++a) {
+      const double lo = rng.uniform01() * 0.7;
+      q.add(Predicate::range(a, lo, lo + 0.3));
+    }
+    const auto outcome =
+        sys.run_query(q, static_cast<sim::NodeId>(trial % 16));
+    EXPECT_TRUE(outcome.complete);
+    std::size_t expected = 0;
+    for (const auto& r : all) {
+      if (q.matches(r)) ++expected;
+    }
+    EXPECT_EQ(outcome.matching_records, expected) << "trial " << trial;
+  }
+}
+
+TEST(SwordSystem, UpdateBytesLinearInRecords) {
+  auto run = [](std::size_t records) {
+    SwordSystem sys(16, small_params(4));
+    for (std::size_t n = 0; n < 16; ++n) {
+      sys.set_records(static_cast<sim::NodeId>(n),
+                      random_records(n, records, 4));
+    }
+    return sys.run_registration_round();
+  };
+  const auto at50 = run(50);
+  const auto at200 = run(200);
+  const double ratio = static_cast<double>(at200) / static_cast<double>(at50);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(SwordSystem, ReRegistrationReplacesState) {
+  SwordSystem sys(8, small_params(4));
+  sys.set_records(0, random_records(0, 10, 4));
+  sys.run_registration_round();
+  const auto bytes_first = sys.max_stored_bytes();
+  sys.run_registration_round();  // same records -> same storage
+  EXPECT_EQ(sys.max_stored_bytes(), bytes_first);
+}
+
+TEST(SwordSystem, QueryLatencyGrowsWithSystemSize) {
+  auto run = [](std::size_t nodes) {
+    SwordSystem sys(nodes, small_params(4));
+    for (std::size_t n = 0; n < nodes; ++n) {
+      sys.set_records(static_cast<sim::NodeId>(n), random_records(n, 10, 4));
+    }
+    sys.run_registration_round();
+    Query q;
+    q.add(Predicate::range(0, 0.3, 0.55));
+    q.add(Predicate::range(1, 0.3, 0.55));
+    double total = 0;
+    for (int i = 0; i < 20; ++i) {
+      total += sys.run_query(q, static_cast<sim::NodeId>(i % nodes)).latency_ms;
+    }
+    return total / 20;
+  };
+  EXPECT_LT(run(16), run(128));
+}
+
+TEST(SwordSystem, ChoosesMostSelectiveRing) {
+  SwordSystem sys(16, small_params(4));
+  sys.set_records(0, random_records(0, 5, 4));
+  sys.run_registration_round();
+  // A query with a wide range on attr0 and a point-ish range on attr1
+  // must walk few servers (attr1's ring segment), not many.
+  Query q;
+  q.add(Predicate::range(0, 0.0, 1.0));
+  q.add(Predicate::range(1, 0.50, 0.51));
+  const auto outcome = sys.run_query(q, 3);
+  EXPECT_TRUE(outcome.complete);
+  // Entry + routing + 1-segment walk, not the whole attr0 ring.
+  EXPECT_LE(outcome.servers_contacted, 4u);
+}
+
+TEST(SwordSystem, EmptyQueryRejected) {
+  SwordSystem sys(8, small_params(4));
+  EXPECT_THROW(sys.run_query(Query(), 0), std::invalid_argument);
+}
+
+TEST(SwordSystem, RejectsBadConstruction) {
+  EXPECT_THROW(SwordSystem(0, small_params(4)), std::invalid_argument);
+  SwordParams no_attrs;
+  no_attrs.schema = record::Schema(std::vector<record::AttributeDef>{});
+  EXPECT_THROW(SwordSystem(4, no_attrs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace roads::sword

@@ -1,0 +1,276 @@
+// Tests for the workload generators: the paper's four attribute
+// distributions, per-node localization/anchoring, deterministic record
+// generation, and query generation (canonical dimension mix and
+// selectivity targeting).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hierarchy/topology.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/distributions.h"
+#include "workload/query_generator.h"
+#include "workload/record_generator.h"
+
+namespace roads::workload {
+namespace {
+
+// --- Distributions ---
+
+TEST(Distributions, AllKindsStayInUnitInterval) {
+  util::Rng rng(1);
+  for (const auto& dist :
+       {AttributeDist::uniform(), AttributeDist::window(0.5),
+        AttributeDist::gaussian(0.5, 0.15), AttributeDist::pareto(0.05, 1.5),
+        AttributeDist::gaussian(0.5, 0.05, true),
+        AttributeDist::pareto(0.05, 1.5, true)}) {
+    for (int i = 0; i < 2000; ++i) {
+      const double v = sample(dist, 0.3, rng);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Distributions, WindowValuesWithinWindow) {
+  util::Rng rng(2);
+  const auto dist = AttributeDist::window(0.25);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = sample(dist, 0.4, rng);
+    EXPECT_GE(v, 0.4);
+    EXPECT_LE(v, 0.65);
+  }
+}
+
+TEST(Distributions, LocalizedGaussianFollowsAnchor) {
+  util::Rng rng(3);
+  const auto dist = AttributeDist::gaussian(0.5, 0.05, true);
+  util::RunningStat low;
+  util::RunningStat high;
+  for (int i = 0; i < 3000; ++i) {
+    low.add(sample(dist, 0.0, rng));   // mean 0.15
+    high.add(sample(dist, 1.0, rng));  // mean 0.85
+  }
+  EXPECT_NEAR(low.mean(), 0.15, 0.03);
+  EXPECT_NEAR(high.mean(), 0.85, 0.03);
+}
+
+TEST(Distributions, LocalizedParetoBandFollowsAnchor) {
+  util::Rng rng(4);
+  const auto dist = AttributeDist::pareto(0.05, 1.5, true);
+  // anchor 0.5 -> xm = 0.32, truncation at 2.5*xm = 0.8.
+  for (int i = 0; i < 2000; ++i) {
+    const double v = sample(dist, 0.5, rng);
+    EXPECT_GE(v, 0.32 - 1e-9);
+    EXPECT_LE(v, 0.8 + 1e-9);
+  }
+}
+
+TEST(Distributions, PaperDefaultCyclesKinds) {
+  const auto spec = WorkloadSpec::paper_default(16, 500);
+  ASSERT_EQ(spec.attributes.size(), 16u);
+  EXPECT_EQ(spec.records_per_node, 500u);
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& d : spec.attributes) {
+    ++counts[static_cast<int>(d.kind)];
+  }
+  EXPECT_EQ(counts[static_cast<int>(DistKind::kUniform)], 4);
+  EXPECT_EQ(counts[static_cast<int>(DistKind::kWindow)], 4);
+  EXPECT_EQ(counts[static_cast<int>(DistKind::kGaussian)], 4);
+  EXPECT_EQ(counts[static_cast<int>(DistKind::kPareto)], 4);
+  EXPECT_DOUBLE_EQ(spec.attributes[1].window_length, 0.5);
+}
+
+TEST(Distributions, OverlapFactorRewritesFirstEight) {
+  const auto spec = WorkloadSpec::with_overlap_factor(4.0, 320, 16, 500);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(spec.attributes[i].kind, DistKind::kWindow) << i;
+    EXPECT_NEAR(spec.attributes[i].window_length, 4.0 / 320.0, 1e-12);
+  }
+  // Attributes 8..15 keep the default cycle.
+  EXPECT_EQ(spec.attributes[8].kind, DistKind::kUniform);
+  EXPECT_EQ(spec.attributes[10].kind, DistKind::kGaussian);
+}
+
+// --- RecordGenerator ---
+
+TEST(RecordGenerator, DeterministicPerSeedAndNode) {
+  const auto schema = record::Schema::uniform_numeric(8);
+  const auto spec = WorkloadSpec::paper_default(8, 20);
+  RecordGenerator a(schema, spec, 7);
+  RecordGenerator b(schema, spec, 7);
+  const auto ra = a.records_for_node(3, 1);
+  const auto rb = b.records_for_node(3, 1);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].values(), rb[i].values());
+  }
+  // A different seed changes the data.
+  RecordGenerator c(schema, spec, 8);
+  EXPECT_NE(c.records_for_node(3, 1)[0].values(), ra[0].values());
+}
+
+TEST(RecordGenerator, GloballyUniqueIdsAndOwner) {
+  const auto schema = record::Schema::uniform_numeric(4);
+  const auto spec = WorkloadSpec::paper_default(4, 50);
+  RecordGenerator gen(schema, spec, 1);
+  std::set<record::RecordId> ids;
+  for (std::uint32_t n = 0; n < 5; ++n) {
+    for (const auto& r : gen.records_for_node(n, n + 10)) {
+      EXPECT_TRUE(ids.insert(r.id()).second);
+      EXPECT_EQ(r.owner(), n + 10);
+      EXPECT_TRUE(r.conforms_to(schema));
+    }
+  }
+  EXPECT_EQ(ids.size(), 250u);
+}
+
+TEST(RecordGenerator, WindowsDifferAcrossNodes) {
+  const auto schema = record::Schema::uniform_numeric(8);
+  const auto spec = WorkloadSpec::paper_default(8, 10);
+  RecordGenerator gen(schema, spec, 2);
+  // Attribute 1 is a window attribute; anchors should differ per node.
+  std::set<double> anchors;
+  for (std::uint32_t n = 0; n < 10; ++n) {
+    anchors.insert(gen.node_anchor(n, 1));
+  }
+  EXPECT_GT(anchors.size(), 8u);
+}
+
+TEST(RecordGenerator, AnchorRankOverridesRandomPlacement) {
+  const auto schema = record::Schema::uniform_numeric(8);
+  const auto spec = WorkloadSpec::paper_default(8, 10);
+  RecordGenerator gen(schema, spec, 2);
+  gen.set_anchor_rank(0, 0.0);
+  gen.set_anchor_rank(1, 0.02);
+  gen.set_anchor_rank(2, 0.4);
+  // Nearby ranks -> nearby anchors; far rank -> far anchor. The
+  // rotation is circular, so use ranks that avoid the wrap point for
+  // this attribute (the localized Gaussian at index 2).
+  const double a0 = gen.node_anchor(0, 2);
+  const double a1 = gen.node_anchor(1, 2);
+  const double a2 = gen.node_anchor(2, 2);
+  EXPECT_LT(std::abs(a0 - a1), 0.05);
+  EXPECT_GT(std::abs(a0 - a2), 0.2);
+}
+
+TEST(RecordGenerator, BalancedTreeAnchorsMakeSubtreesContiguous) {
+  const auto schema = record::Schema::uniform_numeric(8);
+  const auto spec = WorkloadSpec::paper_default(8, 10);
+  RecordGenerator gen(schema, spec, 2);
+  gen.anchor_by_balanced_tree(40, 3);
+  const auto topo = hierarchy::Topology::join_filled(40, 3);
+  // For each level-1 subtree the anchors on a window attribute must
+  // span a narrow band (contiguous DFS ranks). The per-attribute
+  // rotation is circular, so measure the circular span (1 minus the
+  // largest gap between sorted anchors).
+  for (const auto child : topo.children(topo.root())) {
+    const auto sub = topo.subtree(child);
+    std::vector<double> anchors;
+    for (const auto n : sub) anchors.push_back(gen.node_anchor(n, 1));
+    std::sort(anchors.begin(), anchors.end());
+    double largest_gap = (0.5 - anchors.back()) + anchors.front();
+    for (std::size_t i = 1; i < anchors.size(); ++i) {
+      largest_gap = std::max(largest_gap, anchors[i] - anchors[i - 1]);
+    }
+    const double circular_span = 0.5 - largest_gap;  // window span is 0.5
+    EXPECT_LT(circular_span,
+              0.7 * static_cast<double>(sub.size()) / 40.0 + 0.05);
+  }
+}
+
+TEST(RecordGenerator, RejectsSpecSchemaMismatch) {
+  EXPECT_THROW(RecordGenerator(record::Schema::uniform_numeric(4),
+                               WorkloadSpec::paper_default(8, 10), 1),
+               std::invalid_argument);
+}
+
+// --- QueryGenerator ---
+
+TEST(QueryGenerator, CanonicalDimensionMix) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = WorkloadSpec::paper_default(16, 10);
+  QueryGenerator gen(schema, spec, 1);
+  const auto& order = gen.dimension_order();
+  ASSERT_GE(order.size(), 6u);
+  // First six: u, w, g, p, u, w -> the paper's 2 uniform + 2 range +
+  // 1 gaussian + 1 pareto mix.
+  EXPECT_EQ(spec.attributes[order[0]].kind, DistKind::kUniform);
+  EXPECT_EQ(spec.attributes[order[1]].kind, DistKind::kWindow);
+  EXPECT_EQ(spec.attributes[order[2]].kind, DistKind::kGaussian);
+  EXPECT_EQ(spec.attributes[order[3]].kind, DistKind::kPareto);
+  EXPECT_EQ(spec.attributes[order[4]].kind, DistKind::kUniform);
+  EXPECT_EQ(spec.attributes[order[5]].kind, DistKind::kWindow);
+}
+
+TEST(QueryGenerator, GeneratesRequestedDimensionsAndLength) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = WorkloadSpec::paper_default(16, 10);
+  QueryGenerator gen(schema, spec, 2);
+  const auto q = gen.generate(6, 0.25);
+  ASSERT_EQ(q.dimensions(), 6u);
+  EXPECT_TRUE(q.valid_for(schema));
+  for (const auto& p : q.predicates()) {
+    EXPECT_LE(p.hi - p.lo, 0.25 + 1e-9);
+    EXPECT_GE(p.lo, 0.0);
+    EXPECT_LE(p.hi, 1.0);
+  }
+}
+
+TEST(QueryGenerator, BatchDeterministicPerSeed) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = WorkloadSpec::paper_default(16, 10);
+  QueryGenerator a(schema, spec, 3);
+  QueryGenerator b(schema, spec, 3);
+  const auto qa = a.generate_batch(20, 6);
+  const auto qb = b.generate_batch(20, 6);
+  for (std::size_t i = 0; i < 20; ++i) {
+    ASSERT_EQ(qa[i].dimensions(), qb[i].dimensions());
+    for (std::size_t d = 0; d < 6; ++d) {
+      EXPECT_DOUBLE_EQ(qa[i].predicates()[d].lo, qb[i].predicates()[d].lo);
+    }
+  }
+}
+
+TEST(QueryGenerator, TooManyDimensionsThrows) {
+  const auto schema = record::Schema::uniform_numeric(4);
+  const auto spec = WorkloadSpec::paper_default(4, 10);
+  QueryGenerator gen(schema, spec, 1);
+  EXPECT_THROW(gen.generate(5, 0.25), std::invalid_argument);
+}
+
+TEST(QueryGenerator, SelectivityComputation) {
+  const auto schema = record::Schema::uniform_numeric(2);
+  std::vector<record::ResourceRecord> sample;
+  for (int i = 0; i < 10; ++i) {
+    sample.emplace_back(i, 1,
+                        std::vector<record::AttributeValue>{
+                            record::AttributeValue(i / 10.0),
+                            record::AttributeValue(0.5)});
+  }
+  record::Query q;
+  q.add(record::Predicate::range(0, 0.0, 0.35));
+  EXPECT_DOUBLE_EQ(QueryGenerator::selectivity(q, sample), 0.4);
+  EXPECT_DOUBLE_EQ(QueryGenerator::selectivity(q, {}), 0.0);
+}
+
+TEST(QueryGenerator, SelectivityTargetingHitsTolerance) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = WorkloadSpec::paper_default(16, 10);
+  RecordGenerator rgen(schema, spec, 4);
+  std::vector<record::ResourceRecord> sample;
+  for (std::uint32_t n = 0; n < 80; ++n) {
+    for (auto& r : rgen.records_for_node(n, 1)) sample.push_back(std::move(r));
+  }
+  QueryGenerator qgen(schema, spec, 5);
+  for (const double target : {0.005, 0.01, 0.05}) {
+    const auto q = qgen.generate_with_selectivity(sample, target, 0.5, 6);
+    ASSERT_TRUE(q.has_value()) << "target " << target;
+    const double got = QueryGenerator::selectivity(*q, sample);
+    EXPECT_NEAR(got, target, target * 0.5 + 1e-9) << "target " << target;
+  }
+}
+
+}  // namespace
+}  // namespace roads::workload
