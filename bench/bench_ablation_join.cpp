@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
                    util::Table::num(m.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
+  bench::write_report("ablation_join", profile, table);
   std::printf(
       "\nexpected: balanced gives the shallowest tree and lowest latency; "
       "random\ndescent degrades both; proximity lands between (shorter "

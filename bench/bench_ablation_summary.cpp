@@ -144,6 +144,7 @@ int main(int argc, char** argv) {
                    util::Table::num(bloom.query_bytes, 0)});
   }
   table.print(std::cout);
+  bench::write_report("ablation_summary", profile, table);
   std::printf(
       "\nexpected: tiny Bloom filters save summary bytes but false "
       "positives raise\nservers-contacted; large filters approach the "

@@ -7,11 +7,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "exp/experiment.h"
+#include "obs/export.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -63,6 +66,54 @@ inline void print_header(const char* title, const BenchProfile& profile) {
               profile.full ? "full/paper" : "quick", profile.base.runs,
               profile.base.queries,
               static_cast<unsigned long long>(profile.base.seed));
+}
+
+/// Emits one table cell as JSON: numeric-looking cells become numbers
+/// so downstream tooling can plot without re-parsing strings.
+inline std::string json_cell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size()) return obs::json_number(v);
+  }
+  return "\"" + obs::json_escape(cell) + "\"";
+}
+
+/// Writes the bench's result table to BENCH_<name>.json in the working
+/// directory — the machine-readable twin of the printed ASCII table,
+/// tagged with the profile so quick and full runs are distinguishable.
+inline void write_report(const std::string& name, const BenchProfile& profile,
+                         const util::Table& table) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  os << "{\n  \"bench\": \"" << obs::json_escape(name) << "\",\n";
+  os << "  \"profile\": {\"full\": " << (profile.full ? "true" : "false")
+     << ", \"runs\": " << profile.base.runs
+     << ", \"queries\": " << profile.base.queries
+     << ", \"nodes\": " << profile.base.nodes
+     << ", \"records_per_node\": " << profile.base.records_per_node
+     << ", \"seed\": " << profile.base.seed << "},\n";
+  os << "  \"headers\": [";
+  for (std::size_t i = 0; i < table.headers().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << obs::json_escape(table.headers()[i]) << "\"";
+  }
+  os << "],\n  \"rows\": [\n";
+  for (std::size_t r = 0; r < table.rows().size(); ++r) {
+    os << "    [";
+    const auto& row = table.rows()[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << json_cell(row[c]);
+    }
+    os << "]" << (r + 1 < table.rows().size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cerr << "wrote " << path << "\n";
 }
 
 }  // namespace roads::bench

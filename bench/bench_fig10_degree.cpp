@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
                    util::Table::num(roads.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
+  bench::write_report("fig10_degree", profile, table);
   std::printf(
       "\npaper shape: latency decreases as degree grows (flatter "
       "hierarchy, fewer hops);\nquery overhead decreases with it.\n");

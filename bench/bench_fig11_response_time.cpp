@@ -129,6 +129,7 @@ int main(int argc, char** argv) {
                    util::Table::num(central_ms.percentile(90.0), 0)});
   }
   table.print(std::cout);
+  bench::write_report("fig11_response_time", profile, table);
   std::printf(
       "\npaper shape: central faster at low selectivity (one round trip); "
       "ROADS\ncomparable at ~1%% and faster at ~3%% (parallel retrieval "

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                    util::Table::num(roads.hierarchy_height, 0)});
   }
   table.print(std::cout);
+  bench::write_report("fig3_latency_nodes", profile, table);
   std::printf(
       "\npaper shape: ROADS ~log (depth-bound, jump when height grows), "
       "SWORD linear;\nROADS 40-60%% lower latency at scale.\n");

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                           1)});
   }
   table.print(std::cout);
+  bench::write_report("fig4_update_nodes", profile, table);
   std::printf(
       "\npaper shape: ROADS 1-2 orders of magnitude below SWORD at every "
       "size\n(constant-size summaries vs per-record multi-ring "

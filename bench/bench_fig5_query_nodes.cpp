@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
          util::Table::num(sword.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
+  bench::write_report("fig5_query_nodes", profile, table);
   std::printf(
       "\npaper shape: ROADS above SWORD (2-5x in the paper; voluntary "
       "sharing\nforces visiting every owner with matches), both growing "

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
                           1)});
   }
   table.print(std::cout);
+  bench::write_report("fig8_update_records", profile, table);
   std::printf(
       "\npaper shape: ROADS constant (fixed-size summaries); SWORD linear "
       "in records.\n");

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
                    util::Table::sci(roads.update_bytes_per_s)});
   }
   table.print(std::cout);
+  bench::write_report("fig9_overlap", profile, table);
   std::printf(
       "\npaper shape: latency and query overhead increase mildly with "
       "overlap\n(more servers hold matching records); update overhead "

@@ -5,6 +5,9 @@
 // explainable.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "record/query.h"
 #include "sim/delay_space.h"
 #include "sim/simulator.h"
@@ -160,4 +163,27 @@ BENCHMARK(BM_RngUniform);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to also writing the results as
+// BENCH_micro_core.json so this binary matches the table benches'
+// machine-readable reporting. Explicit --benchmark_out flags win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_core.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

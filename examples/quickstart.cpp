@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "roads/federation.h"
+#include "util/log.h"
 
 using namespace roads;
 
@@ -28,6 +29,9 @@ int main() {
   params.config.summary.histogram_buckets = 100;
 
   core::Federation fed(std::move(params));
+  // Stamp any log narration with the simulation clock so it lines up
+  // with the trace events below.
+  util::set_log_clock([&fed] { return fed.simulator().now(); });
   fed.add_servers(5);  // server 0 becomes the root, 1..4 join it
   std::printf("federation: %zu servers, hierarchy height %zu\n",
               fed.server_count(), fed.topology().height());
@@ -66,5 +70,24 @@ int main() {
       outcome.latency_ms,
       static_cast<unsigned long long>(outcome.query_bytes));
 
+  // Every query allocates a trace span; replay this one hop by hop
+  // from the federation's trace buffer.
+  if (const auto* trace = fed.trace()) {
+    const auto starts = trace->events_of(obs::TraceKind::kQueryStart);
+    if (!starts.empty()) {
+      std::printf("\ntrace of span %llu:\n",
+                  static_cast<unsigned long long>(starts.back().span));
+      for (const auto& ev : trace->span_events(starts.back().span)) {
+        std::printf("  t=%6.1fms  %-14s node=%u  value=%.1f\n",
+                    static_cast<double>(ev.at_us) / 1000.0,
+                    obs::to_string(ev.kind), ev.node, ev.value);
+      }
+    }
+  }
+  std::printf("query hops counted federation-wide: %llu\n",
+              static_cast<unsigned long long>(
+                  fed.metrics().counter("roads.query.hops").value()));
+
+  util::set_log_clock(nullptr);
   return outcome.matching_records == 2 ? 0 : 1;
 }

@@ -19,7 +19,10 @@ CentralRepository::CentralRepository(std::size_t client_nodes,
       delay_space_(client_nodes + 1, rng_.fork(0x5e1f), params_.delay),
       network_(simulator_, delay_space_, rng_.fork(0x2e70)),
       node_count_(client_nodes + 1),
-      store_(params_.schema) {}
+      store_(params_.schema),
+      lookup_us_(network_.metrics().histogram("central.lookup_us")),
+      store_us_(network_.metrics().histogram("central.store_us")),
+      export_rounds_(network_.metrics().counter("central.export_rounds")) {}
 
 void CentralRepository::set_records(
     sim::NodeId owner, std::vector<record::ResourceRecord> records) {
@@ -31,17 +34,21 @@ void CentralRepository::set_records(
 
 std::uint64_t CentralRepository::run_export_round() {
   const auto before = network_.meter(sim::Channel::kUpdate).bytes;
-  // Soft-state refresh: rebuild the repository from current exports.
-  store_ = store::RecordStore(params_.schema);
-  for (const auto& [owner, records] : owner_records_) {
-    std::uint64_t bytes = 0;
-    for (const auto& r : records) {
-      bytes += r.wire_size();
-      store_.insert(r);
-    }
-    if (owner != repository_node() && bytes > 0) {
-      network_.send_bulk(owner, repository_node(), records.size(), bytes,
-                         sim::Channel::kUpdate, [] {});
+  export_rounds_.inc();
+  {
+    obs::ScopedTimer timer(store_us_);
+    // Soft-state refresh: rebuild the repository from current exports.
+    store_ = store::RecordStore(params_.schema);
+    for (const auto& [owner, records] : owner_records_) {
+      std::uint64_t bytes = 0;
+      for (const auto& r : records) {
+        bytes += r.wire_size();
+        store_.insert(r);
+      }
+      if (owner != repository_node() && bytes > 0) {
+        network_.send_bulk(owner, repository_node(), records.size(), bytes,
+                           sim::Channel::kUpdate, [] {});
+      }
     }
   }
   simulator_.run();
@@ -66,7 +73,11 @@ CentralQueryOutcome CentralRepository::run_query(const record::Query& query,
       client, repository_node(), query.wire_size() + kQueryHeader,
       sim::Channel::kQuery, [this, run, query, client] {
         store::QueryStats stats{};
-        const auto ids = store_.query(query, &stats);
+        std::vector<record::RecordId> ids;
+        {
+          obs::ScopedTimer timer(lookup_us_);
+          ids = store_.query(query, &stats);
+        }
         std::uint64_t record_bytes = 0;
         for (const auto id : ids) record_bytes += store_.get(id).wire_size();
         const auto service =

@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "record/query.h"
 #include "record/record.h"
 #include "record/schema.h"
@@ -52,6 +53,9 @@ class CentralRepository {
   std::size_t node_count() const { return node_count_; }
   const record::Schema& schema() const { return params_.schema; }
   sim::Network& network() { return network_; }
+  /// Shared instrument registry (central.* latencies live here next to
+  /// the net.* channel meters).
+  obs::MetricsRegistry& metrics() { return network_.metrics(); }
   sim::Time record_refresh_period() const {
     return params_.record_refresh_period;
   }
@@ -82,6 +86,9 @@ class CentralRepository {
   std::size_t node_count_;
 
   store::RecordStore store_;
+  obs::Histogram& lookup_us_;
+  obs::Histogram& store_us_;
+  obs::Counter& export_rounds_;
   std::map<sim::NodeId, std::vector<record::ResourceRecord>> owner_records_;
 };
 

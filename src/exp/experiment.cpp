@@ -137,6 +137,7 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
     metrics.root_contact_fraction =
         static_cast<double>(touched_root) / static_cast<double>(completed);
   }
+  metrics.instruments = fed.network().metrics().snapshot();
   return metrics;
 }
 
@@ -192,6 +193,7 @@ RunMetrics run_sword_once(const ExpConfig& config, std::uint64_t run_seed) {
   metrics.servers_contacted_avg = contacted.mean();
   metrics.matches_avg = matches.mean();
   metrics.queries_completed = static_cast<double>(completed);
+  metrics.instruments = sys.network().metrics().snapshot();
   return metrics;
 }
 
@@ -200,8 +202,11 @@ RunMetrics average_runs(
     const std::function<RunMetrics(const ExpConfig&, std::uint64_t)>& system) {
   RunMetrics sum;
   const std::size_t runs = std::max<std::size_t>(1, config.runs);
+  std::vector<util::MetricSet> instruments;
+  instruments.reserve(runs);
   for (std::size_t i = 0; i < runs; ++i) {
-    const auto m = system(config, config.seed + i);
+    auto m = system(config, config.seed + i);
+    instruments.push_back(std::move(m.instruments));
     sum.latency_avg_ms += m.latency_avg_ms;
     sum.latency_p90_ms += m.latency_p90_ms;
     sum.query_bytes_avg += m.query_bytes_avg;
@@ -228,6 +233,7 @@ RunMetrics average_runs(
   sum.hierarchy_height /= d;
   sum.maintenance_msgs_per_round /= d;
   sum.root_contact_fraction /= d;
+  sum.instruments = util::MetricSet::average(instruments);
   return sum;
 }
 

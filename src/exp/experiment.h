@@ -81,6 +81,10 @@ struct RunMetrics {
   /// ROADS only: fraction of queries whose resolution touched the root
   /// — the bottleneck measure the replication overlay exists to fix.
   double root_contact_fraction = 0.0;
+  /// Snapshot of the run's instrument registry (net.* channel meters,
+  /// roads.* protocol counters, overlay/central latency histograms),
+  /// averaged element-wise across repetitions.
+  util::MetricSet instruments;
 };
 
 /// Runs ROADS once at this parameter point. `run_seed` perturbs

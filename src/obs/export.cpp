@@ -1,0 +1,110 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace roads::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_trace_jsonl(const TraceBuffer& trace, std::ostream& os) {
+  for (const auto& ev : trace.events()) {
+    os << "{\"t_us\":" << ev.at_us << ",\"kind\":\"" << to_string(ev.kind)
+       << "\",\"node\":" << ev.node;
+    if (ev.span != 0) os << ",\"span\":" << ev.span;
+    if (ev.peer != ev.node || ev.kind == TraceKind::kSend ||
+        ev.kind == TraceKind::kDeliver) {
+      os << ",\"peer\":" << ev.peer;
+    }
+    if (ev.bytes != 0) os << ",\"bytes\":" << ev.bytes;
+    if (ev.value != 0.0) os << ",\"value\":" << json_number(ev.value);
+    if (!ev.label.empty()) {
+      os << ",\"label\":\"" << json_escape(ev.label) << "\"";
+    }
+    os << "}\n";
+  }
+}
+
+std::string prometheus_name(const std::string& prefix,
+                            const std::string& name) {
+  std::string out = prefix.empty() ? "" : prefix + "_";
+  for (const char c : name) {
+    out += (c == '.' || c == '-' || c == ' ') ? '_' : c;
+  }
+  return out;
+}
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& os,
+                      const std::string& prefix) {
+  for (const auto& [name, c] : registry.counters()) {
+    const auto pname = prometheus_name(prefix, name);
+    os << "# TYPE " << pname << " counter\n"
+       << pname << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const auto pname = prometheus_name(prefix, name);
+    os << "# TYPE " << pname << " gauge\n"
+       << pname << " " << json_number(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const auto pname = prometheus_name(prefix, name);
+    os << "# TYPE " << pname << " histogram\n";
+    const auto& bounds = h->bounds();
+    const auto buckets = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += buckets[i];
+      os << pname << "_bucket{le=\"" << json_number(bounds[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    cumulative += buckets.back();
+    os << pname << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << pname << "_sum " << json_number(h->sum()) << "\n";
+    os << pname << "_count " << h->count() << "\n";
+  }
+}
+
+}  // namespace roads::obs

@@ -1,0 +1,39 @@
+// Machine-readable exporters for the obs layer: JSON-lines trace
+// dumps (one event object per line, greppable and stream-parseable),
+// Prometheus text exposition for the metrics registry, and the small
+// JSON formatting helpers the bench reporter reuses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace roads::obs {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+/// Formats a double as a JSON number: integers lose the trailing ".0",
+/// non-finite values become null (JSON has no inf/nan).
+std::string json_number(double v);
+
+/// One event per line:
+///   {"t_us":1234,"kind":"query_hop","node":3,...}
+/// Fields that carry no information for the kind (span 0, zero bytes)
+/// are omitted to keep lines short.
+void write_trace_jsonl(const TraceBuffer& trace, std::ostream& os);
+
+/// Prometheus text exposition (type comments + samples). Metric names
+/// are sanitized ('.' and '-' become '_') and prefixed, e.g.
+/// "net.query.bytes" -> "roads_net_query_bytes". Histograms emit
+/// cumulative _bucket{le="..."} series plus _sum and _count.
+void write_prometheus(const MetricsRegistry& registry, std::ostream& os,
+                      const std::string& prefix = "roads");
+
+/// Name sanitizer used by write_prometheus, exposed for tests.
+std::string prometheus_name(const std::string& prefix,
+                            const std::string& name);
+
+}  // namespace roads::obs

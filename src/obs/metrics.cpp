@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace roads::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+}
+
+void Histogram::record(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  stat_.add(x);
+  samples_.add(x);
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.count();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.sum();
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.mean();
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.min();
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.max();
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.percentile(q * 100.0);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_;
+}
+
+std::vector<double> default_latency_buckets() {
+  return {0.5,    1.0,    2.5,     5.0,     10.0,    25.0,     50.0,
+          100.0,  250.0,  500.0,   1000.0,  2500.0,  5000.0,   10000.0,
+          25000.0, 50000.0, 100000.0, 250000.0, 500000.0, 1000000.0};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+util::MetricSet MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::MetricSet out;
+  for (const auto& [name, c] : counters_) {
+    out.set(name, static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.set(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.set(name + ".count", static_cast<double>(h->count()));
+    out.set(name + ".mean", h->mean());
+    out.set(name + ".p50", h->quantile(0.50));
+    out.set(name + ".p90", h->quantile(0.90));
+    out.set(name + ".p99", h->quantile(0.99));
+    out.set(name + ".max", h->max());
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_counters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [_, c] : counters_) c->reset();
+}
+
+std::vector<std::pair<std::string, const Counter*>> MetricsRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+double ScopedTimer::wall_clock_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedTimer::ScopedTimer(Histogram& hist)
+    : hist_(hist), clock_(&ScopedTimer::wall_clock_us), start_(clock_()) {}
+
+ScopedTimer::ScopedTimer(Histogram& hist, ClockFn clock)
+    : hist_(hist), clock_(std::move(clock)), start_(clock_()) {}
+
+ScopedTimer::~ScopedTimer() { hist_.record(clock_() - start_); }
+
+}  // namespace roads::obs

@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+
+namespace roads::obs {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend:
+      return "send";
+    case TraceKind::kDeliver:
+      return "deliver";
+    case TraceKind::kDrop:
+      return "drop";
+    case TraceKind::kJoin:
+      return "join";
+    case TraceKind::kLeave:
+      return "leave";
+    case TraceKind::kHeartbeatMiss:
+      return "heartbeat_miss";
+    case TraceKind::kRejoin:
+      return "rejoin";
+    case TraceKind::kRootElection:
+      return "root_election";
+    case TraceKind::kQueryStart:
+      return "query_start";
+    case TraceKind::kQueryHop:
+      return "query_hop";
+    case TraceKind::kQueryRedirect:
+      return "query_redirect";
+    case TraceKind::kQueryFalsePositive:
+      return "query_false_positive";
+    case TraceKind::kQueryComplete:
+      return "query_complete";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceBuffer: capacity must be positive");
+  }
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceBuffer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(event));
+}
+
+std::uint64_t TraceBuffer::next_span() {
+  return next_span_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<TraceEvent> TraceBuffer::span_events(std::uint64_t span) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& ev : ring_) {
+    if (ev.span == span) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceBuffer::events_of(TraceKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& ev : ring_) {
+    if (ev.kind == kind) out.push_back(ev);
+  }
+  return out;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace roads::obs

@@ -1,0 +1,85 @@
+// Structured event tracing. A TraceBuffer is a bounded ring of typed
+// events — message sends/deliveries with channel and byte size, server
+// join/leave/heartbeat-miss/rejoin transitions, and query lifecycle
+// spans (start, per-hop arrival with latency, redirects including
+// summary false positives, completion). Queries allocate a span id so
+// a hop-by-hop record of one query can be pulled out of the mixed
+// stream afterwards. Bounded capacity + eviction keeps long
+// simulations at O(capacity) memory; the dropped() counter says how
+// much history was lost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace roads::obs {
+
+enum class TraceKind : std::uint8_t {
+  // Network layer.
+  kSend = 0,     // node -> peer, bytes on `label` channel
+  kDeliver = 1,  // delivery event fired at peer
+  kDrop = 2,     // lost to a down node or the loss coin
+  // Hierarchy maintenance.
+  kJoin = 3,           // node joined under peer
+  kLeave = 4,          // node left gracefully
+  kHeartbeatMiss = 5,  // node declared peer failed
+  kRejoin = 6,         // node starts rejoining via candidate peer
+  kRootElection = 7,   // node elected itself root
+  // Query lifecycle (span != 0).
+  kQueryStart = 8,          // issued at node
+  kQueryHop = 9,            // arrived at node; value = latency-so-far ms
+  kQueryRedirect = 10,      // node redirected to value targets
+  kQueryFalsePositive = 11, // summary matched but node had nothing
+  kQueryComplete = 12,      // value = matching records
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  std::int64_t at_us = 0;   // simulation time
+  TraceKind kind = TraceKind::kSend;
+  std::uint64_t span = 0;   // query span id; 0 = not part of a span
+  std::uint32_t node = 0;   // primary actor
+  std::uint32_t peer = 0;   // counterpart (receiver, parent, target...)
+  std::uint64_t bytes = 0;
+  double value = 0.0;       // kind-specific scalar (latency ms, counts)
+  std::string label;        // channel name or short annotation
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 8192);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Events evicted so far to keep the buffer bounded.
+  std::uint64_t dropped() const;
+
+  /// Appends an event, evicting the oldest when full. Thread-safe.
+  void record(TraceEvent event);
+
+  /// Allocates a fresh query span id (1, 2, ...).
+  std::uint64_t next_span();
+
+  /// Oldest-first snapshot of everything currently buffered.
+  std::vector<TraceEvent> events() const;
+  /// Oldest-first snapshot restricted to one query span.
+  std::vector<TraceEvent> span_events(std::uint64_t span) const;
+  /// Oldest-first snapshot restricted to one kind.
+  std::vector<TraceEvent> events_of(TraceKind kind) const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<TraceEvent> ring_;
+  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> next_span_{0};
+};
+
+}  // namespace roads::obs

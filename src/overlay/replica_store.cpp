@@ -1,9 +1,18 @@
 #include "overlay/replica_store.h"
 
+#include <optional>
+
 namespace roads::overlay {
+
+void ReplicaStore::bind_metrics(obs::MetricsRegistry& registry) {
+  put_us_ = &registry.histogram("overlay.put_us");
+  match_us_ = &registry.histogram("overlay.match_us");
+}
 
 void ReplicaStore::put(const ReplicaSpec& spec, SummaryPtr summary,
                        sim::Time now) {
+  std::optional<obs::ScopedTimer> timer;
+  if (put_us_) timer.emplace(*put_us_);
   auto& slot = replicas_[{spec.origin, spec.kind}];
   slot.spec = spec;
   slot.summary = std::move(summary);
@@ -48,6 +57,8 @@ std::vector<const Replica*> ReplicaStore::all() const {
 
 std::vector<const Replica*> ReplicaStore::matching(
     const record::Query& query, SummaryKind kind) const {
+  std::optional<obs::ScopedTimer> timer;
+  if (match_us_) timer.emplace(*match_us_);
   std::vector<const Replica*> out;
   for (const auto& [key, r] : replicas_) {
     if (key.second != kind) continue;

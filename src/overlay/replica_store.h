@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "overlay/replica_set.h"
 #include "record/query.h"
 #include "sim/time.h"
@@ -34,6 +35,10 @@ class ReplicaStore {
 
   sim::Time ttl() const { return ttl_; }
   std::size_t size() const { return replicas_.size(); }
+
+  /// Publishes put/match wall-clock latency histograms through the
+  /// shared registry; safe to call more than once (same instruments).
+  void bind_metrics(obs::MetricsRegistry& registry);
 
   /// Inserts or refreshes a replica.
   void put(const ReplicaSpec& spec, SummaryPtr summary, sim::Time now);
@@ -64,6 +69,8 @@ class ReplicaStore {
   using Key = std::pair<NodeId, SummaryKind>;
   sim::Time ttl_;
   std::map<Key, Replica> replicas_;
+  obs::Histogram* put_us_ = nullptr;
+  obs::Histogram* match_us_ = nullptr;
 };
 
 }  // namespace roads::overlay

@@ -14,11 +14,29 @@ RoadsClient::RoadsClient(sim::Network& network, Directory& directory,
       principal_(principal),
       collect_results_(collect_results) {}
 
+void RoadsClient::trace_span(obs::TraceKind kind, sim::NodeId node,
+                             double value) {
+  auto* trace = network_.trace();
+  if (!trace || span_ == 0) return;
+  obs::TraceEvent ev;
+  ev.at_us = network_.simulator().now();
+  ev.kind = kind;
+  ev.span = span_;
+  ev.node = node;
+  ev.peer = location_;
+  ev.value = value;
+  trace->record(std::move(ev));
+}
+
 void RoadsClient::start(sim::NodeId start_server) {
   started_ = true;
   result_.issued_at = network_.simulator().now();
   result_.last_arrival = result_.issued_at;
   result_.last_result_at = result_.issued_at;
+  if (auto* trace = network_.trace()) {
+    span_ = trace->next_span();
+    trace_span(obs::TraceKind::kQueryStart, start_server);
+  }
   visit(start_server, QueryMode::kStart);
 }
 
@@ -42,10 +60,12 @@ void RoadsClient::on_reply_timeout(sim::NodeId server) {
   check_complete();
 }
 
-void RoadsClient::on_arrival(sim::NodeId /*server*/) {
+void RoadsClient::on_arrival(sim::NodeId server) {
   result_.last_arrival =
       std::max(result_.last_arrival, network_.simulator().now());
   ++result_.servers_contacted;
+  trace_span(obs::TraceKind::kQueryHop, server,
+             sim::to_ms(network_.simulator().now() - result_.issued_at));
 }
 
 void RoadsClient::on_reply(
@@ -56,6 +76,10 @@ void RoadsClient::on_reply(
   --outstanding_replies_;
   result_.matching_records += local_matches;
   if (results_pending) results_expected_.insert(server);
+  if (!targets.empty()) {
+    trace_span(obs::TraceKind::kQueryRedirect, server,
+               static_cast<double>(targets.size()));
+  }
   for (const auto& [node, mode] : targets) visit(node, mode);
   check_complete();
 }
@@ -79,6 +103,8 @@ void RoadsClient::check_complete() {
     }
   }
   result_.complete = true;
+  trace_span(obs::TraceKind::kQueryComplete, location_,
+             static_cast<double>(result_.matching_records));
 }
 
 }  // namespace roads::core

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "record/query.h"
 #include "record/record.h"
 #include "roads/dispatch.h"
@@ -71,6 +72,9 @@ class RoadsClient : public std::enable_shared_from_this<RoadsClient> {
   const Result& result() const { return result_; }
   /// Every server/owner node this query contacted.
   const std::set<sim::NodeId>& visited() const { return visited_; }
+  /// Trace span id of this query's lifecycle events (0 when the
+  /// network has no trace buffer attached).
+  std::uint64_t span() const { return span_; }
 
   // --- Server-side callbacks (invoked at message delivery time) ---
 
@@ -91,6 +95,7 @@ class RoadsClient : public std::enable_shared_from_this<RoadsClient> {
   void visit(sim::NodeId target, QueryMode mode);
   void on_reply_timeout(sim::NodeId server);
   void check_complete();
+  void trace_span(obs::TraceKind kind, sim::NodeId node, double value = 0.0);
 
   sim::Network& network_;
   Directory& directory_;
@@ -107,6 +112,7 @@ class RoadsClient : public std::enable_shared_from_this<RoadsClient> {
   std::set<sim::NodeId> results_expected_;
   std::set<sim::NodeId> results_arrived_;
   bool started_ = false;
+  std::uint64_t span_ = 0;
   Result result_;
 };
 

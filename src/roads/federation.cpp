@@ -62,9 +62,13 @@ Federation::Federation(FederationParams params)
     : config_(params.config),
       schema_(std::move(params.schema)),
       rng_(params.seed),
+      trace_(params.trace_capacity > 0
+                 ? std::make_unique<obs::TraceBuffer>(params.trace_capacity)
+                 : nullptr),
       simulator_(),
       delay_space_(0, rng_.fork(0x5e1f), params.delay),
-      network_(simulator_, delay_space_, rng_.fork(0x2e70)) {}
+      network_(simulator_, delay_space_, rng_.fork(0x2e70), &metrics_,
+               trace_.get()) {}
 
 Federation::~Federation() = default;
 

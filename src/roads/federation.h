@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "hierarchy/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "record/query.h"
 #include "record/schema.h"
 #include "roads/client.h"
@@ -41,6 +43,9 @@ struct FederationParams {
   record::Schema schema = record::Schema::uniform_numeric(16);
   std::uint64_t seed = 1;
   sim::DelaySpaceParams delay;
+  /// Bound on the structured trace ring (message, maintenance and
+  /// query-span events); 0 disables tracing entirely.
+  std::size_t trace_capacity = 8192;
 };
 
 /// Everything a caller wants to know about one resolved query.
@@ -128,6 +133,13 @@ class Federation : public Directory {
 
   sim::Simulator& simulator() { return simulator_; }
   sim::Network& network() { return network_; }
+  /// Shared instrument registry: network channel meters plus every
+  /// server/overlay instrument of this federation.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Structured event trace; nullptr when trace_capacity was 0.
+  obs::TraceBuffer* trace() { return trace_.get(); }
+  const obs::TraceBuffer* trace() const { return trace_.get(); }
   const record::Schema& schema() const { return schema_; }
   const RoadsConfig& config() const { return config_; }
   RoadsConfig& mutable_config() { return config_; }
@@ -144,6 +156,8 @@ class Federation : public Directory {
   RoadsConfig config_;
   record::Schema schema_;
   util::Rng rng_;
+  obs::MetricsRegistry metrics_;           // must outlive network_
+  std::unique_ptr<obs::TraceBuffer> trace_;  // likewise
   sim::Simulator simulator_;
   sim::DelaySpace delay_space_;
   sim::Network network_;

@@ -22,8 +22,34 @@ RoadsServer::RoadsServer(sim::NodeId id, const RoadsConfig& config,
       schema_(std::move(schema)),
       rng_(rng),
       join_policy_(config.join_policy, config.max_children),
+      query_hops_(network.metrics().counter("roads.query.hops")),
+      query_false_positives_(
+          network.metrics().counter("roads.query.false_positives")),
+      summary_merges_(network.metrics().counter("roads.summary.merges")),
+      overlay_shortcut_hits_(
+          network.metrics().counter("roads.overlay.shortcut_hits")),
+      joins_(network.metrics().counter("roads.server.joins")),
+      rejoins_(network.metrics().counter("roads.server.rejoins")),
+      heartbeat_misses_(
+          network.metrics().counter("roads.server.heartbeat_misses")),
       store_(schema_),
-      replicas_(config.summary_ttl) {}
+      replicas_(config.summary_ttl) {
+  replicas_.bind_metrics(network.metrics());
+}
+
+void RoadsServer::trace_event(obs::TraceKind kind, sim::NodeId peer,
+                              double value, std::uint64_t span) const {
+  auto* trace = network_.trace();
+  if (!trace) return;
+  obs::TraceEvent ev;
+  ev.at_us = network_.simulator().now();
+  ev.kind = kind;
+  ev.span = span;
+  ev.node = id_;
+  ev.peer = peer;
+  ev.value = value;
+  trace->record(std::move(ev));
+}
 
 void RoadsServer::send_to_server(sim::NodeId to, std::uint64_t bytes,
                                  sim::Channel channel,
@@ -109,6 +135,7 @@ void RoadsServer::leave() {
                      c.handle_leave_from_parent(self);
                    });
   }
+  trace_event(obs::TraceKind::kLeave, parent_.value_or(id_));
   alive_ = false;
   network_.set_node_up(id_, false);
 }
@@ -198,6 +225,7 @@ SummaryPtr RoadsServer::compute_local_summary() const {
   for (const auto& att : attachments_) {
     if (att.mode == ExportMode::kSummaryOnly && att.summary) {
       local.merge(*att.summary);
+      summary_merges_.inc();
     }
   }
   return std::make_shared<const summary::ResourceSummary>(std::move(local));
@@ -208,7 +236,10 @@ SummaryPtr RoadsServer::compute_branch_summary() const {
       local_summary_ ? *local_summary_
                      : summary::ResourceSummary(schema_, config_.summary);
   for (const auto& [child, summary] : child_summaries_) {
-    if (summary && children_.has(child)) branch.merge(*summary);
+    if (summary && children_.has(child)) {
+      branch.merge(*summary);
+      summary_merges_.inc();
+    }
   }
   return std::make_shared<const summary::ResourceSummary>(std::move(branch));
 }
@@ -392,6 +423,9 @@ void RoadsServer::handle_join_response(sim::NodeId responder,
       root_path_ = hierarchy::RootPath::extend(responder_path, id_);
       last_parent_heartbeat_ = network_.simulator().now();
       recovery_candidates_.clear();  // back in a tree
+      joins_.inc();
+      trace_event(obs::TraceKind::kJoin, responder,
+                  static_cast<double>(root_path_.length()));
       // Tell the new parent our real branch shape right away so join
       // steering stays accurate, and hand it our branch summary if we
       // carry a subtree from before a rejoin.
@@ -512,6 +546,8 @@ void RoadsServer::on_failure_check_timer() {
   // Children that went silent.
   for (const auto child : children_.expired(now - limit)) {
     ROADS_INFO << "server " << id_ << ": child " << child << " timed out";
+    heartbeat_misses_.inc();
+    trace_event(obs::TraceKind::kHeartbeatMiss, child);
     children_.remove(child);
     child_summaries_.erase(child);
     push_stats_up();
@@ -521,6 +557,8 @@ void RoadsServer::on_failure_check_timer() {
   if (parent_ && now - last_parent_heartbeat_ > limit) {
     ROADS_INFO << "server " << id_ << ": parent " << *parent_
                << " timed out";
+    heartbeat_misses_.inc();
+    trace_event(obs::TraceKind::kHeartbeatMiss, *parent_);
     parent_lost();
   }
 
@@ -557,6 +595,7 @@ void RoadsServer::parent_lost() {
         *std::min_element(electorate.begin(), electorate.end());
     if (elected == id_) {
       ROADS_INFO << "server " << id_ << ": elected new root";
+      trace_event(obs::TraceKind::kRootElection, id_);
       become_root();
       // The detection may have been a false positive (lost heartbeats);
       // keep the old root as a recovery contact so a spurious
@@ -582,6 +621,8 @@ void RoadsServer::parent_lost() {
     join_.on_complete = [this](bool ok) {
       if (!ok) become_root();  // recovery_candidates_ keeps us retrying
     };
+    rejoins_.inc();
+    trace_event(obs::TraceKind::kRejoin, elected);
     send_join_request(elected);
     return;
   }
@@ -602,6 +643,8 @@ void RoadsServer::parent_lost() {
   join_.on_complete = [this](bool ok) {
     if (!ok) become_root();  // recovery_candidates_ keeps us retrying
   };
+  rejoins_.inc();
+  trace_event(obs::TraceKind::kRejoin, join_.current);
   send_join_request(join_.current);
 }
 
@@ -624,6 +667,7 @@ void RoadsServer::handle_leave_from_parent(sim::NodeId parent) {
 void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
                                QueryMode mode) {
   if (!alive_) return;
+  query_hops_.inc();
   client->on_arrival(id_);
   network_.simulator().schedule_after(
       config_.query_processing_delay, [this, client, mode] {
@@ -682,6 +726,7 @@ void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
             if (r->spec.role != overlay::ReplicaRole::kAncestor &&
                 r->spec.levels_up <= scope) {
               targets.emplace_back(r->spec.origin, QueryMode::kBranch);
+              overlay_shortcut_hits_.inc();
             }
           }
           for (const auto* r :
@@ -689,8 +734,19 @@ void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
             if (r->spec.role == overlay::ReplicaRole::kAncestor &&
                 r->spec.levels_up <= scope) {
               targets.emplace_back(r->spec.origin, QueryMode::kLocalOnly);
+              overlay_shortcut_hits_.inc();
             }
           }
+        }
+
+        // A summary somewhere matched this query and steered it here,
+        // yet the server has nothing and nowhere further to send it —
+        // the false-positive redirect cost of approximate summaries.
+        if (mode != QueryMode::kStart && local_matches == 0 &&
+            targets.empty()) {
+          query_false_positives_.inc();
+          trace_event(obs::TraceKind::kQueryFalsePositive,
+                      client->location(), 0.0, client->span());
         }
 
         const bool results_pending =

@@ -25,6 +25,8 @@
 #include "hierarchy/child_table.h"
 #include "hierarchy/join_policy.h"
 #include "hierarchy/root_path.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "overlay/replica_store.h"
 #include "record/schema.h"
 #include "roads/client.h"
@@ -162,6 +164,10 @@ class RoadsServer : public QueryTarget {
                       sim::Channel channel,
                       std::function<void(RoadsServer&)> deliver);
 
+  /// Records a maintenance/query trace event when tracing is on.
+  void trace_event(obs::TraceKind kind, sim::NodeId peer, double value = 0.0,
+                   std::uint64_t span = 0) const;
+
   sim::NodeId id_;
   const RoadsConfig& config_;
   sim::Network& network_;
@@ -178,6 +184,17 @@ class RoadsServer : public QueryTarget {
   hierarchy::ChildTable children_;
   std::map<sim::NodeId, SummaryPtr> child_summaries_;
   hierarchy::BranchStats last_pushed_stats_;
+
+  // Federation-wide instruments, shared by every server through the
+  // network's registry (§V accounting: hop counts, summary-prune false
+  // positives, overlay shortcut usage, churn events).
+  obs::Counter& query_hops_;
+  obs::Counter& query_false_positives_;
+  obs::Counter& summary_merges_;
+  obs::Counter& overlay_shortcut_hits_;
+  obs::Counter& joins_;
+  obs::Counter& rejoins_;
+  obs::Counter& heartbeat_misses_;
 
   store::RecordStore store_;
   std::vector<Attachment> attachments_;

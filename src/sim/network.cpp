@@ -20,8 +20,22 @@ const char* to_string(Channel channel) {
   return "?";
 }
 
-Network::Network(Simulator& simulator, DelaySpace& delay_space, util::Rng rng)
-    : sim_(simulator), space_(delay_space), rng_(rng) {}
+Network::Network(Simulator& simulator, DelaySpace& delay_space, util::Rng rng,
+                 obs::MetricsRegistry* metrics, obs::TraceBuffer* trace)
+    : sim_(simulator), space_(delay_space), rng_(rng), trace_(trace) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  for (std::size_t c = 0; c < kChannelCount; ++c) {
+    const std::string base =
+        std::string("net.") + to_string(static_cast<Channel>(c));
+    message_counters_[c] = &metrics_->counter(base + ".messages");
+    byte_counters_[c] = &metrics_->counter(base + ".bytes");
+  }
+  dropped_ = &metrics_->counter("net.dropped");
+}
 
 bool Network::node_up(NodeId node) const {
   return node >= down_.size() || !down_[node];
@@ -30,6 +44,12 @@ bool Network::node_up(NodeId node) const {
 void Network::set_node_up(NodeId node, bool up) {
   if (node >= down_.size()) down_.resize(node + 1, false);
   down_[node] = !up;
+}
+
+void Network::trace_message(obs::TraceKind kind, NodeId from, NodeId to,
+                            std::uint64_t bytes, Channel channel) {
+  trace_->record({sim_.now(), kind, 0, from, to, bytes, 0.0,
+                  to_string(channel)});
 }
 
 void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
@@ -41,33 +61,53 @@ void Network::send_bulk(NodeId from, NodeId to, std::uint64_t messages,
                         std::uint64_t bytes, Channel channel,
                         std::function<void()> deliver) {
   if (!node_up(from)) return;  // a dead sender emits nothing
-  auto& meter = meters_[static_cast<std::size_t>(channel)];
-  meter.messages += messages;
-  meter.bytes += bytes;
-  if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) return;
+  const auto c = static_cast<std::size_t>(channel);
+  message_counters_[c]->inc(messages);
+  byte_counters_[c]->inc(bytes);
+  if (trace_) trace_message(obs::TraceKind::kSend, from, to, bytes, channel);
+  if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
+    dropped_->inc(messages);
+    if (trace_) trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
+    return;
+  }
   const Time delay = space_.latency(from, to);
-  sim_.schedule_after(delay, [this, to, fn = std::move(deliver)] {
-    if (!node_up(to)) return;  // receiver died in flight
-    fn();
-  });
+  sim_.schedule_after(
+      delay, [this, from, to, bytes, channel, fn = std::move(deliver)] {
+        if (!node_up(to)) {  // receiver died in flight
+          dropped_->inc();
+          if (trace_) {
+            trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
+          }
+          return;
+        }
+        if (trace_) {
+          trace_message(obs::TraceKind::kDeliver, from, to, bytes, channel);
+        }
+        fn();
+      });
 }
 
-const ChannelMeter& Network::meter(Channel channel) const {
-  return meters_[static_cast<std::size_t>(channel)];
+ChannelMeter Network::meter(Channel channel) const {
+  const auto c = static_cast<std::size_t>(channel);
+  return {message_counters_[c]->value(), byte_counters_[c]->value()};
 }
 
 std::uint64_t Network::total_bytes() const {
   std::uint64_t total = 0;
-  for (const auto& m : meters_) total += m.bytes;
+  for (const auto* c : byte_counters_) total += c->value();
   return total;
 }
 
 std::uint64_t Network::total_messages() const {
   std::uint64_t total = 0;
-  for (const auto& m : meters_) total += m.messages;
+  for (const auto* c : message_counters_) total += c->value();
   return total;
 }
 
-void Network::reset_meters() { meters_.fill(ChannelMeter{}); }
+void Network::reset_meters() {
+  for (auto* c : message_counters_) c->reset();
+  for (auto* c : byte_counters_) c->reset();
+  dropped_->reset();
+}
 
 }  // namespace roads::sim

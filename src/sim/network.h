@@ -8,14 +8,25 @@
 // summary-maintenance overhead (kMaintenance). Nodes can be marked down
 // for failure injection; messages to or from a down node vanish, as do
 // randomly dropped messages when a loss rate is configured.
+//
+// Metering is backed by the shared obs::MetricsRegistry: each channel
+// owns a pair of "net.<channel>.messages"/".bytes" counters, so every
+// consumer of the registry (exporters, experiment snapshots) sees the
+// same numbers meter() reports. The caller may supply the registry
+// (Federation shares one across subsystems) or let the network own a
+// private one. An optional obs::TraceBuffer receives structured
+// send/deliver/drop events.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/delay_space.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -34,6 +45,7 @@ constexpr std::size_t kChannelCount = 5;
 
 const char* to_string(Channel channel);
 
+/// Snapshot of one channel's traffic counters.
 struct ChannelMeter {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
@@ -41,10 +53,23 @@ struct ChannelMeter {
 
 class Network {
  public:
-  Network(Simulator& simulator, DelaySpace& delay_space, util::Rng rng);
+  /// `metrics` is the registry the channel counters live in; nullptr
+  /// makes the network own a private registry. `trace` enables
+  /// per-message structured events (nullptr = no tracing).
+  Network(Simulator& simulator, DelaySpace& delay_space, util::Rng rng,
+          obs::MetricsRegistry* metrics = nullptr,
+          obs::TraceBuffer* trace = nullptr);
 
   Simulator& simulator() { return sim_; }
   const DelaySpace& delay_space() const { return space_; }
+
+  /// The registry backing the channel meters (owned or shared);
+  /// subsystems riding this network register their instruments here.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+  obs::TraceBuffer* trace() { return trace_; }
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 
   /// One-way latency from a to b (delegates to the delay space).
   Time latency(NodeId a, NodeId b) const { return space_.latency(a, b); }
@@ -69,17 +94,29 @@ class Network {
   /// Probability in [0,1] that any message is silently lost.
   void set_loss_rate(double rate) { loss_rate_ = rate; }
 
-  const ChannelMeter& meter(Channel channel) const;
+  ChannelMeter meter(Channel channel) const;
   std::uint64_t total_bytes() const;
   std::uint64_t total_messages() const;
+  /// Messages that never reached their receiver (down nodes, loss).
+  std::uint64_t dropped_messages() const { return dropped_->value(); }
+  /// Zeroes the channel counters (experiment drivers meter deltas over
+  /// one refresh window).
   void reset_meters();
 
  private:
+  void trace_message(obs::TraceKind kind, NodeId from, NodeId to,
+                     std::uint64_t bytes, Channel channel);
+
   Simulator& sim_;
   DelaySpace& space_;
   util::Rng rng_;
   double loss_rate_ = 0.0;
-  std::array<ChannelMeter, kChannelCount> meters_{};
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::TraceBuffer* trace_;
+  std::array<obs::Counter*, kChannelCount> message_counters_{};
+  std::array<obs::Counter*, kChannelCount> byte_counters_{};
+  obs::Counter* dropped_;
   std::vector<bool> down_;  // indexed by NodeId; default all up
 };
 

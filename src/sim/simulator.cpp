@@ -10,6 +10,7 @@ EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
   }
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(fn)});
+  pending_ids_.insert(id);
   return id;
 }
 
@@ -20,7 +21,9 @@ EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Simulator::cancel(EventId id) { cancelled_.insert(id); }
+void Simulator::cancel(EventId id) {
+  if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
+}
 
 bool Simulator::pop_one() {
   while (!queue_.empty()) {
@@ -31,6 +34,7 @@ bool Simulator::pop_one() {
       cancelled_.erase(it);
       continue;
     }
+    pending_ids_.erase(ev.id);
     now_ = ev.when;
     ev.fn();
     return true;

@@ -26,7 +26,8 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
-  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  /// Events scheduled but neither executed nor cancelled.
+  std::size_t pending_events() const { return pending_ids_.size(); }
 
   /// Schedules `fn` at absolute time `when` (>= now). Returns an id
   /// usable with cancel().
@@ -35,7 +36,8 @@ class Simulator {
   /// Schedules `fn` after a relative delay (>= 0).
   EventId schedule_after(Time delay, std::function<void()> fn);
 
-  /// Prevents a pending event from running; no-op if it already ran.
+  /// Prevents a pending event from running; no-op if it already ran,
+  /// was already cancelled, or never existed.
   void cancel(EventId id);
 
   /// Runs events until the queue drains. Returns the number executed.
@@ -66,6 +68,10 @@ class Simulator {
   Time now_ = 0;
   EventId next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Ids still live in queue_; cancel() moves an id from here into
+  // cancelled_, so cancelling an executed or unknown id cannot leak an
+  // entry or underflow pending_events().
+  std::unordered_set<EventId> pending_ids_;
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -9,6 +10,7 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+LogClock g_clock;  // guarded by g_mutex
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -31,10 +33,33 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_clock(LogClock clock) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_clock = std::move(clock);
+}
+
+std::string format_log_line(LogLevel level, const std::string& message) {
+  std::string line = "[";
+  line += tag(level);
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_clock) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " t=%.3fs",
+                    static_cast<double>(g_clock()) / 1e6);
+      line += buf;
+    }
+  }
+  line += "] ";
+  line += message;
+  return line;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const auto line = format_log_line(level, message);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << tag(level) << "] " << message << "\n";
+  std::cerr << line << "\n";
 }
 
 }  // namespace roads::util

@@ -3,6 +3,8 @@
 // federation is doing.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +15,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Sets the global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Optional timestamp source for log lines, returning microseconds
+/// (e.g. the simulation clock). When set, every line carries a
+/// "t=<seconds>s" prefix so narration is correlatable with trace
+/// events; pass nullptr to go back to untimestamped lines.
+using LogClock = std::function<std::int64_t()>;
+void set_log_clock(LogClock clock);
+
+/// Formats one line exactly as log_line emits it (level tag, optional
+/// clock prefix, message). Exposed so tests can check the format
+/// without capturing stderr.
+std::string format_log_line(LogLevel level, const std::string& message);
 
 /// Emits one line to stderr with a level tag; thread-safe.
 void log_line(LogLevel level, const std::string& message);

@@ -49,7 +49,7 @@ void RunningStat::merge(const RunningStat& other) {
 
 void Samples::add_all(const std::vector<double>& xs) {
   xs_.insert(xs_.end(), xs.begin(), xs.end());
-  sorted_ = false;
+  sorted_valid_ = false;
 }
 
 double Samples::mean() const {
@@ -71,22 +71,24 @@ double Samples::max() const {
   return *std::max_element(xs_.begin(), xs_.end());
 }
 
-void Samples::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(xs_.begin(), xs_.end());
-    sorted_ = true;
+const std::vector<double>& Samples::sorted_values() const {
+  if (!sorted_valid_) {
+    sorted_ = xs_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
   }
+  return sorted_;
 }
 
 double Samples::percentile(double p) const {
   if (xs_.empty()) return 0.0;
-  ensure_sorted();
+  const auto& sorted = sorted_values();
   p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, xs_.size() - 1);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 double MetricSet::get(const std::string& name) const {

@@ -44,7 +44,7 @@ class Samples {
  public:
   void add(double x) {
     xs_.push_back(x);
-    sorted_ = false;
+    sorted_valid_ = false;
   }
   void add_all(const std::vector<double>& xs);
 
@@ -57,12 +57,16 @@ class Samples {
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
+  /// Samples in insertion order — percentile queries never reorder
+  /// this view (they sort a private copy).
   const std::vector<double>& values() const { return xs_; }
+  /// Ascending view, materialized on demand.
+  const std::vector<double>& sorted_values() const;
 
  private:
-  mutable std::vector<double> xs_;
-  mutable bool sorted_ = false;
-  void ensure_sorted() const;
+  std::vector<double> xs_;              // insertion order
+  mutable std::vector<double> sorted_;  // lazy ascending copy
+  mutable bool sorted_valid_ = false;
 };
 
 /// Named scalar metrics collected from one experiment run, with merge

@@ -30,7 +30,7 @@ exp::ExpConfig quick_config(std::size_t nodes) {
 TEST(Integration, JoinProtocolMatchesPureReplay) {
   // The data-anchoring scheme assumes the live join protocol produces
   // exactly Topology::join_filled; verify at several sizes/degrees.
-  for (const auto [n, k] :
+  for (const auto& [n, k] :
        {std::make_pair(17u, 3u), std::make_pair(64u, 8u),
         std::make_pair(90u, 4u)}) {
     core::FederationParams params;

@@ -1,0 +1,241 @@
+// Tests for the observability layer: registry semantics and thread
+// safety, histogram correctness against util::Samples, trace buffer
+// bounds and span filtering, and the exporters' exact output shapes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace roads {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.add(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketCountsMatchBounds) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);    // <= 1
+  h.record(1.0);    // <= 1 (bounds are inclusive upper edges)
+  h.record(5.0);    // <= 10
+  h.record(50.0);   // <= 100
+  h.record(500.0);  // overflow
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 50.0 + 500.0);
+}
+
+TEST(Histogram, QuantilesAgreeWithSamples) {
+  obs::Histogram h(obs::default_latency_buckets());
+  util::Samples samples;
+  // Deliberately unsorted insertion order.
+  for (const double x : {9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0, 4.0, 6.0, 10.0}) {
+    h.record(x);
+    samples.add(x);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), samples.percentile(50.0));
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), samples.percentile(90.0));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstrument) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("roads.query.hops");
+  obs::Counter& b = registry.counter("roads.query.hops");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  obs::Histogram& h1 = registry.histogram("lat", {1.0, 2.0});
+  obs::Histogram& h2 = registry.histogram("lat", {99.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingFromThreadPool) {
+  obs::MetricsRegistry registry;
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kPerTask = 1000;
+  util::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&registry](std::size_t i) {
+    // Every task resolves instruments by name (exercises registry
+    // locking) and then records (exercises instrument concurrency).
+    obs::Counter& c = registry.counter("shared.counter");
+    obs::Histogram& h = registry.histogram("shared.hist");
+    for (std::size_t k = 0; k < kPerTask; ++k) {
+      c.inc();
+      h.record(static_cast<double>(i));
+    }
+  });
+  EXPECT_EQ(registry.counter("shared.counter").value(), kTasks * kPerTask);
+  EXPECT_EQ(registry.histogram("shared.hist").count(), kTasks * kPerTask);
+}
+
+TEST(MetricsRegistry, SnapshotFlattensInstruments) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").inc(7);
+  registry.gauge("g").set(1.25);
+  obs::Histogram& h = registry.histogram("h");
+  h.record(10.0);
+  h.record(20.0);
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.get("c"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.get("g"), 1.25);
+  EXPECT_DOUBLE_EQ(snap.get("h.count"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.get("h.mean"), 15.0);
+  EXPECT_DOUBLE_EQ(snap.get("h.max"), 20.0);
+  EXPECT_TRUE(snap.has("h.p50"));
+  EXPECT_TRUE(snap.has("h.p90"));
+  EXPECT_TRUE(snap.has("h.p99"));
+}
+
+TEST(MetricsRegistry, ResetCountersLeavesHistograms) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").inc(5);
+  registry.histogram("h").record(1.0);
+  registry.reset_counters();
+  EXPECT_EQ(registry.counter("c").value(), 0u);
+  EXPECT_EQ(registry.histogram("h").count(), 1u);
+}
+
+TEST(ScopedTimer, RecordsElapsedWithInjectedClock) {
+  obs::Histogram h(obs::default_latency_buckets());
+  double now = 100.0;
+  {
+    obs::ScopedTimer timer(h, [&now] { return now; });
+    now = 130.0;
+  }
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+}
+
+TEST(TraceBuffer, BoundedEviction) {
+  obs::TraceBuffer trace(4);
+  for (int i = 0; i < 6; ++i) {
+    obs::TraceEvent ev;
+    ev.at_us = i;
+    ev.kind = obs::TraceKind::kSend;
+    trace.record(ev);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two (t=0, t=1) were evicted.
+  EXPECT_EQ(events.front().at_us, 2);
+  EXPECT_EQ(events.back().at_us, 5);
+}
+
+TEST(TraceBuffer, SpanAndKindFiltering) {
+  obs::TraceBuffer trace(16);
+  const auto span = trace.next_span();
+  EXPECT_EQ(span, 1u);
+  obs::TraceEvent start;
+  start.kind = obs::TraceKind::kQueryStart;
+  start.span = span;
+  trace.record(start);
+  obs::TraceEvent other;
+  other.kind = obs::TraceKind::kJoin;
+  trace.record(other);
+  obs::TraceEvent hop;
+  hop.kind = obs::TraceKind::kQueryHop;
+  hop.span = span;
+  hop.value = 12.5;
+  trace.record(hop);
+  const auto span_events = trace.span_events(span);
+  ASSERT_EQ(span_events.size(), 2u);
+  EXPECT_EQ(span_events[0].kind, obs::TraceKind::kQueryStart);
+  EXPECT_EQ(span_events[1].kind, obs::TraceKind::kQueryHop);
+  EXPECT_EQ(trace.events_of(obs::TraceKind::kJoin).size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  // Span ids keep advancing across clear().
+  EXPECT_EQ(trace.next_span(), 2u);
+}
+
+TEST(Export, TraceJsonlGolden) {
+  obs::TraceBuffer trace(8);
+  obs::TraceEvent ev;
+  ev.at_us = 1234;
+  ev.kind = obs::TraceKind::kQueryHop;
+  ev.span = 7;
+  ev.node = 3;
+  ev.peer = 9;
+  ev.value = 2.5;
+  trace.record(ev);
+  std::ostringstream os;
+  obs::write_trace_jsonl(trace, os);
+  EXPECT_EQ(os.str(),
+            "{\"t_us\":1234,\"kind\":\"query_hop\",\"node\":3,"
+            "\"span\":7,\"peer\":9,\"value\":2.5}\n");
+}
+
+TEST(Export, JsonHelpers) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(obs::json_number(42.0), "42");
+  EXPECT_EQ(obs::json_number(2.5), "2.5");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(Export, PrometheusExposition) {
+  obs::MetricsRegistry registry;
+  registry.counter("net.query.messages").inc(3);
+  registry.gauge("hierarchy.height").set(4.0);
+  obs::Histogram& h = registry.histogram("overlay.put_us", {1.0, 10.0});
+  h.record(0.5);
+  h.record(5.0);
+  h.record(50.0);
+  std::ostringstream os;
+  obs::write_prometheus(registry, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE roads_net_query_messages counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("roads_net_query_messages 3"), std::string::npos);
+  EXPECT_NE(text.find("roads_hierarchy_height 4"), std::string::npos);
+  // Cumulative buckets: le="1" -> 1, le="10" -> 2, le="+Inf" -> 3.
+  EXPECT_NE(text.find("roads_overlay_put_us_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("roads_overlay_put_us_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("roads_overlay_put_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("roads_overlay_put_us_count 3"), std::string::npos);
+  EXPECT_EQ(obs::prometheus_name("roads", "net.query-bytes x"),
+            "roads_net_query_bytes_x");
+}
+
+}  // namespace
+}  // namespace roads

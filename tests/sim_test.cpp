@@ -64,6 +64,47 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+TEST(Simulator, CancelAfterRunIsNoOp) {
+  Simulator sim;
+  int ran = 0;
+  const auto id = sim.schedule_at(10, [&] { ++ran; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Regression: cancelling an already-executed event used to push
+  // pending_events() into size_t underflow territory.
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule_at(20, [&] { ++ran; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule_at(10, [&] { ran = true; });
+  sim.schedule_at(20, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.cancel(id);  // second cancel of the same id must be a no-op
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.schedule_at(5, [] {});
+  sim.cancel(9999);  // never issued
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   int count = 0;

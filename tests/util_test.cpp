@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "util/flags.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -244,6 +245,21 @@ TEST(Samples, AddAllAndInterleavedQueries) {
   EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
 }
 
+TEST(Samples, ValuesKeepInsertionOrderAfterPercentile) {
+  Samples s;
+  s.add_all({3.0, 1.0, 2.0});
+  // Regression: percentile() used to sort the backing vector in place,
+  // so values() silently changed to ascending order after any quantile
+  // query. The insertion-order view must survive percentile calls.
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+  EXPECT_EQ(s.values(), (std::vector<double>{3.0, 1.0, 2.0}));
+  EXPECT_EQ(s.sorted_values(), (std::vector<double>{1.0, 2.0, 3.0}));
+  s.add(0.5);
+  EXPECT_EQ(s.values(), (std::vector<double>{3.0, 1.0, 2.0, 0.5}));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+  EXPECT_EQ(s.sorted_values(), (std::vector<double>{0.5, 1.0, 2.0, 3.0}));
+}
+
 // --- MetricSet ---
 
 TEST(MetricSet, SetAddGet) {
@@ -363,6 +379,26 @@ TEST(Table, RejectsWrongWidth) {
 TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Table, ExposesHeadersAndRows) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.headers(), (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.rows()[1], (std::vector<std::string>{"3", "4"}));
+}
+
+// --- Logging ---
+
+TEST(Log, ClockPrefixIsOptional) {
+  EXPECT_EQ(format_log_line(LogLevel::kWarn, "msg"), "[WARN ] msg");
+  set_log_clock([] { return std::int64_t{1'500'000}; });
+  EXPECT_EQ(format_log_line(LogLevel::kInfo, "tick"),
+            "[INFO  t=1.500s] tick");
+  set_log_clock(nullptr);
+  EXPECT_EQ(format_log_line(LogLevel::kWarn, "msg"), "[WARN ] msg");
 }
 
 }  // namespace
