@@ -1,9 +1,10 @@
 // Shared scaffolding for the figure/table benchmark binaries: flag
 // handling over exp::ExpConfig and the standard header each bench
 // prints. Every bench accepts:
-//   --runs=N --queries=N --nodes=N --records=N --seed=N --full
+//   --runs=N --queries=N --nodes=N --records=N --seed=N --full --serial
 // where --full switches to the paper's exact profile (10 runs, 500
-// queries) instead of the quicker default.
+// queries) instead of the quicker default and --serial disables the
+// thread-pooled repetitions (results are identical either way).
 #pragma once
 
 #include <cstdio>
@@ -44,6 +45,9 @@ inline BenchProfile parse_profile(int argc, char** argv) {
       "records", static_cast<std::int64_t>(profile.base.records_per_node)));
   profile.base.seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Repetitions run on a thread pool by default; --serial restores the
+  // one-at-a-time order (identical results, for timing or debugging).
+  profile.base.parallel_runs = !flags.get_bool("serial", false);
   const auto unused = flags.unused_flags();
   if (!unused.empty()) {
     std::cerr << "warning: unused flags: " << unused << "\n";

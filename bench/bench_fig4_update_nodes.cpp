@@ -12,14 +12,21 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Figure 4 — update overhead (bytes/s) vs number of nodes", profile);
 
-  util::Table table({"nodes", "roads_B/s", "sword_B/s", "sword/roads"});
+  util::Table table({"nodes", "roads_B/s", "roads_nosupp_B/s", "sword_B/s",
+                     "sword/roads"});
   for (const auto n : bench::node_sweep(profile.full)) {
     auto cfg = profile.base;
     cfg.nodes = n;
     const auto roads = exp::average_runs(cfg, exp::run_roads_once);
+    // Suppression-off baseline: every refresh round pushes full
+    // summaries even with zero churn, as before digest gating.
+    auto nosupp_cfg = cfg;
+    nosupp_cfg.summary_keepalive_rounds = 0;
+    const auto nosupp = exp::average_runs(nosupp_cfg, exp::run_roads_once);
     const auto sword = exp::average_runs(cfg, exp::run_sword_once);
     table.add_row(
         {std::to_string(n), util::Table::sci(roads.update_bytes_per_s),
+         util::Table::sci(nosupp.update_bytes_per_s),
          util::Table::sci(sword.update_bytes_per_s),
          util::Table::num(sword.update_bytes_per_s /
                               std::max(roads.update_bytes_per_s, 1.0),

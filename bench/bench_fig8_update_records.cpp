@@ -14,14 +14,20 @@ int main(int argc, char** argv) {
       "nodes)",
       profile);
 
-  util::Table table({"records", "roads_B/s", "sword_B/s", "sword/roads"});
+  util::Table table({"records", "roads_B/s", "roads_nosupp_B/s", "sword_B/s",
+                     "sword/roads"});
   for (const std::size_t records : {50u, 100u, 200u, 300u, 400u, 500u}) {
     auto cfg = profile.base;
     cfg.records_per_node = records;
     const auto roads = exp::average_runs(cfg, exp::run_roads_once);
+    // Suppression-off baseline (push every round, no digest gating).
+    auto nosupp_cfg = cfg;
+    nosupp_cfg.summary_keepalive_rounds = 0;
+    const auto nosupp = exp::average_runs(nosupp_cfg, exp::run_roads_once);
     const auto sword = exp::average_runs(cfg, exp::run_sword_once);
     table.add_row(
         {std::to_string(records), util::Table::sci(roads.update_bytes_per_s),
+         util::Table::sci(nosupp.update_bytes_per_s),
          util::Table::sci(sword.update_bytes_per_s),
          util::Table::num(sword.update_bytes_per_s /
                               std::max(roads.update_bytes_per_s, 1.0),

@@ -80,6 +80,76 @@ void BM_SummarizeRecords(benchmark::State& state) {
 }
 BENCHMARK(BM_SummarizeRecords);
 
+// --- Steady-state summary refresh: incremental vs full recompute ---
+//
+// A 10k-record, 16-attribute store with 1% of records updated per
+// refresh round — the steady state the change-log path targets. Both
+// benches time the churn itself too (identical in each), so the ratio
+// slightly understates the pure summary-work speedup.
+
+store::RecordStore make_store_10k(const record::Schema& schema) {
+  store::RecordStore store(schema);
+  util::Rng rng(7);
+  for (record::RecordId id = 1; id <= 10000; ++id) {
+    std::vector<record::AttributeValue> vals;
+    vals.reserve(16);
+    for (int a = 0; a < 16; ++a) vals.emplace_back(rng.uniform01());
+    store.insert(record::ResourceRecord(id, 1, std::move(vals)));
+  }
+  return store;
+}
+
+void churn_one_percent(store::RecordStore& store, util::Rng& rng) {
+  for (int i = 0; i < 100; ++i) {
+    const auto id = static_cast<record::RecordId>(rng.uniform_int(1, 10000));
+    std::vector<record::AttributeValue> vals;
+    vals.reserve(16);
+    for (int a = 0; a < 16; ++a) vals.emplace_back(rng.uniform01());
+    store.update(record::ResourceRecord(id, 1, std::move(vals)));
+  }
+}
+
+void BM_RefreshFullRecompute10k1pct(benchmark::State& state) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  auto store = make_store_10k(schema);
+  summary::SummaryConfig config;
+  util::Rng rng(11);
+  for (auto _ : state) {
+    churn_one_percent(store, rng);
+    auto s = store.summarize(config);
+    benchmark::DoNotOptimize(s.record_count());
+  }
+}
+BENCHMARK(BM_RefreshFullRecompute10k1pct)->Unit(benchmark::kMicrosecond);
+
+void BM_RefreshIncremental10k1pct(benchmark::State& state) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  auto store = make_store_10k(schema);
+  summary::SummaryConfig config;
+  util::Rng rng(11);
+  summary::ResourceSummary s;
+  (void)store.refresh_summary(s, config);  // prime: first call full-builds
+  for (auto _ : state) {
+    churn_one_percent(store, rng);
+    const auto stats = store.refresh_summary(s, config);
+    benchmark::DoNotOptimize(stats.delta_records);
+  }
+}
+BENCHMARK(BM_RefreshIncremental10k1pct)->Unit(benchmark::kMicrosecond);
+
+void BM_SummaryDigest16(benchmark::State& state) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = workload::WorkloadSpec::paper_default(16, 500);
+  workload::RecordGenerator gen(schema, spec, 7);
+  summary::SummaryConfig config;
+  const auto s = summary::ResourceSummary::of_records(schema, config,
+                                                      gen.records_for_node(0, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.digest());
+  }
+}
+BENCHMARK(BM_SummaryDigest16);
+
 void BM_SummaryMerge16x1000(benchmark::State& state) {
   const auto schema = record::Schema::uniform_numeric(16);
   const auto spec = workload::WorkloadSpec::paper_default(16, 500);

@@ -57,6 +57,18 @@ struct ExpConfig {
   /// of magnitude slower than records).
   sim::Time summary_period = sim::seconds(100);
   sim::Time record_period = sim::seconds(10);
+  /// Digest-suppression keepalive cadence handed to RoadsConfig: pushes
+  /// with unchanged content are skipped except every K-th round. 0
+  /// disables suppression (every round pushes fully — the baseline
+  /// series in the Fig. 4 bench).
+  std::size_t summary_keepalive_rounds = 3;
+  /// Incremental (change-log-driven) summary refresh vs full recompute.
+  bool incremental_refresh = true;
+  /// Run the `runs` repetitions of average_runs on a thread pool (each
+  /// run owns its simulator and RNGs; results are reduced in seed order
+  /// so the average is bit-identical to the serial path). Benches
+  /// accept --serial to turn this off.
+  bool parallel_runs = true;
 };
 
 /// The §V metrics from one run of one system.

@@ -34,6 +34,22 @@ struct RoadsConfig {
   /// healthy replicas would expire between refreshes.
   sim::Time summary_ttl = sim::seconds(350);
 
+  /// Digest-suppressed propagation: a summary push whose content digest
+  /// equals the last one sent on that (destination, origin, kind)
+  /// stream is skipped — except every K-th refresh round, the keepalive
+  /// wave, which pushes everything so downstream soft-state TTLs keep
+  /// being renewed. Must satisfy K * summary_refresh_period <
+  /// summary_ttl or healthy replicas expire between keepalives. 0
+  /// disables suppression (every round pushes, the paper's literal
+  /// protocol and the ablation baseline).
+  std::size_t summary_keepalive_rounds = 3;
+
+  /// Incremental summary refresh: each server maintains its store
+  /// summary from the store's change log (O(changed records) per
+  /// round) instead of re-scanning every record. Off restores the full
+  /// recompute for A/B measurement.
+  bool incremental_refresh = true;
+
   /// Replication overlay (§III-C). When disabled, servers keep only
   /// child summaries, queries must start at the root, and the root is
   /// again a bottleneck — the ablation baseline.

@@ -32,6 +32,15 @@ RoadsServer::RoadsServer(sim::NodeId id, const RoadsConfig& config,
       rejoins_(network.metrics().counter("roads.server.rejoins")),
       heartbeat_misses_(
           network.metrics().counter("roads.server.heartbeat_misses")),
+      summary_refresh_skipped_(
+          network.metrics().counter("roads.summary.refresh_skipped")),
+      summary_push_suppressed_(
+          network.metrics().counter("roads.summary.push_suppressed")),
+      summary_delta_slots_(
+          network.metrics().counter("roads.summary.delta_slots")),
+      summary_full_rebuilds_(
+          network.metrics().counter("roads.summary.full_rebuilds")),
+      refresh_us_(network.metrics().histogram("roads.summary.refresh_us")),
       store_(schema_),
       replicas_(config.summary_ttl) {
   replicas_.bind_metrics(network.metrics());
@@ -208,20 +217,47 @@ void RoadsServer::reexport_owner(record::OwnerId owner_id) {
 // Summary protocol
 // --------------------------------------------------------------------------
 
-void RoadsServer::refresh_attachment_summaries() {
+void RoadsServer::refresh_attachment_summaries(bool keepalive) {
   for (auto& att : attachments_) {
     if (att.mode != ExportMode::kSummaryOnly) continue;
-    att.summary = std::make_shared<const summary::ResourceSummary>(
+    const auto version = att.owner->store().version();
+    if (!keepalive && att.summary && version == att.exported_version) {
+      // Owner data untouched since the last export: skip the recompute
+      // and the wire round-trip entirely.
+      summary_refresh_skipped_.inc();
+      continue;
+    }
+    auto fresh = std::make_shared<const summary::ResourceSummary>(
         att.owner->export_summary(config_.summary));
+    const auto digest = fresh->digest();
+    const bool changed = !att.summary || digest != att.exported_digest;
+    att.summary = std::move(fresh);
+    att.exported_version = version;
+    att.exported_digest = digest;
     if (att.owner->node() != id_) {
-      network_.send(att.owner->node(), id_, msg::summary_update(*att.summary),
-                    sim::Channel::kUpdate, [] {});
+      if (keepalive || changed) {
+        network_.send(att.owner->node(), id_,
+                      msg::summary_update(*att.summary), sim::Channel::kUpdate,
+                      [] {});
+      } else {
+        summary_push_suppressed_.inc();
+      }
     }
   }
 }
 
-SummaryPtr RoadsServer::compute_local_summary() const {
-  auto local = store_.summarize(config_.summary);
+SummaryPtr RoadsServer::compute_local_summary() {
+  summary::ResourceSummary local;
+  if (config_.incremental_refresh) {
+    const auto refresh = store_.refresh_summary(store_summary_,
+                                                config_.summary);
+    if (refresh.unchanged) summary_refresh_skipped_.inc();
+    if (refresh.full_rebuild) summary_full_rebuilds_.inc();
+    if (refresh.delta_slots > 0) summary_delta_slots_.inc(refresh.delta_slots);
+    local = store_summary_;  // copy: attachment merges must not pollute it
+  } else {
+    local = store_.summarize(config_.summary);
+  }
   for (const auto& att : attachments_) {
     if (att.mode == ExportMode::kSummaryOnly && att.summary) {
       local.merge(*att.summary);
@@ -246,19 +282,35 @@ SummaryPtr RoadsServer::compute_branch_summary() const {
 
 void RoadsServer::refresh_summaries() {
   if (!alive_) return;
-  refresh_attachment_summaries();
+  obs::ScopedTimer timer(refresh_us_);
+  // Round r is a keepalive wave when r % K == 0 (the first round always
+  // is), so every soft-state TTL downstream is renewed at least every
+  // K periods. K == 0 makes every round a keepalive: suppression off.
+  const auto k = config_.summary_keepalive_rounds;
+  const bool keepalive = k == 0 || refresh_round_ % k == 0;
+  ++refresh_round_;
+
+  refresh_attachment_summaries(keepalive);
   local_summary_ = compute_local_summary();
   branch_summary_ = compute_branch_summary();
 
-  // Bottom-up aggregation (§III-B).
+  // Bottom-up aggregation (§III-B); silent when the branch digest has
+  // not moved since the last push.
   if (parent_) {
-    const auto stats = children_.aggregate();
-    last_pushed_stats_ = stats;
-    send_to_server(*parent_, msg::summary_update(*branch_summary_),
-                   sim::Channel::kUpdate,
-                   [child = id_, stats, s = branch_summary_](RoadsServer& p) {
-                     p.handle_child_summary(child, stats, s);
-                   });
+    const auto digest = branch_summary_->digest();
+    if (keepalive || parent_push_digest_ != digest) {
+      parent_push_digest_ = digest;
+      const auto stats = children_.aggregate();
+      last_pushed_stats_ = stats;
+      send_to_server(
+          *parent_, msg::summary_update(*branch_summary_),
+          sim::Channel::kUpdate,
+          [child = id_, stats, s = branch_summary_, keepalive](RoadsServer& p) {
+            p.handle_child_summary(child, stats, s, keepalive);
+          });
+    } else {
+      summary_push_suppressed_.inc();
+    }
   }
 
   // Top-down replication (§III-C): own branch + local summaries flow to
@@ -267,40 +319,47 @@ void RoadsServer::refresh_summaries() {
   if (config_.overlay_enabled) {
     push_replica_to_children({id_, overlay::SummaryKind::kBranch,
                               overlay::ReplicaRole::kAncestor, 1},
-                             branch_summary_);
+                             branch_summary_, keepalive);
     push_replica_to_children({id_, overlay::SummaryKind::kLocal,
                               overlay::ReplicaRole::kAncestor, 1},
-                             local_summary_);
+                             local_summary_, keepalive);
   }
 }
 
 void RoadsServer::handle_child_summary(sim::NodeId child,
                                        hierarchy::BranchStats stats,
-                                       SummaryPtr branch) {
+                                       SummaryPtr branch, bool keepalive) {
   if (!children_.has(child)) return;  // stale update from a removed child
   children_.update_stats(child, stats);
   children_.update_heartbeat(child, network_.simulator().now());
   child_summaries_[child] = branch;
-  forward_child_summary_to_siblings(child, branch);
+  forward_child_summary_to_siblings(child, branch, keepalive);
   push_stats_up();
 }
 
 void RoadsServer::forward_child_summary_to_siblings(sim::NodeId child,
-                                                    const SummaryPtr& summary) {
+                                                    const SummaryPtr& summary,
+                                                    bool keepalive) {
   if (!summary || !config_.overlay_enabled) return;
   const overlay::ReplicaSpec spec{child, overlay::SummaryKind::kBranch,
                                   overlay::ReplicaRole::kSibling, 1};
+  const auto digest = summary->digest();
   for (const auto sibling : children_.ids()) {
     if (sibling == child) continue;
+    if (!note_push(sibling, child, static_cast<std::uint8_t>(spec.kind),
+                   digest, keepalive)) {
+      summary_push_suppressed_.inc();
+      continue;
+    }
     send_to_server(sibling, msg::replica_push(*summary), sim::Channel::kUpdate,
-                   [spec, summary](RoadsServer& s) {
-                     s.handle_replica(spec, summary);
+                   [spec, summary, keepalive](RoadsServer& s) {
+                     s.handle_replica(spec, summary, keepalive);
                    });
   }
 }
 
-void RoadsServer::handle_replica(overlay::ReplicaSpec spec,
-                                 SummaryPtr summary) {
+void RoadsServer::handle_replica(overlay::ReplicaSpec spec, SummaryPtr summary,
+                                 bool keepalive) {
   replicas_.put(spec, summary, network_.simulator().now());
   // Cascade down; a sibling of my parent-level sender becomes an
   // ancestor-sibling for my descendants, one level further from their
@@ -310,18 +369,37 @@ void RoadsServer::handle_replica(overlay::ReplicaSpec spec,
     down.role = overlay::ReplicaRole::kAncestorSibling;
   }
   if (down.levels_up < 255) ++down.levels_up;
-  push_replica_to_children(down, summary);
+  push_replica_to_children(down, summary, keepalive);
 }
 
 void RoadsServer::push_replica_to_children(const overlay::ReplicaSpec& spec,
-                                           const SummaryPtr& summary) {
+                                           const SummaryPtr& summary,
+                                           bool keepalive) {
   if (!summary) return;
+  const auto digest = summary->digest();
   for (const auto child : children_.ids()) {
+    if (!note_push(child, spec.origin, static_cast<std::uint8_t>(spec.kind),
+                   digest, keepalive)) {
+      summary_push_suppressed_.inc();
+      continue;
+    }
     send_to_server(child, msg::replica_push(*summary), sim::Channel::kUpdate,
-                   [spec, summary](RoadsServer& c) {
-                     c.handle_replica(spec, summary);
+                   [spec, summary, keepalive](RoadsServer& c) {
+                     c.handle_replica(spec, summary, keepalive);
                    });
   }
+}
+
+bool RoadsServer::note_push(sim::NodeId dest, sim::NodeId origin,
+                            std::uint8_t kind, std::uint64_t digest,
+                            bool keepalive) {
+  auto& streams = pushed_digests_[dest];
+  auto [it, inserted] = streams.try_emplace({origin, kind}, digest);
+  if (inserted || keepalive || it->second != digest) {
+    it->second = digest;
+    return true;
+  }
+  return false;
 }
 
 std::uint64_t RoadsServer::stored_summary_bytes() const {
@@ -430,9 +508,11 @@ void RoadsServer::handle_join_response(sim::NodeId responder,
       // steering stays accurate, and hand it our branch summary if we
       // carry a subtree from before a rejoin.
       last_pushed_stats_ = hierarchy::BranchStats{};
+      parent_push_digest_.reset();  // new parent: never suppress its first push
       push_stats_up();
       if (branch_summary_) {
         const auto stats = children_.aggregate();
+        parent_push_digest_ = branch_summary_->digest();
         send_to_server(*parent_, msg::summary_update(*branch_summary_),
                        sim::Channel::kUpdate,
                        [child = id_, stats,
@@ -550,6 +630,7 @@ void RoadsServer::on_failure_check_timer() {
     trace_event(obs::TraceKind::kHeartbeatMiss, child);
     children_.remove(child);
     child_summaries_.erase(child);
+    pushed_digests_.erase(child);
     push_stats_up();
   }
 
@@ -585,6 +666,7 @@ void RoadsServer::parent_lost() {
   const bool parent_was_root =
       parent_ && old_path.length() >= 2 && old_path.root() == *parent_;
   parent_.reset();
+  parent_push_digest_.reset();
 
   if (parent_was_root) {
     // Root election (§III-A): the root's children elect the one with
@@ -652,6 +734,7 @@ void RoadsServer::handle_leave_from_child(sim::NodeId child) {
   if (!children_.has(child)) return;
   children_.remove(child);
   child_summaries_.erase(child);
+  pushed_digests_.erase(child);
   push_stats_up();
 }
 

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "hierarchy/child_table.h"
@@ -90,14 +91,20 @@ class RoadsServer : public QueryTarget {
   const store::RecordStore& local_store() const { return store_; }
 
   // --- Summary protocol ----------------------------------------------------
-  /// Recomputes local + branch summaries, sends the branch summary to
-  /// the parent, pushes own summaries and stored child summaries to
-  /// children. Runs on the ts timer; tests may call it directly.
+  /// Recomputes local + branch summaries (incrementally when the config
+  /// allows), sends the branch summary to the parent, pushes own
+  /// summaries and stored child summaries to children. Pushes whose
+  /// content digest matches the last one sent are suppressed except on
+  /// keepalive rounds. Runs on the ts timer; tests may call it
+  /// directly.
   void refresh_summaries();
 
+  /// `keepalive` tags pushes from a keepalive wave: receivers propagate
+  /// those unconditionally so TTL renewal reaches the whole subtree.
   void handle_child_summary(sim::NodeId child, hierarchy::BranchStats stats,
-                            SummaryPtr branch);
-  void handle_replica(overlay::ReplicaSpec spec, SummaryPtr summary);
+                            SummaryPtr branch, bool keepalive = true);
+  void handle_replica(overlay::ReplicaSpec spec, SummaryPtr summary,
+                      bool keepalive = true);
 
   /// Latest computed summaries (may be null before the first refresh).
   SummaryPtr branch_summary() const { return branch_summary_; }
@@ -133,6 +140,10 @@ class RoadsServer : public QueryTarget {
     std::shared_ptr<ResourceOwner> owner;
     ExportMode mode = ExportMode::kDetailedRecords;
     SummaryPtr summary;  // latest export for kSummaryOnly
+    /// Owner-store version and summary digest at the last export, so
+    /// unchanged owners skip both the recompute and the re-send.
+    std::uint64_t exported_version = 0;
+    std::uint64_t exported_digest = 0;
   };
 
   enum class JoinOutcome : std::uint8_t { kAccepted, kRedirect, kBacktrack };
@@ -147,13 +158,21 @@ class RoadsServer : public QueryTarget {
   /// changed (keeps join steering accurate between refresh rounds).
   void push_stats_up();
 
-  void refresh_attachment_summaries();
-  SummaryPtr compute_local_summary() const;
+  void refresh_attachment_summaries(bool keepalive);
+  SummaryPtr compute_local_summary();
   SummaryPtr compute_branch_summary() const;
   void push_replica_to_children(const overlay::ReplicaSpec& spec,
-                                const SummaryPtr& summary);
+                                const SummaryPtr& summary, bool keepalive);
   void forward_child_summary_to_siblings(sim::NodeId child,
-                                         const SummaryPtr& summary);
+                                         const SummaryPtr& summary,
+                                         bool keepalive);
+
+  /// Returns true when a push with `digest` must actually be sent to
+  /// `dest` for the (origin, kind) stream — i.e. the content changed,
+  /// the stream is new, or this is a keepalive wave — and records the
+  /// digest as the last sent. False means: suppress.
+  bool note_push(sim::NodeId dest, sim::NodeId origin, std::uint8_t kind,
+                 std::uint64_t digest, bool keepalive);
 
   void on_heartbeat_timer();
   void on_failure_check_timer();
@@ -195,12 +214,32 @@ class RoadsServer : public QueryTarget {
   obs::Counter& joins_;
   obs::Counter& rejoins_;
   obs::Counter& heartbeat_misses_;
+  // Incremental-refresh accounting (§ISSUE: make savings visible).
+  obs::Counter& summary_refresh_skipped_;
+  obs::Counter& summary_push_suppressed_;
+  obs::Counter& summary_delta_slots_;
+  obs::Counter& summary_full_rebuilds_;
+  obs::Histogram& refresh_us_;
 
   store::RecordStore store_;
   std::vector<Attachment> attachments_;
   SummaryPtr local_summary_;
   SummaryPtr branch_summary_;
   overlay::ReplicaStore replicas_;
+  /// Summary of store_ alone (no attachment merges), maintained
+  /// incrementally from the store's change log between refreshes.
+  summary::ResourceSummary store_summary_;
+  /// Refresh rounds completed; round r is a keepalive wave when
+  /// r % summary_keepalive_rounds == 0 (so the first round always is).
+  std::uint64_t refresh_round_ = 0;
+  /// Digest of the branch summary last pushed to the parent; reset on
+  /// parent change so a new parent always gets a first push.
+  std::optional<std::uint64_t> parent_push_digest_;
+  /// Last digest pushed per destination child and (origin, kind)
+  /// stream; entries for a child are dropped when it leaves or fails.
+  std::map<sim::NodeId,
+           std::map<std::pair<sim::NodeId, std::uint8_t>, std::uint64_t>>
+      pushed_digests_;
 
   // Joiner-side state machine.
   struct JoinState {

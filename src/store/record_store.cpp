@@ -22,14 +22,20 @@ void RecordStore::insert(record::ResourceRecord record) {
   records_dense_.push_back(std::move(record));
   live_.push_back(true);
   records_.emplace(id, slot);
+  stored_bytes_ += records_dense_[slot].wire_size();
+  log_change(&records_dense_[slot], nullptr);
+  ++version_;
   invalidate_indexes();
 }
 
 bool RecordStore::erase(record::RecordId id) {
   auto it = records_.find(id);
   if (it == records_.end()) return false;
+  stored_bytes_ -= records_dense_[it->second].wire_size();
+  log_change(nullptr, &records_dense_[it->second]);
   live_[it->second] = false;
   records_.erase(it);
+  ++version_;
   invalidate_indexes();
   return true;
 }
@@ -42,7 +48,12 @@ void RecordStore::update(record::ResourceRecord record) {
   if (!record.conforms_to(schema_)) {
     throw std::invalid_argument("RecordStore: record does not match schema");
   }
-  records_dense_[it->second] = std::move(record);
+  auto& stored = records_dense_[it->second];
+  stored_bytes_ -= stored.wire_size();
+  log_change(&record, &stored);
+  stored = std::move(record);
+  stored_bytes_ += stored.wire_size();
+  ++version_;
   invalidate_indexes();
 }
 
@@ -178,12 +189,57 @@ std::vector<record::ResourceRecord> RecordStore::snapshot() const {
   return out;
 }
 
-std::uint64_t RecordStore::stored_bytes() const {
-  std::uint64_t total = 0;
-  for (std::uint32_t slot = 0; slot < records_dense_.size(); ++slot) {
-    if (live_[slot]) total += records_dense_[slot].wire_size();
+std::uint64_t RecordStore::stored_bytes() const { return stored_bytes_; }
+
+void RecordStore::log_change(const record::ResourceRecord* added,
+                             const record::ResourceRecord* removed) {
+  if (changes_overflowed_) return;
+  // Past half the store (with a floor so tiny stores never thrash), a
+  // full rebuild beats replaying the log: drop it and remember why.
+  const std::size_t threshold =
+      std::max<std::size_t>(64, records_.size() / 2);
+  if (pending_changes() + 2 > threshold) {
+    changes_added_.clear();
+    changes_removed_.clear();
+    changes_overflowed_ = true;
+    return;
   }
-  return total;
+  if (added != nullptr) changes_added_.push_back(*added);
+  if (removed != nullptr) changes_removed_.push_back(*removed);
+}
+
+void RecordStore::clear_changes() {
+  changes_added_.clear();
+  changes_removed_.clear();
+  changes_overflowed_ = false;
+}
+
+SummaryRefresh RecordStore::refresh_summary(
+    summary::ResourceSummary& summary, const summary::SummaryConfig& config) {
+  SummaryRefresh out;
+  if (changes_overflowed_ || !summary.initialized()) {
+    summary = summarize(config);
+    clear_changes();
+    out.full_rebuild = true;
+    return out;
+  }
+  if (changes_added_.empty() && changes_removed_.empty()) {
+    out.unchanged = true;
+    return out;
+  }
+  out.delta_records = pending_changes();
+  const auto rebuild = summary.apply_delta(changes_added_, changes_removed_);
+  for (const auto attr : rebuild) {
+    summary::AttributeSummary slot(schema_.at(attr), config);
+    for (std::uint32_t s = 0; s < records_dense_.size(); ++s) {
+      if (live_[s]) slot.add(records_dense_[s].value(attr));
+    }
+    summary.replace_slot(attr, std::move(slot));
+  }
+  out.rebuilt_slots = rebuild.size();
+  out.delta_slots = summary.slot_count() - rebuild.size();
+  clear_changes();
+  return out;
 }
 
 }  // namespace roads::store

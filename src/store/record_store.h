@@ -30,6 +30,16 @@ struct QueryStats {
   bool used_index = false;
 };
 
+/// What one refresh_summary() call actually did — the observability
+/// hook for the incremental maintenance path.
+struct SummaryRefresh {
+  bool full_rebuild = false;  ///< scanned every record (first run/overflow)
+  bool unchanged = false;     ///< no pending changes; summary untouched
+  std::size_t delta_records = 0;  ///< changed records applied as deltas
+  std::size_t delta_slots = 0;    ///< slots updated in place
+  std::size_t rebuilt_slots = 0;  ///< non-subtractable slots re-derived
+};
+
 class RecordStore {
  public:
   /// Stores below this size answer queries by scanning; at or above it
@@ -68,6 +78,33 @@ class RecordStore {
   summary::ResourceSummary summarize(
       const summary::SummaryConfig& config) const;
 
+  /// Monotonic mutation counter; unchanged version means unchanged
+  /// contents, so callers can skip refresh work entirely.
+  std::uint64_t version() const { return version_; }
+
+  /// Changed records pending in the change log (adds + removes).
+  std::size_t pending_changes() const {
+    return changes_added_.size() + changes_removed_.size();
+  }
+
+  /// True when the change log was dropped because churn since the last
+  /// refresh exceeded the rebuild-is-cheaper threshold.
+  bool changes_overflowed() const { return changes_overflowed_; }
+
+  /// Drops the pending change log (e.g. after the caller rebuilt its
+  /// summary from scratch by other means).
+  void clear_changes();
+
+  /// Brings `summary` up to date with the current contents, doing
+  /// O(changes) work when possible: applies the pending change log as
+  /// exact deltas, re-derives only the slots that cannot subtract
+  /// (Bloom, multi-resolution), and falls back to a full rebuild on the
+  /// first call or after change-log overflow. `summary` must have been
+  /// produced by this store with the same `config` (or be
+  /// default-constructed). Consumes the change log.
+  SummaryRefresh refresh_summary(summary::ResourceSummary& summary,
+                                 const summary::SummaryConfig& config);
+
   /// Every stored record, ascending id order.
   std::vector<record::ResourceRecord> snapshot() const;
 
@@ -85,6 +122,11 @@ class RecordStore {
   void invalidate_indexes();
   bool use_indexes() const { return records_.size() >= kIndexThreshold; }
 
+  /// Appends to the change log unless it already overflowed; drops the
+  /// log once churn passes the point where a full rebuild is cheaper.
+  void log_change(const record::ResourceRecord* added,
+                  const record::ResourceRecord* removed);
+
   /// Index of the range predicate with the fewest index candidates, or
   /// npos if indexes are not in play.
   std::size_t most_selective(const record::Query& q) const;
@@ -95,6 +137,14 @@ class RecordStore {
   std::vector<bool> live_;
   std::unordered_map<record::RecordId, std::uint32_t> records_;  // id -> slot
   mutable std::vector<NumericIndex> numeric_indexes_;  // per attribute
+
+  std::uint64_t version_ = 0;
+  std::uint64_t stored_bytes_ = 0;  // maintained on insert/erase/update
+  /// Record copies changed since the last refresh_summary(); the delta
+  /// fed to ResourceSummary::apply_delta.
+  std::vector<record::ResourceRecord> changes_added_;
+  std::vector<record::ResourceRecord> changes_removed_;
+  bool changes_overflowed_ = true;  // first refresh is always a full build
 };
 
 }  // namespace roads::store

@@ -66,6 +66,23 @@ void AttributeSummary::remove(const record::AttributeValue& value) {
   }
 }
 
+bool AttributeSummary::supports_remove() const {
+  return std::holds_alternative<Histogram>(repr_) ||
+         std::holds_alternative<ValueSet>(repr_);
+}
+
+void AttributeSummary::hash_into(util::Fnv1a& h) const {
+  // Tag the alternative so e.g. an empty ValueSet and an empty Bloom
+  // filter never collide trivially.
+  h.add(static_cast<std::uint64_t>(repr_.index()));
+  std::visit(
+      [&h](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (!std::is_same_v<T, std::monostate>) r.hash_into(h);
+      },
+      repr_);
+}
+
 void AttributeSummary::merge(const AttributeSummary& other) {
   if (std::holds_alternative<std::monostate>(other.repr_)) return;
   if (std::holds_alternative<std::monostate>(repr_)) {

@@ -57,6 +57,15 @@ class AttributeSummary {
   void merge(const AttributeSummary& other);
   void clear();
 
+  /// True when remove() works for this representation. Histograms and
+  /// value sets subtract exactly; Bloom filters and multi-resolution
+  /// histograms are lossy-aggregating and must be rebuilt instead —
+  /// the distinction the incremental refresh path pivots on.
+  bool supports_remove() const;
+
+  /// Folds the representation's full content into a digest.
+  void hash_into(util::Fnv1a& h) const;
+
   /// Conservative predicate test — never false-negative for values that
   /// were added; may be false-positive (bucket granularity, Bloom
   /// collisions).

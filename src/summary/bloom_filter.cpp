@@ -111,4 +111,10 @@ std::uint64_t BloomFilter::wire_size() const {
   return 16 + bit_count_ / 8;
 }
 
+void BloomFilter::hash_into(util::Fnv1a& h) const {
+  h.add(static_cast<std::uint64_t>(bit_count_));
+  h.add(static_cast<std::uint64_t>(hashes_));
+  for (const auto w : words_) h.add(w);
+}
+
 }  // namespace roads::summary

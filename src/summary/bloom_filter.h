@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace roads::summary {
 
 class BloomFilter {
@@ -44,6 +46,9 @@ class BloomFilter {
 
   /// 16-byte geometry header + bit array.
   std::uint64_t wire_size() const;
+
+  /// Folds the geometry + bit array into a digest.
+  void hash_into(util::Fnv1a& h) const;
 
   bool operator==(const BloomFilter& other) const = default;
 

@@ -79,4 +79,11 @@ std::uint64_t Histogram::wire_size() const {
   return 16 + 4 * counts_.size();
 }
 
+void Histogram::hash_into(util::Fnv1a& h) const {
+  h.add(domain_min_);
+  h.add(domain_max_);
+  h.add(static_cast<std::uint64_t>(counts_.size()));
+  for (const auto c : counts_) h.add(static_cast<std::uint64_t>(c));
+}
+
 }  // namespace roads::summary

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace roads::summary {
 
 class Histogram {
@@ -50,6 +52,9 @@ class Histogram {
 
   /// Wire footprint: 16-byte domain header + 4 bytes per bucket counter.
   std::uint64_t wire_size() const;
+
+  /// Folds the full content (geometry + counters) into a digest.
+  void hash_into(util::Fnv1a& h) const;
 
   bool operator==(const Histogram& other) const = default;
 

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace roads::summary {
 
 class MultiResHistogram {
@@ -58,6 +60,9 @@ class MultiResHistogram {
   /// serialization; counts above 64Ki are escape-coded, modeled as a
   /// flat 6 bytes here).
   std::uint64_t wire_size() const;
+
+  /// Folds the full content (geometry + counters) into a digest.
+  void hash_into(util::Fnv1a& h) const;
 
   /// Halves the resolution once (exposed for tests; merge() calls it
   /// as needed).

@@ -43,6 +43,30 @@ class ResourceSummary {
   void merge(const ResourceSummary& other);
   void clear();
 
+  /// Incremental maintenance: applies `added`/`removed` as exact
+  /// deltas to every slot that supports subtraction and returns the
+  /// schema attributes whose slots cannot subtract (Bloom filters,
+  /// multi-resolution histograms) and therefore must be rebuilt by the
+  /// caller from the surviving record set (see replace_slot). When
+  /// `removed` is empty every slot takes the delta and the result is
+  /// empty. Adjusts record_count. O(changes x slots), independent of
+  /// how many records the summary already covers.
+  std::vector<std::size_t> apply_delta(
+      const std::vector<record::ResourceRecord>& added,
+      const std::vector<record::ResourceRecord>& removed);
+
+  /// Replaces one attribute's slot with a freshly built summary — the
+  /// rebuild half of the incremental path for non-subtractable slots.
+  void replace_slot(std::size_t attribute, AttributeSummary slot);
+
+  /// Number of attribute slots (searchable attributes of the schema).
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// 64-bit content digest over record count and every slot's payload:
+  /// equal content gives equal digests, so the refresh protocol can
+  /// suppress pushes of summaries that recomputed to the same state.
+  std::uint64_t digest() const;
+
   /// Conservative query evaluation: true iff EVERY predicate matches its
   /// attribute summary. No false negatives w.r.t. the summarized records.
   bool matches(const record::Query& query) const;

@@ -52,4 +52,12 @@ std::uint64_t ValueSet::wire_size() const {
   return size;
 }
 
+void ValueSet::hash_into(util::Fnv1a& h) const {
+  h.add(static_cast<std::uint64_t>(counts_.size()));
+  for (const auto& [value, count] : counts_) {
+    h.add(value);
+    h.add(static_cast<std::uint64_t>(count));
+  }
+}
+
 }  // namespace roads::summary

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace roads::summary {
 
 class ValueSet {
@@ -31,6 +33,9 @@ class ValueSet {
 
   /// 8-byte header + per value (length-prefixed string + 4-byte count).
   std::uint64_t wire_size() const;
+
+  /// Folds the full content ((value, count) pairs) into a digest.
+  void hash_into(util::Fnv1a& h) const;
 
   bool operator==(const ValueSet& other) const = default;
 

@@ -1,0 +1,42 @@
+// Content hashing for change detection. Summaries expose a 64-bit
+// digest so the refresh protocol can tell "recomputed but identical"
+// apart from "actually changed" and suppress redundant pushes. The
+// hash is FNV-1a folded a word at a time (strings byte-wise): not
+// cryptographic, just cheap and stable — a 2^-64 collision silently
+// suppresses one push until the next keepalive round, which soft-state
+// semantics already tolerate.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace roads::util {
+
+class Fnv1a {
+ public:
+  void add(std::uint64_t v) {
+    hash_ ^= v;
+    hash_ *= kPrime;
+  }
+
+  void add(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    add(bits);
+  }
+
+  void add(const std::string& s) {
+    for (const unsigned char c : s) add(static_cast<std::uint64_t>(c));
+    add(static_cast<std::uint64_t>(s.size()));
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace roads::util

@@ -10,6 +10,9 @@
 #include "exp/experiment.h"
 #include "overlay/replica_set.h"
 #include "roads/federation.h"
+#include "store/record_store.h"
+#include "summary/resource_summary.h"
+#include "util/rng.h"
 #include "workload/query_generator.h"
 #include "workload/record_generator.h"
 
@@ -183,6 +186,80 @@ TEST_P(BucketSweep, CoarseSummariesStayConservative) {
 
 INSTANTIATE_TEST_SUITE_P(Resolutions, BucketSweep,
                          ::testing::Values(2u, 5u, 10u, 100u, 1000u));
+
+// --- Incremental summary maintenance vs full recompute ---
+
+// After ANY interleaving of inserts / erases / updates, the summary a
+// store maintains incrementally (change-log deltas plus per-slot
+// rebuilds for the non-subtractable representations) must be
+// indistinguishable from one built from scratch over the survivors.
+// Swept over seeds and over both categorical modes so the exact-delta
+// path (histograms, value sets) and the rebuild path (Bloom) are both
+// exercised.
+class IncrementalSummarySweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalSummarySweep, MaintainedSummaryMatchesFullRecompute) {
+  const auto seed = GetParam();
+  for (const auto mode : {summary::CategoricalMode::kEnumerate,
+                          summary::CategoricalMode::kBloom}) {
+    record::Schema schema({
+        {"type", record::AttributeType::kCategorical, true, 0, 1},
+        {"rate", record::AttributeType::kNumeric, true, 0.0, 1.0},
+        {"load", record::AttributeType::kNumeric, true, 0.0, 1.0},
+        {"note", record::AttributeType::kNumeric, false, 0.0, 1.0},
+    });
+    summary::SummaryConfig config;
+    config.histogram_buckets = 25;
+    config.categorical_mode = mode;
+
+    store::RecordStore store(schema);
+    summary::ResourceSummary maintained;
+    util::Rng rng(seed);
+    std::vector<record::RecordId> live;
+    record::RecordId next_id = 1;
+    const auto make = [&rng](record::RecordId id) {
+      return record::ResourceRecord(
+          id, 1,
+          {record::AttributeValue(
+               std::string(1, static_cast<char>('a' + rng.uniform_int(0, 5)))),
+           record::AttributeValue(rng.uniform(0.0, 1.0)),
+           record::AttributeValue(rng.uniform(0.0, 1.0)),
+           record::AttributeValue(rng.uniform(0.0, 1.0))});
+    };
+
+    for (int step = 0; step < 300; ++step) {
+      const auto op = rng.uniform_int(0, 9);
+      if (live.empty() || op < 5) {
+        store.insert(make(next_id));
+        live.push_back(next_id++);
+      } else if (op < 7) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        store.erase(live[at]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      } else {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        store.update(make(live[at]));
+      }
+      // Refresh at irregular intervals so batches mix all three ops.
+      if (step % 7 == 0 || op == 9) {
+        store.refresh_summary(maintained, config);
+        const auto expected = summary::ResourceSummary::of_records(
+            schema, config, store.snapshot());
+        ASSERT_EQ(maintained.record_count(), expected.record_count())
+            << "seed=" << seed << " step=" << step;
+        ASSERT_EQ(maintained.digest(), expected.digest())
+            << "seed=" << seed << " step=" << step << " mode="
+            << (mode == summary::CategoricalMode::kBloom ? "bloom" : "enum");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSummarySweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
 
 }  // namespace
 }  // namespace roads

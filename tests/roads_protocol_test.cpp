@@ -339,6 +339,102 @@ TEST(Protocol, NarrowScopeContactsFewerServers) {
   EXPECT_LE(narrow.latency_ms, full.latency_ms);
 }
 
+// --- Digest-suppressed propagation (incremental refresh pipeline) ---
+
+TEST(Protocol, ZeroChurnSendsOnlyKeepaliveWaves) {
+  // Two identical federations, differing only in suppression: with
+  // K = 3 a zero-churn steady state sends one keepalive wave per cycle
+  // where the K = 0 baseline re-pushes everything every round.
+  auto suppressed_params = proto_params();  // keepalive default (3)
+  auto baseline_params = proto_params();
+  baseline_params.config.summary_keepalive_rounds = 0;
+
+  Federation suppressed(suppressed_params);
+  Federation baseline(baseline_params);
+  for (auto* fed : {&suppressed, &baseline}) {
+    fed->add_servers(7);
+    auto owner = fed->add_owner(3, ExportMode::kDetailedRecords);
+    owner->store().insert(rec(1, 0.4));
+    fed->server(3).attach_owner(owner, ExportMode::kDetailedRecords);
+    fed->start();
+    fed->stabilize();
+    fed->network().reset_meters();
+    // One full keepalive cycle: 3 refresh rounds for every server.
+    fed->advance(3 * suppressed_params.config.summary_refresh_period);
+  }
+
+  const auto sup = suppressed.network().meter(sim::Channel::kUpdate).bytes;
+  const auto full = baseline.network().meter(sim::Channel::kUpdate).bytes;
+  // The keepalive wave still flows (soft state stays refreshed)...
+  EXPECT_GT(sup, 0u);
+  // ...but the suppressed federation is far quieter than every-round
+  // pushing (~1/3 of the bytes at K = 3; allow slack for phase).
+  EXPECT_LT(2 * sup, full);
+  EXPECT_GT(suppressed.network()
+                .metrics()
+                .counter("roads.summary.push_suppressed")
+                .value(),
+            0u);
+}
+
+TEST(Protocol, SingleChangeRepropagatesExactlyTheBranchPath) {
+  // With the overlay off, parent pushes are the only update traffic;
+  // a huge keepalive cadence isolates pure digest-driven propagation.
+  auto params = proto_params();
+  params.config.overlay_enabled = false;
+  params.config.summary_keepalive_rounds = 1000;
+  Federation fed(params);
+  fed.add_servers(15);  // depth-3 binary tree
+  for (sim::NodeId n = 0; n < 15; ++n) {
+    fed.server(n).local_store().insert(rec(100 + n, (n + 0.5) / 15.0));
+  }
+  fed.start();
+  fed.stabilize();
+
+  // Zero churn: refresh rounds are completely silent on kUpdate.
+  fed.network().reset_meters();
+  fed.advance(2 * params.config.summary_refresh_period);
+  EXPECT_EQ(fed.network().meter(sim::Channel::kUpdate).messages, 0u);
+
+  // One record appears at a max-depth leaf: exactly one summary_update
+  // per edge of the leaf-to-root path, nothing else.
+  const auto topo = fed.topology();
+  sim::NodeId leaf = 0;
+  for (sim::NodeId i = 0; i < 15; ++i) {
+    if (topo.depth(i) == topo.height()) leaf = i;
+  }
+  fed.server(leaf).local_store().insert(rec(999, 0.997));
+  fed.network().reset_meters();
+  fed.advance((topo.depth(leaf) + 1) * params.config.summary_refresh_period);
+  EXPECT_EQ(fed.network().meter(sim::Channel::kUpdate).messages,
+            static_cast<std::uint64_t>(topo.depth(leaf)));
+  // The change is discoverable once the path has re-propagated.
+  EXPECT_EQ(fed.run_query(q_attr0(0.99, 1.0), topo.root()).matching_records,
+            1u);
+}
+
+TEST(Protocol, SuppressionKeepsReplicasAliveUnderMaintenance) {
+  // K x period (30s) < ttl (35s): keepalive waves must renew replica
+  // TTLs even though intermediate rounds are silent.
+  auto params = proto_params();
+  params.config.maintenance_enabled = true;
+  params.config.heartbeat_period = sim::seconds(5);
+  Federation fed(params);
+  fed.add_servers(7);
+  fed.start();
+  fed.stabilize();
+  sim::NodeId leaf = 0;
+  const auto topo = fed.topology();
+  for (sim::NodeId i = 0; i < 7; ++i) {
+    if (topo.is_leaf(i)) leaf = i;
+  }
+  const auto before = fed.server(leaf).replicas().size();
+  EXPECT_GT(before, 0u);
+  // Several zero-churn TTL windows: nothing may expire.
+  fed.advance(3 * params.config.summary_ttl);
+  EXPECT_EQ(fed.server(leaf).replicas().size(), before);
+}
+
 TEST(Protocol, StoredSummaryBytesBoundedAndPositive) {
   Federation fed(proto_params());
   fed.add_servers(7);

@@ -168,6 +168,104 @@ TEST(RecordStore, StoredBytesSumsWireSizes) {
   EXPECT_EQ(store.stored_bytes(), 2 * one);
 }
 
+TEST(RecordStore, StoredBytesTracksEraseAndUpdate) {
+  // stored_bytes is maintained incrementally; every mutation kind must
+  // leave it equal to the sum over the survivors.
+  RecordStore store(small_schema());
+  const auto one = rec4(1, 0, 0, 0, 0).wire_size();
+  store.insert(rec4(1, 0.1, 0.2, 0.3, 0.4));
+  store.insert(rec4(2, 0.5, 0.5, 0.5, 0.5));
+  store.insert(rec4(3, 0.9, 0.9, 0.9, 0.9));
+  EXPECT_EQ(store.stored_bytes(), 3 * one);
+  store.erase(2);
+  EXPECT_EQ(store.stored_bytes(), 2 * one);
+  store.update(rec4(3, 0.1, 0.1, 0.1, 0.1));
+  EXPECT_EQ(store.stored_bytes(), 2 * one);
+  store.erase(1);
+  store.erase(3);
+  EXPECT_EQ(store.stored_bytes(), 0u);
+}
+
+TEST(RecordStore, VersionAdvancesOnEveryMutation) {
+  RecordStore store(small_schema());
+  const auto v0 = store.version();
+  store.insert(rec4(1, 0.1, 0.2, 0.3, 0.4));
+  EXPECT_GT(store.version(), v0);
+  const auto v1 = store.version();
+  store.update(rec4(1, 0.5, 0.2, 0.3, 0.4));
+  EXPECT_GT(store.version(), v1);
+  const auto v2 = store.version();
+  store.erase(1);
+  EXPECT_GT(store.version(), v2);
+  // Failed mutations leave the version alone.
+  const auto v3 = store.version();
+  EXPECT_FALSE(store.erase(1));
+  EXPECT_EQ(store.version(), v3);
+}
+
+TEST(RecordStore, RefreshSummaryFullThenIncrementalThenUnchanged) {
+  RecordStore store(small_schema());
+  summary::SummaryConfig config;
+  config.histogram_buckets = 10;
+  for (int i = 1; i <= 200; ++i) {
+    store.insert(rec4(static_cast<record::RecordId>(i), (i % 10) / 10.0, 0.5,
+                      0.5, 0.5));
+  }
+  summary::ResourceSummary s;
+  // First refresh builds from scratch.
+  auto stats = store.refresh_summary(s, config);
+  EXPECT_TRUE(stats.full_rebuild);
+  EXPECT_EQ(s.record_count(), 200u);
+
+  // No mutations: the refresh is a no-op.
+  stats = store.refresh_summary(s, config);
+  EXPECT_TRUE(stats.unchanged);
+  EXPECT_FALSE(stats.full_rebuild);
+
+  // A small batch takes the delta path: every slot subtracts exactly
+  // (all-numeric schema -> no rebuilds) and the result matches a full
+  // recompute bit for bit.
+  store.erase(1);
+  store.insert(rec4(900, 0.35, 0.5, 0.5, 0.5));
+  store.update(rec4(2, 0.95, 0.5, 0.5, 0.5));
+  stats = store.refresh_summary(s, config);
+  EXPECT_FALSE(stats.full_rebuild);
+  EXPECT_FALSE(stats.unchanged);
+  EXPECT_EQ(stats.delta_records, 4u);  // 1 erase + 1 insert + update (2)
+  EXPECT_EQ(stats.rebuilt_slots, 0u);
+  EXPECT_EQ(stats.delta_slots, s.slot_count());
+  const auto expected =
+      summary::ResourceSummary::of_records(small_schema(), config,
+                                           store.snapshot());
+  EXPECT_EQ(s.digest(), expected.digest());
+}
+
+TEST(RecordStore, RefreshSummaryFallsBackOnChangeOverflow) {
+  RecordStore store(small_schema());
+  summary::SummaryConfig config;
+  config.histogram_buckets = 10;
+  for (int i = 1; i <= 100; ++i) {
+    store.insert(rec4(static_cast<record::RecordId>(i), 0.5, 0.5, 0.5, 0.5));
+  }
+  summary::ResourceSummary s;
+  (void)store.refresh_summary(s, config);
+
+  // Churn more than the store's rebuild-is-cheaper threshold: the log
+  // is dropped and the next refresh rebuilds — and is still correct.
+  for (int i = 1; i <= 100; ++i) {
+    store.update(rec4(static_cast<record::RecordId>(i), (i % 7) / 7.0, 0.5,
+                      0.5, 0.5));
+  }
+  EXPECT_TRUE(store.changes_overflowed());
+  const auto stats = store.refresh_summary(s, config);
+  EXPECT_TRUE(stats.full_rebuild);
+  const auto expected =
+      summary::ResourceSummary::of_records(small_schema(), config,
+                                           store.snapshot());
+  EXPECT_EQ(s.digest(), expected.digest());
+  EXPECT_FALSE(store.changes_overflowed());
+}
+
 // --- Service model ---
 
 TEST(ServiceModel, MonotoneInWork) {

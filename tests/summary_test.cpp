@@ -545,6 +545,80 @@ TEST(ResourceSummary, RemoveUndoesAdd) {
   EXPECT_THROW(s.remove(r), std::logic_error);
 }
 
+TEST(ResourceSummary, DigestIndependentOfBuildPath) {
+  SummaryConfig config;
+  config.histogram_buckets = 20;
+  const auto r1 = mixed_record(1, "camera", 0.3);
+  const auto r2 = mixed_record(2, "sensor", 0.8);
+  const auto r3 = mixed_record(3, "camera", 0.55);
+
+  const auto batch =
+      ResourceSummary::of_records(mixed_schema(), config, {r1, r2, r3});
+  // Same content assembled one record at a time, in a different order.
+  ResourceSummary stepped(mixed_schema(), config);
+  stepped.add(r3);
+  stepped.add(r1);
+  stepped.add(r2);
+  EXPECT_EQ(batch.digest(), stepped.digest());
+
+  // And via add-then-remove of an unrelated record.
+  ResourceSummary churned(mixed_schema(), config);
+  const auto extra = mixed_record(9, "sensor", 0.11);
+  churned.add(r1);
+  churned.add(extra);
+  churned.add(r2);
+  churned.remove(extra);
+  churned.add(r3);
+  EXPECT_EQ(batch.digest(), churned.digest());
+
+  // Different content must not collide (for these inputs).
+  const auto other =
+      ResourceSummary::of_records(mixed_schema(), config, {r1, r2});
+  EXPECT_NE(batch.digest(), other.digest());
+}
+
+TEST(ResourceSummary, ApplyDeltaFlagsBloomSlotsForRebuild) {
+  SummaryConfig config;
+  config.histogram_buckets = 20;
+  config.categorical_mode = CategoricalMode::kBloom;
+  auto s = ResourceSummary::of_records(
+      mixed_schema(), config,
+      {mixed_record(1, "camera", 0.3), mixed_record(2, "sensor", 0.8)});
+
+  // A removal batch cannot be subtracted from the Bloom slot
+  // (attribute 0); apply_delta must hand it back for rebuild while the
+  // histogram slot absorbs the delta exactly.
+  const auto rebuild = s.apply_delta({mixed_record(3, "camera", 0.5)},
+                                     {mixed_record(2, "sensor", 0.8)});
+  ASSERT_EQ(rebuild.size(), 1u);
+  EXPECT_EQ(rebuild[0], 0u);
+  EXPECT_EQ(s.record_count(), 2u);
+
+  // Rebuild the flagged slot over the survivors and check the result
+  // matches a from-scratch summary.
+  AttributeSummary fresh(mixed_schema().at(0), config);
+  fresh.add(AttributeValue(std::string("camera")));
+  fresh.add(AttributeValue(std::string("camera")));
+  s.replace_slot(0, std::move(fresh));
+  const auto expected = ResourceSummary::of_records(
+      mixed_schema(), config,
+      {mixed_record(1, "camera", 0.3), mixed_record(3, "camera", 0.5)});
+  EXPECT_EQ(s.digest(), expected.digest());
+
+  // Adds-only batches never request rebuilds, even with Bloom slots.
+  EXPECT_TRUE(s.apply_delta({mixed_record(4, "sensor", 0.9)}, {}).empty());
+}
+
+TEST(ResourceSummary, ReplaceSlotValidatesAttribute) {
+  SummaryConfig config;
+  ResourceSummary s(mixed_schema(), config);
+  AttributeSummary slot(mixed_schema().at(0), config);
+  EXPECT_THROW(s.replace_slot(99, std::move(slot)), std::out_of_range);
+  // "secret" (attr 2) is not searchable — it has no slot to replace.
+  AttributeSummary slot2(mixed_schema().at(0), config);
+  EXPECT_THROW(s.replace_slot(2, std::move(slot2)), std::out_of_range);
+}
+
 TEST(ResourceSummary, WireSizeConstantInRecordCount) {
   // The property eq. (1) and Fig. 8 rest on: summary size does not
   // depend on how many records were folded in (for numeric attrs).
