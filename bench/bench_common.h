@@ -5,6 +5,14 @@
 // where --full switches to the paper's exact profile (10 runs, 500
 // queries) instead of the quicker default and --serial disables the
 // thread-pooled repetitions (results are identical either way).
+//
+// The --fault-* group injects message-level faults (sim/fault.h) into
+// every ROADS run so any figure can be re-measured degraded:
+//   --fault-loss=P --fault-dup=P --fault-reorder=P --fault-jitter-ms=N
+// and --check-invariants gates each run on the structural invariant
+// checker (a violation aborts the bench instead of averaging bad runs).
+// Faults are injected after clean formation; SWORD/central baselines
+// ignore them.
 #pragma once
 
 #include <cstdio>
@@ -48,6 +56,16 @@ inline BenchProfile parse_profile(int argc, char** argv) {
   // Repetitions run on a thread pool by default; --serial restores the
   // one-at-a-time order (identical results, for timing or debugging).
   profile.base.parallel_runs = !flags.get_bool("serial", false);
+  // Degradation-under-fault columns: message-level faults only (loss,
+  // duplication, reordering jitter) — schedules that break the tree
+  // need the chaos tests' bespoke drivers, not a figure sweep.
+  profile.base.fault_plan.loss_rate = flags.get_double("fault-loss", 0.0);
+  profile.base.fault_plan.duplicate_rate = flags.get_double("fault-dup", 0.0);
+  profile.base.fault_plan.reorder_rate =
+      flags.get_double("fault-reorder", 0.0);
+  profile.base.fault_plan.max_jitter =
+      sim::ms(flags.get_int("fault-jitter-ms", 0));
+  profile.base.verify_invariants = flags.get_bool("check-invariants", false);
   const auto unused = flags.unused_flags();
   if (!unused.empty()) {
     std::cerr << "warning: unused flags: " << unused << "\n";
@@ -66,10 +84,15 @@ inline std::vector<std::size_t> node_sweep(bool full) {
 
 inline void print_header(const char* title, const BenchProfile& profile) {
   std::printf("%s\n", title);
-  std::printf("profile: %s (runs=%zu, queries=%zu, seed=%llu)\n\n",
+  std::printf("profile: %s (runs=%zu, queries=%zu, seed=%llu)\n",
               profile.full ? "full/paper" : "quick", profile.base.runs,
               profile.base.queries,
               static_cast<unsigned long long>(profile.base.seed));
+  if (!profile.base.fault_plan.empty()) {
+    std::printf("faults:  %s%s\n", profile.base.fault_plan.describe().c_str(),
+                profile.base.verify_invariants ? " [invariants gated]" : "");
+  }
+  std::printf("\n");
 }
 
 /// Emits one table cell as JSON: numeric-looking cells become numbers
@@ -100,7 +123,12 @@ inline void write_report(const std::string& name, const BenchProfile& profile,
      << ", \"queries\": " << profile.base.queries
      << ", \"nodes\": " << profile.base.nodes
      << ", \"records_per_node\": " << profile.base.records_per_node
-     << ", \"seed\": " << profile.base.seed << "},\n";
+     << ", \"seed\": " << profile.base.seed
+     << ", \"fault_loss\": " << profile.base.fault_plan.loss_rate
+     << ", \"fault_dup\": " << profile.base.fault_plan.duplicate_rate
+     << ", \"fault_reorder\": " << profile.base.fault_plan.reorder_rate
+     << ", \"fault_jitter_us\": " << profile.base.fault_plan.max_jitter
+     << "},\n";
   os << "  \"headers\": [";
   for (std::size_t i = 0; i < table.headers().size(); ++i) {
     if (i > 0) os << ", ";

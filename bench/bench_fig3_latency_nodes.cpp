@@ -13,12 +13,18 @@ int main(int argc, char** argv) {
       profile);
 
   util::Table table({"nodes", "roads_ms", "roads_p90", "sword_ms",
-                     "sword_p90", "sword/roads", "roads_height"});
+                     "sword_p90", "sword/roads", "roads_height",
+                     "roads_done%"});
   for (const auto n : bench::node_sweep(profile.full)) {
     auto cfg = profile.base;
     cfg.nodes = n;
     const auto roads = exp::average_runs(cfg, exp::run_roads_once);
     const auto sword = exp::average_runs(cfg, exp::run_sword_once);
+    // Completed-query fraction: 100% without faults; under --fault-*
+    // this is the degradation headline (lost redirects strand queries).
+    const double done_pct = 100.0 * roads.queries_completed /
+                            static_cast<double>(std::max<std::size_t>(
+                                1, cfg.queries));
     table.add_row({std::to_string(n), util::Table::num(roads.latency_avg_ms, 0),
                    util::Table::num(roads.latency_p90_ms, 0),
                    util::Table::num(sword.latency_avg_ms, 0),
@@ -26,7 +32,8 @@ int main(int argc, char** argv) {
                    util::Table::num(sword.latency_avg_ms /
                                         std::max(roads.latency_avg_ms, 1.0),
                                     2),
-                   util::Table::num(roads.hierarchy_height, 0)});
+                   util::Table::num(roads.hierarchy_height, 0),
+                   util::Table::num(done_pct, 1)});
   }
   table.print(std::cout);
   bench::write_report("fig3_latency_nodes", profile, table);

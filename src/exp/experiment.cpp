@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "record/schema.h"
 #include "roads/federation.h"
+#include "testing/invariants.h"
 #include "sword/sword_system.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -34,6 +36,23 @@ workload::RecordGenerator generator_for(const ExpConfig& config,
     generator.anchor_by_balanced_tree(config.nodes, config.max_children);
   }
   return generator;
+}
+
+/// Structural-only invariant gate for experiment runs: soundness
+/// probes would advance the clock and charge the query meters, so they
+/// stay off here. Multiple roots are legitimate while a partition
+/// window is open, so single-root is only demanded for fault-free
+/// plans.
+void verify_run_invariants(core::Federation& fed, const ExpConfig& config,
+                           const char* stage) {
+  testing::InvariantOptions opts;
+  opts.summary_soundness = false;
+  opts.expect_single_root = config.fault_plan.empty();
+  const auto report = testing::check_invariants(fed, opts);
+  if (!report.ok()) {
+    throw std::runtime_error(std::string("run_roads_once: invariants failed ") +
+                             stage + ": " + report.to_string());
+  }
 }
 
 }  // namespace
@@ -77,6 +96,14 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
 
   fed.start();
   fed.stabilize();
+  // Faults start after clean formation: the paper's resilience story is
+  // a formed hierarchy under churn/loss, not formation under fire.
+  if (!config.fault_plan.empty()) {
+    fed.apply_fault_plan(config.fault_plan);
+  }
+  if (config.verify_invariants) {
+    verify_run_invariants(fed, config, "after stabilize");
+  }
 
   RunMetrics metrics;
   metrics.hierarchy_height = static_cast<double>(fed.topology().height());
@@ -149,6 +176,9 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
         static_cast<double>(touched_root) / static_cast<double>(completed);
   }
   metrics.instruments = fed.network().metrics().snapshot();
+  if (config.verify_invariants) {
+    verify_run_invariants(fed, config, "after query batch");
+  }
   return metrics;
 }
 

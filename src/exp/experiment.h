@@ -13,6 +13,7 @@
 
 #include "hierarchy/join_policy.h"
 #include "record/query.h"
+#include "sim/fault.h"
 #include "sim/time.h"
 #include "util/stats.h"
 
@@ -69,6 +70,16 @@ struct ExpConfig {
   /// so the average is bit-identical to the serial path). Benches
   /// accept --serial to turn this off.
   bool parallel_runs = true;
+  /// Fault schedule injected AFTER clean formation and stabilization
+  /// (the paper measures a formed hierarchy under faults, not formation
+  /// under faults). Empty = the fault-free paper setup. ROADS only;
+  /// ignored by the SWORD/central drivers.
+  sim::FaultPlan fault_plan;
+  /// Gate each ROADS run on the structural invariant checker (after
+  /// stabilization and again after the query batch); a violation throws
+  /// so a bad run cannot silently pollute an averaged figure. Summary
+  /// soundness probes are excluded — they would charge the §V meters.
+  bool verify_invariants = false;
 };
 
 /// The §V metrics from one run of one system.

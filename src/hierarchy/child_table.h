@@ -33,6 +33,8 @@ class ChildTable {
   void add(NodeId child, sim::Time now);
   /// Drops a child; returns false if absent.
   bool remove(NodeId child);
+  /// Drops every child (a restarting server forgets its subtree).
+  void clear() { entries_.clear(); }
 
   /// Updates branch stats from a bottom-up aggregation message.
   void update_stats(NodeId child, const BranchStats& stats);

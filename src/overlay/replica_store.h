@@ -53,6 +53,9 @@ class ReplicaStore {
   /// Removes replicas older than now - ttl; returns how many expired.
   std::size_t sweep(sim::Time now);
 
+  /// Drops everything (a crashed server loses its soft state).
+  void clear() { replicas_.clear(); }
+
   /// All live replicas in deterministic (origin, kind) order.
   std::vector<const Replica*> all() const;
 

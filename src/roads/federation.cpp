@@ -158,6 +158,29 @@ void Federation::set_refresh_paused(bool paused) {
   for (auto& s : servers_) s->set_refresh_paused(paused);
 }
 
+void Federation::apply_fault_plan(const sim::FaultPlan& plan) {
+  network_.set_node_transition_handler([this](sim::NodeId node, bool up) {
+    if (node >= servers_.size()) return;  // owner node: link-level only
+    RoadsServer& s = *servers_[node];
+    if (!up) {
+      if (s.alive()) s.fail();
+      return;
+    }
+    if (s.alive()) return;
+    // Rejoin by descending from the lowest-id alive peer — the most
+    // likely root, and a deterministic choice either way.
+    sim::NodeId seed = node;
+    for (const auto& peer : servers_) {
+      if (peer->id() != node && peer->alive()) {
+        seed = peer->id();
+        break;
+      }
+    }
+    s.restart(seed);
+  });
+  network_.apply_fault_plan(plan);
+}
+
 QueryOutcome Federation::run_query(const record::Query& query,
                                    sim::NodeId start_server,
                                    Principal principal) {

@@ -107,6 +107,13 @@ class Federation : public Directory {
   /// RoadsServer::set_refresh_paused).
   void set_refresh_paused(bool paused);
 
+  /// Installs a fault-injection plan on the network (see sim/fault.h)
+  /// and hooks its crash/restart windows into the protocol layer: a
+  /// crash window calls RoadsServer::fail() and a restart window calls
+  /// RoadsServer::restart() seeded at the lowest-id alive server.
+  /// Applying an empty plan heals the message-level faults.
+  void apply_fault_plan(const sim::FaultPlan& plan);
+
   // --- Queries --------------------------------------------------------------
 
   /// Resolves a query starting at `start_server`, running the simulator

@@ -83,6 +83,9 @@ void RoadsServer::start_timers() {
   if (timers_started_) return;
   timers_started_ = true;
   auto& sim = network_.simulator();
+  // Closures armed now die with this life epoch: after a crash+restart
+  // the pre-crash timer chains must not resume next to the new ones.
+  const std::uint64_t epoch = life_epoch_;
 
   // Stagger the first refresh so all servers do not fire in lockstep;
   // the offset is deterministic per seed.
@@ -91,8 +94,8 @@ void RoadsServer::start_timers() {
   // Self-rescheduling closures: each tick re-arms itself unless the
   // server has stopped.
   auto schedule_refresh = std::make_shared<std::function<void()>>();
-  *schedule_refresh = [this, schedule_refresh] {
-    if (!alive_) return;
+  *schedule_refresh = [this, epoch, schedule_refresh] {
+    if (!alive_ || life_epoch_ != epoch) return;
     if (!refresh_paused_) refresh_summaries();
     network_.simulator().schedule_after(config_.summary_refresh_period,
                                         *schedule_refresh);
@@ -110,8 +113,8 @@ void RoadsServer::start_timers() {
   const auto first_hb = static_cast<sim::Time>(
       rng_.uniform(0.0, static_cast<double>(config_.heartbeat_period)));
   auto schedule_hb = std::make_shared<std::function<void()>>();
-  *schedule_hb = [this, schedule_hb] {
-    if (!alive_) return;
+  *schedule_hb = [this, epoch, schedule_hb] {
+    if (!alive_ || life_epoch_ != epoch) return;
     on_heartbeat_timer();
     network_.simulator().schedule_after(config_.heartbeat_period,
                                         *schedule_hb);
@@ -119,8 +122,8 @@ void RoadsServer::start_timers() {
   sim.schedule_after(first_hb, *schedule_hb);
 
   auto schedule_check = std::make_shared<std::function<void()>>();
-  *schedule_check = [this, schedule_check] {
-    if (!alive_) return;
+  *schedule_check = [this, epoch, schedule_check] {
+    if (!alive_ || life_epoch_ != epoch) return;
     on_failure_check_timer();
     network_.simulator().schedule_after(config_.heartbeat_period,
                                         *schedule_check);
@@ -146,12 +149,50 @@ void RoadsServer::leave() {
   }
   trace_event(obs::TraceKind::kLeave, parent_.value_or(id_));
   alive_ = false;
+  ++life_epoch_;
   network_.set_node_up(id_, false);
 }
 
 void RoadsServer::fail() {
   alive_ = false;
+  ++life_epoch_;
   network_.set_node_up(id_, false);
+}
+
+void RoadsServer::restart(sim::NodeId seed) {
+  if (alive_) return;
+  // Soft state died with the process; records and attachments are the
+  // durable part (the paper's soft-state summaries regenerate).
+  parent_.reset();
+  root_path_ = hierarchy::RootPath({id_});
+  children_.clear();
+  child_summaries_.clear();
+  pushed_digests_.clear();
+  parent_push_digest_.reset();
+  last_pushed_stats_ = hierarchy::BranchStats{};
+  branch_summary_.reset();
+  replicas_.clear();
+  root_children_.clear();
+  recovery_candidates_.clear();
+  join_ = JoinState{};
+  refresh_round_ = 0;
+
+  alive_ = true;
+  ++life_epoch_;
+  network_.set_node_up(id_, true);
+  last_parent_heartbeat_ = network_.simulator().now();
+  timers_started_ = false;
+  start_timers();
+
+  if (seed == id_) {
+    become_root();
+    return;
+  }
+  trace_event(obs::TraceKind::kRejoin, seed);
+  rejoins_.inc();
+  start_join(seed, [this](bool ok) {
+    if (!ok) become_root();  // own partition until someone finds us
+  });
 }
 
 // --------------------------------------------------------------------------
@@ -433,9 +474,13 @@ void RoadsServer::send_join_request(sim::NodeId target) {
                    s.handle_join_request(joiner, excluded);
                  });
   // Dead targets never answer; give up after the timeout and treat it
-  // like an unwilling branch.
-  network_.simulator().schedule_after(kJoinTimeout, [this, target, seq] {
-    if (!alive_ || !join_.active || join_.request_seq != seq) return;
+  // like an unwilling branch. The epoch guard keeps a timeout armed
+  // before a crash from firing into the restarted server's join state
+  // (request_seq restarts from zero, so seq alone could collide).
+  network_.simulator().schedule_after(
+      kJoinTimeout, [this, target, seq, epoch = life_epoch_] {
+    if (!alive_ || life_epoch_ != epoch || !join_.active ||
+        join_.request_seq != seq) return;
     ROADS_DEBUG << "server " << id_ << ": join request to " << target
                 << " timed out";
     handle_join_response(target, JoinOutcome::kBacktrack, 0,

@@ -77,6 +77,12 @@ class RoadsServer : public QueryTarget {
   /// Abrupt failure: timers stop, the network drops this node's
   /// traffic; peers find out via heartbeat timeouts.
   void fail();
+  /// Recovers a failed server: soft state (topology, child summaries,
+  /// replicas, suppression digests) is lost; the record store and owner
+  /// attachments are durable. The server comes back up, restarts its
+  /// timers and rejoins the hierarchy by descending from `seed` —
+  /// becoming a (partition) root if the join fails.
+  void restart(sim::NodeId seed);
 
   // --- Resource attachment (§III-A) ----------------------------------------
   /// Attaches an owner. kDetailedRecords copies the owner's records
@@ -198,6 +204,11 @@ class RoadsServer : public QueryTarget {
   bool alive_ = true;
   bool timers_started_ = false;
   bool refresh_paused_ = false;
+  /// Bumped by fail()/leave()/restart(). Self-rescheduling timer
+  /// closures and join timeouts capture the epoch they were armed in
+  /// and go inert when it changes — otherwise a crash+restart would
+  /// resume the pre-crash timer chains alongside the new ones.
+  std::uint64_t life_epoch_ = 0;
   std::optional<sim::NodeId> parent_;
   hierarchy::RootPath root_path_;
   hierarchy::ChildTable children_;

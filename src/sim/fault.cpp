@@ -1,0 +1,72 @@
+#include "sim/fault.h"
+
+#include <sstream>
+
+namespace roads::sim {
+
+bool FaultPlan::any_message_faults() const {
+  return loss_rate > 0.0 || !node_loss.empty() || !link_loss.empty() ||
+         duplicate_rate > 0.0 || (reorder_rate > 0.0 && max_jitter > 0);
+}
+
+bool FaultPlan::empty() const {
+  return !any_message_faults() && partitions.empty() && crashes.empty();
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "FaultPlan{loss=" << loss_rate;
+  if (!node_loss.empty()) {
+    out << " node_loss=[";
+    for (std::size_t i = 0; i < node_loss.size(); ++i) {
+      if (i) out << ' ';
+      out << node_loss[i].node << ':' << node_loss[i].loss;
+    }
+    out << ']';
+  }
+  if (!link_loss.empty()) {
+    out << " link_loss=[";
+    for (std::size_t i = 0; i < link_loss.size(); ++i) {
+      if (i) out << ' ';
+      out << link_loss[i].from << "->" << link_loss[i].to << ':'
+          << link_loss[i].loss;
+    }
+    out << ']';
+  }
+  out << " dup=" << duplicate_rate << " reorder=" << reorder_rate
+      << " jitter_us=" << max_jitter;
+  if (!partitions.empty()) {
+    out << " partitions=[";
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      if (i) out << ' ';
+      const auto& p = partitions[i];
+      out << '@' << p.start << "..";
+      if (p.heal_at > p.start) {
+        out << p.heal_at;
+      } else {
+        out << "inf";
+      }
+      out << "{";
+      for (std::size_t j = 0; j < p.group.size(); ++j) {
+        if (j) out << ',';
+        out << p.group[j];
+      }
+      out << '}';
+    }
+    out << ']';
+  }
+  if (!crashes.empty()) {
+    out << " crashes=[";
+    for (std::size_t i = 0; i < crashes.size(); ++i) {
+      if (i) out << ' ';
+      const auto& c = crashes[i];
+      out << c.node << '@' << c.crash_at;
+      if (c.restart_at > c.crash_at) out << "..+" << c.restart_at;
+    }
+    out << ']';
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace roads::sim

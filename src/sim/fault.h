@@ -1,0 +1,80 @@
+// Deterministic fault-injection plans for the simulated network.
+//
+// A FaultPlan is pure data: per-link and per-node loss rates layered on
+// top of a base rate, message duplication, bounded reordering jitter,
+// scheduled partition windows (with heal times) and crash/restart
+// windows. Network::apply_fault_plan() installs a plan; every random
+// decision it implies is drawn from the network's seeded RNG in a fixed
+// order, so a failing chaos run replays bit-identically from its seed —
+// describe() prints the plan so a failure message is a one-command
+// repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace roads::sim {
+
+using NodeId = std::uint32_t;
+
+/// Extra loss applied to one directed link (from -> to).
+struct LinkFault {
+  NodeId from = 0;
+  NodeId to = 0;
+  double loss = 0.0;
+};
+
+/// Extra loss applied to every message a node sends or receives.
+struct NodeFault {
+  NodeId node = 0;
+  double loss = 0.0;
+};
+
+/// Between [start, heal_at) the nodes in `group` can only talk to each
+/// other; everyone else can only talk to non-group nodes. heal_at <= 0
+/// means the partition never heals on its own.
+struct PartitionWindow {
+  Time start = 0;
+  Time heal_at = 0;
+  std::vector<NodeId> group;
+};
+
+/// Node crashes at crash_at and (if restart_at > crash_at) comes back
+/// at restart_at. restart_at <= crash_at means a permanent crash.
+struct CrashWindow {
+  NodeId node = 0;
+  Time crash_at = 0;
+  Time restart_at = 0;
+};
+
+struct FaultPlan {
+  /// Base probability in [0,1] that any message is lost.
+  double loss_rate = 0.0;
+  std::vector<NodeFault> node_loss;
+  std::vector<LinkFault> link_loss;
+
+  /// Probability that a surviving message is delivered twice.
+  double duplicate_rate = 0.0;
+  /// Probability that a surviving message gets extra uniform jitter in
+  /// [1, max_jitter] added to its latency — enough to overtake or fall
+  /// behind neighbouring messages on the same link.
+  double reorder_rate = 0.0;
+  Time max_jitter = 0;
+
+  std::vector<PartitionWindow> partitions;
+  std::vector<CrashWindow> crashes;
+
+  /// True if any per-message coin (loss, duplication, reordering) can
+  /// fire; partitions and crashes do not count.
+  bool any_message_faults() const;
+  /// True when the plan injects nothing at all; applying an empty plan
+  /// heals every fault a previous plan introduced.
+  bool empty() const;
+  /// Human-readable one-line summary for failure messages.
+  std::string describe() const;
+};
+
+}  // namespace roads::sim

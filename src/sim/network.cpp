@@ -1,8 +1,16 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace roads::sim {
+
+namespace {
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) |
+         static_cast<std::uint64_t>(to);
+}
+}  // namespace
 
 const char* to_string(Channel channel) {
   switch (channel) {
@@ -35,6 +43,10 @@ Network::Network(Simulator& simulator, DelaySpace& delay_space, util::Rng rng,
     byte_counters_[c] = &metrics_->counter(base + ".bytes");
   }
   dropped_ = &metrics_->counter("net.dropped");
+  fault_dropped_ = &metrics_->counter("sim.fault.dropped");
+  fault_duplicated_ = &metrics_->counter("sim.fault.duplicated");
+  fault_reordered_ = &metrics_->counter("sim.fault.reordered");
+  fault_partitioned_ = &metrics_->counter("sim.fault.partitioned");
 }
 
 bool Network::node_up(NodeId node) const {
@@ -52,39 +64,196 @@ void Network::trace_message(obs::TraceKind kind, NodeId from, NodeId to,
                   to_string(channel)});
 }
 
+void Network::digest_event(EventOutcome outcome, NodeId from, NodeId to,
+                           std::uint64_t bytes, Channel channel) {
+  digest_.add(static_cast<std::uint64_t>(sim_.now()));
+  digest_.add(static_cast<std::uint64_t>(outcome));
+  digest_.add(static_cast<std::uint64_t>(from));
+  digest_.add(static_cast<std::uint64_t>(to));
+  digest_.add(bytes);
+  digest_.add(static_cast<std::uint64_t>(channel));
+}
+
+double Network::loss_probability(NodeId from, NodeId to) const {
+  double survive = 1.0 - std::clamp(plan_.loss_rate, 0.0, 1.0);
+  if (from < node_loss_.size()) {
+    survive *= 1.0 - std::clamp(node_loss_[from], 0.0, 1.0);
+  }
+  if (to < node_loss_.size()) {
+    survive *= 1.0 - std::clamp(node_loss_[to], 0.0, 1.0);
+  }
+  if (!link_loss_.empty()) {
+    auto it = link_loss_.find(link_key(from, to));
+    if (it != link_loss_.end()) {
+      survive *= 1.0 - std::clamp(it->second, 0.0, 1.0);
+    }
+  }
+  return 1.0 - survive;
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  for (const auto& p : partitions_) {
+    if (!p.active) continue;
+    const bool a_in = a < p.member.size() && p.member[a];
+    const bool b_in = b < p.member.size() && p.member[b];
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+void Network::set_partition_active(std::size_t index, bool active) {
+  if (index < partitions_.size()) partitions_[index].active = active;
+}
+
+void Network::apply_fault_plan(const FaultPlan& plan) {
+  ++plan_generation_;  // orphan previously scheduled windows
+  plan_ = plan;
+
+  node_loss_.clear();
+  for (const auto& nf : plan_.node_loss) {
+    if (nf.node >= node_loss_.size()) node_loss_.resize(nf.node + 1, 0.0);
+    node_loss_[nf.node] = nf.loss;
+  }
+  link_loss_.clear();
+  for (const auto& lf : plan_.link_loss) {
+    link_loss_[link_key(lf.from, lf.to)] = lf.loss;
+  }
+
+  partitions_.clear();
+  partitions_.resize(plan_.partitions.size());
+  const Time now = sim_.now();
+  const std::uint64_t gen = plan_generation_;
+  for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+    const auto& w = plan_.partitions[i];
+    auto& ap = partitions_[i];
+    for (NodeId n : w.group) {
+      if (n >= ap.member.size()) ap.member.resize(n + 1, false);
+      ap.member[n] = true;
+    }
+    sim_.schedule_at(std::max(now, w.start), [this, i, gen] {
+      if (gen != plan_generation_) return;
+      set_partition_active(i, true);
+    });
+    if (w.heal_at > w.start) {
+      sim_.schedule_at(std::max(now, w.heal_at), [this, i, gen] {
+        if (gen != plan_generation_) return;
+        set_partition_active(i, false);
+      });
+    }
+  }
+
+  for (const auto& c : plan_.crashes) {
+    const NodeId node = c.node;
+    sim_.schedule_at(std::max(now, c.crash_at), [this, node, gen] {
+      if (gen != plan_generation_) return;
+      set_node_up(node, false);
+      if (transition_) transition_(node, false);
+    });
+    if (c.restart_at > c.crash_at) {
+      sim_.schedule_at(std::max(now, c.restart_at), [this, node, gen] {
+        if (gen != plan_generation_) return;
+        set_node_up(node, true);
+        if (transition_) transition_(node, true);
+      });
+    }
+  }
+}
+
 void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
                    Channel channel, std::function<void()> deliver) {
   send_bulk(from, to, 1, bytes, channel, std::move(deliver));
+}
+
+void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
+                                Channel channel, Time delay,
+                                std::function<void()> deliver) {
+  sim_.schedule_after(
+      delay, [this, from, to, bytes, channel, fn = std::move(deliver)] {
+        // A receiver that died in flight (or got partitioned away while
+        // the message was on the wire) drops the message; the sender
+        // already spent the bytes, so the channel charge stands.
+        if (!node_up(to)) {
+          dropped_->inc();
+          digest_event(EventOutcome::kDropDeliver, from, to, bytes, channel);
+          if (trace_) {
+            trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
+          }
+          return;
+        }
+        if (partitioned(from, to)) {
+          dropped_->inc();
+          fault_partitioned_->inc();
+          digest_event(EventOutcome::kDropDeliver, from, to, bytes, channel);
+          if (trace_) {
+            trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
+          }
+          return;
+        }
+        digest_event(EventOutcome::kDeliver, from, to, bytes, channel);
+        if (trace_) {
+          trace_message(obs::TraceKind::kDeliver, from, to, bytes, channel);
+        }
+        fn();
+      });
 }
 
 void Network::send_bulk(NodeId from, NodeId to, std::uint64_t messages,
                         std::uint64_t bytes, Channel channel,
                         std::function<void()> deliver) {
   if (!node_up(from)) return;  // a dead sender emits nothing
-  const auto c = static_cast<std::size_t>(channel);
-  message_counters_[c]->inc(messages);
-  byte_counters_[c]->inc(bytes);
-  if (trace_) trace_message(obs::TraceKind::kSend, from, to, bytes, channel);
-  if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
+
+  // Send-time kills are decided BEFORE the channel meters are charged:
+  // a dropped message never went on the wire, so it must not inflate
+  // the paper's overhead metrics. The RNG draw order below is fixed
+  // (loss coin, then duplication coin, then jitter) and each coin is
+  // drawn only when its rate is non-zero, so a given seed and plan
+  // replay the exact same stream.
+  if (partitioned(from, to)) {
     dropped_->inc(messages);
+    fault_partitioned_->inc(messages);
+    digest_event(EventOutcome::kDropSend, from, to, bytes, channel);
     if (trace_) trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
     return;
   }
-  const Time delay = space_.latency(from, to);
-  sim_.schedule_after(
-      delay, [this, from, to, bytes, channel, fn = std::move(deliver)] {
-        if (!node_up(to)) {  // receiver died in flight
-          dropped_->inc();
-          if (trace_) {
-            trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
-          }
-          return;
-        }
-        if (trace_) {
-          trace_message(obs::TraceKind::kDeliver, from, to, bytes, channel);
-        }
-        fn();
-      });
+  const double loss = loss_probability(from, to);
+  if (loss > 0.0 && rng_.bernoulli(loss)) {
+    dropped_->inc(messages);
+    fault_dropped_->inc(messages);
+    digest_event(EventOutcome::kDropSend, from, to, bytes, channel);
+    if (trace_) trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
+    return;
+  }
+
+  const auto c = static_cast<std::size_t>(channel);
+  message_counters_[c]->inc(messages);
+  byte_counters_[c]->inc(bytes);
+  digest_event(EventOutcome::kSend, from, to, bytes, channel);
+  if (trace_) trace_message(obs::TraceKind::kSend, from, to, bytes, channel);
+
+  const bool duplicate =
+      plan_.duplicate_rate > 0.0 && rng_.bernoulli(plan_.duplicate_rate);
+  Time delay = space_.latency(from, to);
+  if (plan_.reorder_rate > 0.0 && plan_.max_jitter > 0 &&
+      rng_.bernoulli(plan_.reorder_rate)) {
+    delay += rng_.uniform_int(1, plan_.max_jitter);
+    fault_reordered_->inc(messages);
+  }
+
+  if (duplicate) {
+    // The duplicate is a real extra transmission: it charges the
+    // channel again and takes the undithered base latency, so it can
+    // arrive before or after the jittered original.
+    message_counters_[c]->inc(messages);
+    byte_counters_[c]->inc(bytes);
+    fault_duplicated_->inc(messages);
+    digest_event(EventOutcome::kDuplicate, from, to, bytes, channel);
+    if (trace_) {
+      trace_message(obs::TraceKind::kSend, from, to, bytes, channel);
+    }
+    schedule_delivery(from, to, bytes, channel, space_.latency(from, to),
+                      deliver);
+  }
+  schedule_delivery(from, to, bytes, channel, delay, std::move(deliver));
 }
 
 ChannelMeter Network::meter(Channel channel) const {
@@ -108,6 +277,10 @@ void Network::reset_meters() {
   for (auto* c : message_counters_) c->reset();
   for (auto* c : byte_counters_) c->reset();
   dropped_->reset();
+  fault_dropped_->reset();
+  fault_duplicated_->reset();
+  fault_reordered_->reset();
+  fault_partitioned_->reset();
 }
 
 }  // namespace roads::sim

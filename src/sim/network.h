@@ -9,6 +9,17 @@
 // for failure injection; messages to or from a down node vanish, as do
 // randomly dropped messages when a loss rate is configured.
 //
+// Fault injection beyond a uniform loss rate comes from a FaultPlan
+// (see sim/fault.h): per-node and per-link loss, duplication, bounded
+// reordering jitter, scheduled partitions and crash/restart windows.
+// Messages killed at send time (loss coin, partition, dead sender) are
+// metered as drops and charged to NO channel — the sender never put
+// them on the wire as far as the overhead metrics are concerned —
+// while messages whose receiver dies in flight were genuinely sent and
+// keep their channel charge. Every send/drop/deliver decision folds
+// into a running FNV-1a event digest, so two runs of the same seeded
+// schedule can be compared bit-for-bit.
+//
 // Metering is backed by the shared obs::MetricsRegistry: each channel
 // owns a pair of "net.<channel>.messages"/".bytes" counters, so every
 // consumer of the registry (exporters, experiment snapshots) sees the
@@ -23,13 +34,16 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/delay_space.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace roads::sim {
@@ -53,6 +67,11 @@ struct ChannelMeter {
 
 class Network {
  public:
+  /// Called when a fault-plan crash window flips a node down (up=false)
+  /// or back up (up=true); lets the protocol layer fail/restart the
+  /// corresponding server object.
+  using NodeTransitionHandler = std::function<void(NodeId, bool up)>;
+
   /// `metrics` is the registry the channel counters live in; nullptr
   /// makes the network own a private registry. `trace` enables
   /// per-message structured events (nullptr = no tracing).
@@ -75,9 +94,10 @@ class Network {
   Time latency(NodeId a, NodeId b) const { return space_.latency(a, b); }
 
   /// Sends a message: accounts bytes on `channel` and schedules
-  /// `deliver` at now + latency(from, to). Dropped (with the bytes still
-  /// spent by the sender) when the sender is down at send time, the
-  /// receiver is down at delivery time, or the loss coin fires.
+  /// `deliver` at now + latency(from, to). Messages killed before the
+  /// wire (dead sender, loss coin, partition) are metered as drops and
+  /// never charged to the channel; a receiver that dies in flight drops
+  /// the message with the bytes already spent.
   void send(NodeId from, NodeId to, std::uint64_t bytes, Channel channel,
             std::function<void()> deliver);
 
@@ -91,32 +111,87 @@ class Network {
   bool node_up(NodeId node) const;
   void set_node_up(NodeId node, bool up);
 
-  /// Probability in [0,1] that any message is silently lost.
-  void set_loss_rate(double rate) { loss_rate_ = rate; }
+  /// Probability in [0,1] that any message is silently lost. Alias for
+  /// setting FaultPlan::loss_rate on the active plan.
+  void set_loss_rate(double rate) { plan_.loss_rate = rate; }
+
+  /// Installs `plan`: loss/dup/reorder rates take effect immediately,
+  /// partition and crash windows are scheduled on the simulator (times
+  /// already in the past fire at now). Replaces any previous plan —
+  /// applying a default-constructed FaultPlan heals everything except
+  /// nodes a previous plan crashed without a restart time. All
+  /// randomness derives from the network RNG, so equal seeds replay the
+  /// exact same fault sequence.
+  void apply_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
+  /// True while an active partition window separates a and b.
+  bool partitioned(NodeId a, NodeId b) const;
+
+  /// Installs the crash/restart callback (see NodeTransitionHandler).
+  void set_node_transition_handler(NodeTransitionHandler handler) {
+    transition_ = std::move(handler);
+  }
 
   ChannelMeter meter(Channel channel) const;
   std::uint64_t total_bytes() const;
   std::uint64_t total_messages() const;
-  /// Messages that never reached their receiver (down nodes, loss).
+  /// Messages that never reached their receiver (down nodes, loss,
+  /// partitions).
   std::uint64_t dropped_messages() const { return dropped_->value(); }
   /// Zeroes the channel counters (experiment drivers meter deltas over
-  /// one refresh window).
+  /// one refresh window). The event digest is left untouched.
   void reset_meters();
 
+  /// Running FNV-1a digest over every (time, from, to, bytes, channel,
+  /// outcome) the network decided — equal seeds and schedules produce
+  /// equal digests, which is the chaos tests' replay check.
+  std::uint64_t event_digest() const { return digest_.value(); }
+
  private:
+  enum class EventOutcome : std::uint64_t {
+    kSend = 1,
+    kDeliver = 2,
+    kDropSend = 3,
+    kDropDeliver = 4,
+    kDuplicate = 5,
+  };
+
   void trace_message(obs::TraceKind kind, NodeId from, NodeId to,
                      std::uint64_t bytes, Channel channel);
+  void digest_event(EventOutcome outcome, NodeId from, NodeId to,
+                    std::uint64_t bytes, Channel channel);
+  /// Combined send-time loss probability for this (from, to) pair.
+  double loss_probability(NodeId from, NodeId to) const;
+  void schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
+                         Channel channel, Time delay,
+                         std::function<void()> deliver);
+  void set_partition_active(std::size_t index, bool active);
 
   Simulator& sim_;
   DelaySpace& space_;
   util::Rng rng_;
-  double loss_rate_ = 0.0;
+  FaultPlan plan_;
+  std::vector<double> node_loss_;  // indexed by NodeId, 0 = none
+  std::unordered_map<std::uint64_t, double> link_loss_;  // (from<<32)|to
+  struct ActivePartition {
+    std::vector<bool> member;  // indexed by NodeId
+    bool active = false;
+  };
+  std::vector<ActivePartition> partitions_;
+  std::uint64_t plan_generation_ = 0;  // invalidates scheduled windows
+  NodeTransitionHandler transition_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;
   obs::TraceBuffer* trace_;
   std::array<obs::Counter*, kChannelCount> message_counters_{};
   std::array<obs::Counter*, kChannelCount> byte_counters_{};
   obs::Counter* dropped_;
+  obs::Counter* fault_dropped_;
+  obs::Counter* fault_duplicated_;
+  obs::Counter* fault_reordered_;
+  obs::Counter* fault_partitioned_;
+  util::Fnv1a digest_;
   std::vector<bool> down_;  // indexed by NodeId; default all up
 };
 

@@ -1,0 +1,285 @@
+// Seed-sweep chaos tests (ISSUE PR 3): every scenario builds a
+// federation, runs it through a deterministic FaultPlan drawn from the
+// run seed, lets it quiesce, and then demands the full invariant sweep
+// — structure, summary soundness, replica TTLs, storage accounting.
+//
+// The sweep is 32 seeds by default. To reproduce a single failing run:
+//   CHAOS_SEED=<seed> ./tests/chaos_test --gtest_filter='<failing test>'
+// and to widen or narrow the sweep (CI's extended job uses 128):
+//   CHAOS_SEEDS=<count> ./tests/chaos_test
+// Fault schedules replay bit-identically per seed (see ReplayDigest).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "roads/federation.h"
+#include "sim/fault.h"
+#include "testing/invariants.h"
+
+namespace roads {
+namespace {
+
+using core::ExportMode;
+using core::Federation;
+using core::FederationParams;
+
+std::vector<std::uint64_t> sweep_seeds() {
+  if (const char* pin = std::getenv("CHAOS_SEED")) {
+    return {std::strtoull(pin, nullptr, 10)};
+  }
+  std::size_t count = 32;
+  if (const char* n = std::getenv("CHAOS_SEEDS")) {
+    count = std::strtoul(n, nullptr, 10);
+  }
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(1000 + i);
+  return seeds;
+}
+
+FederationParams chaos_params(std::uint64_t seed) {
+  FederationParams p;
+  p.schema = record::Schema::uniform_numeric(2);
+  p.seed = seed;
+  p.config.max_children = 3;
+  p.config.summary.histogram_buckets = 64;
+  p.config.summary_refresh_period = sim::seconds(10);
+  p.config.summary_ttl = sim::seconds(35);
+  p.config.maintenance_enabled = true;
+  p.config.heartbeat_period = sim::seconds(5);
+  p.config.heartbeat_miss_limit = 3;
+  return p;
+}
+
+/// One identifying record per server so soundness probes have ground
+/// truth spread across the whole tree.
+void seed_identifiable(Federation& fed, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    auto owner = fed.add_owner(static_cast<sim::NodeId>(i),
+                               ExportMode::kDetailedRecords);
+    owner->store().insert(record::ResourceRecord(
+        i, owner->id(),
+        {record::AttributeValue((i + 0.5) / static_cast<double>(n)),
+         record::AttributeValue(0.5)}));
+    fed.server(static_cast<sim::NodeId>(i))
+        .attach_owner(owner, ExportMode::kDetailedRecords);
+  }
+}
+
+std::string replay_hint(std::uint64_t seed, const sim::FaultPlan& plan) {
+  std::ostringstream out;
+  out << "seed " << seed << ", " << plan.describe()
+      << " — replay: CHAOS_SEED=" << seed << " ./tests/chaos_test";
+  return out.str();
+}
+
+void expect_converged_invariants(Federation& fed) {
+  testing::InvariantOptions opts;
+  opts.soundness_probes = 8;
+  const auto report = testing::check_invariants(fed, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.checks_run, 0u);
+}
+
+std::size_t root_count(Federation& fed) {
+  std::size_t roots = 0;
+  for (auto* s : fed.servers()) {
+    if (s->alive() && s->is_root()) ++roots;
+  }
+  return roots;
+}
+
+// Scenario 1: sustained message-level faults (loss + duplication +
+// reordering jitter), then a heal. Soft state must converge back to a
+// sound single tree for every seed.
+TEST(Chaos, MessageFaultsThenHealConvergeSound) {
+  for (const auto seed : sweep_seeds()) {
+    Federation fed(chaos_params(seed));
+    fed.add_servers(16);
+    seed_identifiable(fed, 16);
+    fed.start();
+    fed.stabilize();
+
+    sim::FaultPlan plan;
+    plan.loss_rate = 0.05;
+    plan.duplicate_rate = 0.02;
+    plan.reorder_rate = 0.2;
+    plan.max_jitter = sim::ms(20);
+    SCOPED_TRACE(replay_hint(seed, plan));
+
+    fed.apply_fault_plan(plan);
+    fed.advance(sim::seconds(120));  // churn: misses, stale paths, rejoins
+    fed.apply_fault_plan(sim::FaultPlan{});  // heal
+    fed.advance(sim::seconds(120));
+    fed.stabilize(3);
+
+    ASSERT_EQ(root_count(fed), 1u);
+    const auto topo = fed.topology();
+    EXPECT_EQ(topo.subtree(topo.root()).size(), 16u);
+    expect_converged_invariants(fed);
+  }
+}
+
+// Scenario 2: partition an interior node's whole subtree away, hold the
+// window past the failure-detection limit, then heal. Mid-window both
+// sides must have detected the split (two legitimate roots); after the
+// heal the partition root's recovery retries re-merge the trees.
+TEST(Chaos, SubtreePartitionHealsToSingleRoot) {
+  for (const auto seed : sweep_seeds()) {
+    Federation fed(chaos_params(seed));
+    fed.add_servers(16);
+    seed_identifiable(fed, 16);
+    fed.start();
+    fed.stabilize();
+
+    const auto topo = fed.topology();
+    sim::NodeId victim = 0;
+    for (sim::NodeId i = 0; i < 16; ++i) {
+      if (i != topo.root() && !topo.children(i).empty()) {
+        victim = i;
+        break;
+      }
+    }
+    ASSERT_NE(victim, topo.root());
+
+    sim::FaultPlan plan;
+    sim::PartitionWindow window;
+    window.group = topo.subtree(victim);
+    window.start = fed.simulator().now() + sim::seconds(1);
+    window.heal_at = window.start + sim::seconds(45);
+    plan.partitions.push_back(window);
+    SCOPED_TRACE(replay_hint(seed, plan));
+
+    fed.apply_fault_plan(plan);
+    fed.advance(sim::seconds(30));  // mid-window: split detected
+    EXPECT_EQ(root_count(fed), 2u);
+    {
+      testing::InvariantOptions opts;
+      opts.expect_single_root = false;  // two roots are correct here
+      opts.summary_soundness = false;   // probes cannot cross the cut
+      const auto report = testing::check_invariants(fed, opts);
+      EXPECT_TRUE(report.ok()) << report.to_string();
+    }
+
+    fed.advance(sim::seconds(150));  // heal at +46s, then re-merge retries
+    fed.stabilize(3);
+    ASSERT_EQ(root_count(fed), 1u);
+    const auto healed = fed.topology();
+    EXPECT_EQ(healed.subtree(healed.root()).size(), 16u);
+    expect_converged_invariants(fed);
+  }
+}
+
+// Scenario 3: coordinated crash of an interior node together with one
+// of its children, restart both 30 seconds later. Orphaned descendants
+// rejoin via their root paths; the restarted pair rejoins from scratch.
+TEST(Chaos, CoordinatedInteriorCrashRestartRecovers) {
+  for (const auto seed : sweep_seeds()) {
+    Federation fed(chaos_params(seed));
+    fed.add_servers(16);
+    seed_identifiable(fed, 16);
+    fed.start();
+    fed.stabilize();
+
+    const auto topo = fed.topology();
+    sim::NodeId interior = 0;
+    for (sim::NodeId i = 0; i < 16; ++i) {
+      if (i != topo.root() && !topo.children(i).empty()) {
+        interior = i;
+        break;
+      }
+    }
+    ASSERT_NE(interior, topo.root());
+    const auto child = topo.children(interior).front();
+
+    sim::FaultPlan plan;
+    const auto crash_at = fed.simulator().now() + sim::seconds(1);
+    plan.crashes.push_back({interior, crash_at, crash_at + sim::seconds(30)});
+    plan.crashes.push_back({child, crash_at, crash_at + sim::seconds(30)});
+    SCOPED_TRACE(replay_hint(seed, plan));
+
+    fed.apply_fault_plan(plan);
+    fed.advance(sim::seconds(150));
+    fed.stabilize(3);
+
+    for (auto* s : fed.servers()) {
+      EXPECT_TRUE(s->alive()) << "server " << s->id() << " never restarted";
+    }
+    ASSERT_EQ(root_count(fed), 1u);
+    const auto healed = fed.topology();
+    EXPECT_EQ(healed.subtree(healed.root()).size(), 16u);
+    expect_converged_invariants(fed);
+  }
+}
+
+// The determinism guarantee the whole harness rests on: the same seed
+// replays the same fault schedule decision for decision, which the
+// network's running event digest makes checkable bit-for-bit.
+TEST(Chaos, ReplayDigestIsBitIdentical) {
+  const auto run_once = [](std::uint64_t seed) {
+    Federation fed(chaos_params(seed));
+    fed.add_servers(12);
+    seed_identifiable(fed, 12);
+    fed.start();
+    fed.stabilize();
+    sim::FaultPlan plan;
+    plan.loss_rate = 0.1;
+    plan.duplicate_rate = 0.05;
+    plan.reorder_rate = 0.3;
+    plan.max_jitter = sim::ms(10);
+    const auto now = fed.simulator().now();
+    plan.crashes.push_back(
+        {3, now + sim::seconds(5), now + sim::seconds(25)});
+    fed.apply_fault_plan(plan);
+    fed.advance(sim::seconds(90));
+    return fed.network().event_digest();
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+// Negative test: the checker must actually reject a broken federation.
+// A silent crash leaves the classic inconsistencies — a parent
+// retaining a dead child, children pointing at a dead parent — until
+// maintenance repairs them.
+TEST(Chaos, CheckerRejectsCorruptedFederation) {
+  Federation fed(chaos_params(7));
+  fed.add_servers(12);
+  seed_identifiable(fed, 12);
+  fed.start();
+  fed.stabilize();
+  {
+    const auto clean = testing::check_invariants(fed);
+    ASSERT_TRUE(clean.ok()) << clean.to_string();
+  }
+
+  const auto topo = fed.topology();
+  sim::NodeId interior = 0;
+  for (sim::NodeId i = 0; i < 12; ++i) {
+    if (i != topo.root() && !topo.children(i).empty()) {
+      interior = i;
+      break;
+    }
+  }
+  ASSERT_NE(interior, topo.root());
+  fed.server(interior).fail();
+
+  // Checked immediately — before any heartbeat can notice — the
+  // structure is provably inconsistent.
+  testing::InvariantOptions opts;
+  opts.summary_soundness = false;
+  const auto broken = testing::check_invariants(fed, opts);
+  EXPECT_FALSE(broken.ok());
+  EXPECT_GT(broken.violations.size(), 0u) << broken.to_string();
+
+  // And once maintenance has run its course, the same checker passes.
+  fed.advance(sim::seconds(120));
+  fed.stabilize(2);
+  expect_converged_invariants(fed);
+}
+
+}  // namespace
+}  // namespace roads

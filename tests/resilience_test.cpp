@@ -1,10 +1,14 @@
 // Resilience and dynamics: behaviour under message loss, repeated
 // failures, and dynamic resources (soft-state eventual consistency).
+// Every scenario's end state goes through testing::check_invariants so
+// a repair that "looks" healed but left broken bookkeeping fails here.
 #include <gtest/gtest.h>
 
 #include <memory>
 
 #include "roads/federation.h"
+#include "sim/fault.h"
+#include "testing/invariants.h"
 
 namespace roads {
 namespace {
@@ -12,6 +16,16 @@ namespace {
 using core::ExportMode;
 using core::Federation;
 using core::FederationParams;
+
+/// Full invariant sweep (structure + soundness + TTL + accounting) at a
+/// point where the federation should have converged to one tree.
+void expect_invariants(Federation& fed, std::size_t probes = 8) {
+  testing::InvariantOptions opts;
+  opts.soundness_probes = probes;
+  const auto report = testing::check_invariants(fed, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.checks_run, 0u);
+}
 
 FederationParams resilient_params() {
   FederationParams p;
@@ -67,6 +81,14 @@ TEST(Resilience, QueriesCompleteUnderMessageLoss) {
     found += outcome.matching_records;
   }
   EXPECT_GE(found, 10u);
+
+  // Loss off, let any loss-induced churn repair, then demand full
+  // invariants — soundness probes must run loss-free or they would
+  // themselves be flaky.
+  fed.network().set_loss_rate(0.0);
+  fed.advance(sim::seconds(60));
+  fed.stabilize(2);
+  expect_invariants(fed);
 }
 
 TEST(Resilience, LossySummaryPropagationSelfHeals) {
@@ -85,6 +107,7 @@ TEST(Resilience, LossySummaryPropagationSelfHeals) {
   fed.stabilize(3);
   const auto topo = fed.topology();
   EXPECT_EQ(topo.subtree(topo.root()).size(), 12u);  // one tree again
+  expect_invariants(fed);
   for (std::size_t t = 0; t < 12; ++t) {
     const auto outcome = fed.run_query(probe(t, 12), 0);
     EXPECT_EQ(outcome.matching_records, 1u) << "target " << t;
@@ -122,6 +145,7 @@ TEST(Resilience, SurvivesRepeatedSequentialFailures) {
   }
   EXPECT_EQ(live, 17u);
   EXPECT_EQ(topo.subtree(topo.root()).size(), live);
+  expect_invariants(fed);
 
   std::size_t start = 0;
   while (!fed.server(start).alive()) ++start;
@@ -160,6 +184,7 @@ TEST(Resilience, DeadBranchDataAgesOutOfSummaries) {
   for (const auto n : after.contacted) {
     EXPECT_TRUE(fed.server(n).alive() || n == leaf);
   }
+  expect_invariants(fed);
 }
 
 TEST(Resilience, DynamicRecordsEventuallyConsistent) {
@@ -188,6 +213,7 @@ TEST(Resilience, DynamicRecordsEventuallyConsistent) {
   fed.stabilize(3);
   EXPECT_EQ(fed.run_query(new_q, 0).matching_records, 1u);
   EXPECT_EQ(fed.run_query(old_q, 0).matching_records, 0u);
+  expect_invariants(fed);
 }
 
 TEST(Resilience, GracefulLeaveOfInteriorReparentsSubtree) {
@@ -218,6 +244,61 @@ TEST(Resilience, GracefulLeaveOfInteriorReparentsSubtree) {
     found += fed.run_query(probe(t, 20), after.root()).matching_records;
   }
   EXPECT_EQ(found, 19u);
+  expect_invariants(fed);
+}
+
+// Regression for partitioned-then-healed root election (§III-A): cut
+// the root off behind a scheduled partition window. Its children stop
+// hearing heartbeats, declare it dead and elect the smallest id among
+// themselves; two legitimate roots coexist while the window is open.
+// After the heal, the elected root's recovery contact (the old root it
+// "survived") lets the trees re-merge — exactly one root, full
+// invariants.
+TEST(Resilience, PartitionedRootElectionConvergesToSingleRoot) {
+  Federation fed(resilient_params());
+  fed.add_servers(12);
+  seed_identifiable(fed, 12);
+  fed.start();
+  fed.stabilize();
+
+  const auto root = fed.topology().root();
+  sim::FaultPlan plan;
+  sim::PartitionWindow window;
+  window.group = {root};
+  // Open long enough for miss_limit (3) x heartbeat_period (5s)
+  // detection plus the election traffic; then heal.
+  window.start = fed.simulator().now() + sim::seconds(1);
+  window.heal_at = window.start + sim::seconds(40);
+  plan.partitions.push_back(window);
+  fed.apply_fault_plan(plan);
+
+  // While the window is open both sides detect the split: the old root
+  // expires its children, the children elect a new root.
+  fed.advance(sim::seconds(30));
+  std::size_t roots_during = 0;
+  for (auto* s : fed.servers()) {
+    if (s->alive() && s->is_root()) ++roots_during;
+  }
+  EXPECT_EQ(roots_during, 2u) << "expected the partition to split the tree";
+  {
+    testing::InvariantOptions opts;
+    opts.expect_single_root = false;  // two roots are correct mid-window
+    opts.summary_soundness = false;   // cross-partition probes cannot work
+    const auto report = testing::check_invariants(fed, opts);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+
+  // Heal passes at +41s; recovery retries run every heartbeat period.
+  fed.advance(sim::seconds(90));
+  fed.stabilize(3);
+  std::size_t roots_after = 0;
+  for (auto* s : fed.servers()) {
+    if (s->alive() && s->is_root()) ++roots_after;
+  }
+  EXPECT_EQ(roots_after, 1u);
+  const auto topo = fed.topology();
+  EXPECT_EQ(topo.subtree(topo.root()).size(), 12u);
+  expect_invariants(fed);
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include "overlay/replica_set.h"
 #include "roads/federation.h"
 #include "roads/messages.h"
+#include "sim/fault.h"
+#include "testing/invariants.h"
 
 namespace roads {
 namespace {
@@ -17,6 +19,23 @@ namespace {
 using core::ExportMode;
 using core::Federation;
 using core::FederationParams;
+
+/// Structural + accounting invariants only: safe at meter- or
+/// clock-sensitive assertion points (no soundness queries).
+void expect_structural(Federation& fed) {
+  testing::InvariantOptions opts;
+  opts.summary_soundness = false;
+  const auto report = testing::check_invariants(fed, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+/// The full sweep, soundness probes included (advances the clock).
+void expect_invariants(Federation& fed) {
+  testing::InvariantOptions opts;
+  opts.soundness_probes = 4;
+  const auto report = testing::check_invariants(fed, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
 
 FederationParams proto_params() {
   FederationParams p;
@@ -88,6 +107,7 @@ TEST(Protocol, DataChangesPropagateOnNextRefresh) {
   fed.stabilize();
   EXPECT_EQ(fed.run_query(q_attr0(0.78, 0.82), 0).matching_records, 1u);
   EXPECT_EQ(fed.run_query(q_attr0(0.18, 0.22), 0).matching_records, 0u);
+  expect_invariants(fed);
 }
 
 TEST(Protocol, BranchStatsReachTheRoot) {
@@ -101,6 +121,7 @@ TEST(Protocol, BranchStatsReachTheRoot) {
     total += root.children().entry(child).stats.descendants;
   }
   EXPECT_EQ(total, 7u);
+  expect_structural(fed);
 }
 
 TEST(Protocol, ReplicaRolesTransformDownTheTree) {
@@ -128,6 +149,7 @@ TEST(Protocol, ReplicaRolesTransformDownTheTree) {
       EXPECT_EQ(r->spec.role, overlay::ReplicaRole::kSibling);
     }
   }
+  expect_structural(fed);
 }
 
 TEST(Protocol, ReplicasExpireWithoutRefresh) {
@@ -148,6 +170,9 @@ TEST(Protocol, ReplicasExpireWithoutRefresh) {
   fed.set_refresh_paused(true);
   fed.advance(params.config.summary_ttl + sim::seconds(30));
   EXPECT_EQ(fed.server(leaf).replicas().size(), 0u);
+  // The TTL invariant must agree: with refresh paused every surviving
+  // replica anywhere would be stale, so none may survive.
+  expect_structural(fed);
 }
 
 TEST(Protocol, UpdateTrafficLandsOnUpdateChannel) {
@@ -208,6 +233,7 @@ TEST(Protocol, LocalOnlyModeDoesNotRedirect) {
   const auto outcome = fed.run_query(q_attr0(0.45, 0.55), 2);
   EXPECT_EQ(outcome.matching_records, 7u);
   EXPECT_EQ(outcome.servers_contacted, 7u);
+  expect_invariants(fed);
 }
 
 TEST(Protocol, CollectResultsDeliversRecords) {
@@ -228,6 +254,7 @@ TEST(Protocol, CollectResultsDeliversRecords) {
   EXPECT_GT(outcome.result_bytes, 0u);
   // Response time covers retrieval; forwarding latency does not.
   EXPECT_GE(outcome.response_ms, outcome.latency_ms);
+  expect_invariants(fed);
 }
 
 TEST(Protocol, QueryToDeadStartServerTimesOutGracefully) {
@@ -241,6 +268,9 @@ TEST(Protocol, QueryToDeadStartServerTimesOutGracefully) {
   // The client gives up on the dead server and completes empty.
   EXPECT_TRUE(outcome.complete);
   EXPECT_EQ(outcome.matching_records, 0u);
+  // Maintenance is off, so survivors legitimately keep pointers at the
+  // dead node; the structural checker must tolerate exactly that.
+  expect_structural(fed);
 }
 
 TEST(Protocol, SummaryOnlyRemoteOwnerIsContactedOnlyWhenSummaryMatches) {
@@ -259,6 +289,7 @@ TEST(Protocol, SummaryOnlyRemoteOwnerIsContactedOnlyWhenSummaryMatches) {
   const auto hit = fed.run_query(q_attr0(0.88, 0.92), 0);
   EXPECT_EQ(hit.matching_records, 1u);
   EXPECT_GT(hit.servers_contacted, miss.servers_contacted);
+  expect_invariants(fed);
 }
 
 TEST(Protocol, OverlayDisabledKeepsNoReplicas) {
@@ -279,6 +310,7 @@ TEST(Protocol, OverlayDisabledKeepsNoReplicas) {
   EXPECT_EQ(fed.run_query(q_attr0(0.38, 0.42), fed.topology().root())
                 .matching_records,
             1u);
+  expect_invariants(fed);
 }
 
 // --- Search-scope control (§III-C) ---
@@ -320,6 +352,7 @@ TEST(Protocol, ScopedQuerySearchesExactlyTheAncestorBranch) {
 
   // Unlimited scope: the whole federation.
   EXPECT_EQ(fed.run_query(wide, leaf).matching_records, 15u);
+  expect_invariants(fed);
 }
 
 TEST(Protocol, NarrowScopeContactsFewerServers) {
@@ -433,6 +466,9 @@ TEST(Protocol, SuppressionKeepsReplicasAliveUnderMaintenance) {
   // Several zero-churn TTL windows: nothing may expire.
   fed.advance(3 * params.config.summary_ttl);
   EXPECT_EQ(fed.server(leaf).replicas().size(), before);
+  // Maintenance is on here, so the replica-TTL invariant is live: every
+  // surviving replica must have been renewed by a keepalive wave.
+  expect_invariants(fed);
 }
 
 TEST(Protocol, StoredSummaryBytesBoundedAndPositive) {
@@ -450,6 +486,90 @@ TEST(Protocol, StoredSummaryBytesBoundedAndPositive) {
     // ~= 800B each; far fewer than 30 summaries here.
     EXPECT_LT(bytes, 30u * 900u);
   }
+  // The accounting invariant recounts these same bytes from scratch.
+  expect_invariants(fed);
+}
+
+// --- Fault-path edge cases (reordering, crash/restart races) ---
+
+// A partition heal (or reordering jitter) can deliver a heartbeat_down
+// that an old, since-replaced parent sent before it died. The
+// freshness guard — only the *current* parent's heartbeats are
+// honoured — must drop it, or the stale root path would corrupt the
+// child's ancestry.
+TEST(Protocol, StaleHeartbeatDownFromOldParentIgnored) {
+  auto params = proto_params();
+  params.config.maintenance_enabled = true;
+  params.config.heartbeat_period = sim::seconds(5);
+  Federation fed(params);
+  fed.add_servers(7);  // degree 2 -> depth 2
+  fed.start();
+  fed.stabilize();
+
+  const auto topo = fed.topology();
+  sim::NodeId leaf = 0;
+  for (sim::NodeId i = 0; i < 7; ++i) {
+    if (topo.depth(i) == 2) leaf = i;
+  }
+  const auto old_parent = topo.parent(leaf);
+  const auto stale_path = fed.server(old_parent).root_path();
+
+  // The parent dies; the leaf detects the loss and rejoins elsewhere.
+  fed.server(old_parent).fail();
+  fed.advance(sim::seconds(90));
+  fed.stabilize(2);
+  ASSERT_TRUE(fed.server(leaf).parent().has_value());
+  ASSERT_NE(*fed.server(leaf).parent(), old_parent);
+  const auto adopted_path = fed.server(leaf).root_path();
+
+  // The stale heartbeat arrives late (as after a heal): ignored.
+  fed.server(leaf).handle_heartbeat_down(old_parent, stale_path, {});
+  EXPECT_NE(*fed.server(leaf).parent(), old_parent);
+  EXPECT_EQ(fed.server(leaf).root_path().nodes(), adopted_path.nodes());
+  // Had it been applied, the root-path/parent consistency invariant
+  // would now fire.
+  expect_invariants(fed);
+}
+
+// A crash followed by a restart within one heartbeat period races the
+// timer events the pre-crash incarnation left in the event queue. The
+// life-epoch guard must orphan those, or the restarted server would run
+// two interleaved timer chains and double its maintenance traffic.
+TEST(Protocol, RestartRacingPendingHeartbeatTimer) {
+  auto params = proto_params();
+  params.config.maintenance_enabled = true;
+  params.config.heartbeat_period = sim::seconds(5);
+  Federation fed(params);
+  fed.add_servers(2);
+  fed.start();
+  fed.stabilize();
+
+  sim::FaultPlan plan;
+  sim::CrashWindow crash;
+  crash.node = 1;
+  crash.crash_at = fed.simulator().now() + sim::seconds(1);
+  crash.restart_at = crash.crash_at + sim::seconds(1);  // < heartbeat period
+  plan.crashes.push_back(crash);
+  fed.apply_fault_plan(plan);
+
+  // Past the window and the rejoin; then meter a quiet stretch.
+  fed.advance(sim::seconds(15));
+  ASSERT_TRUE(fed.server(1).alive());
+  fed.network().reset_meters();
+  fed.advance(sim::seconds(60));
+
+  // 12 heartbeat periods: one heartbeat_up (1 -> 0) and one
+  // heartbeat_down (0 -> 1) each. A doubled timer chain would send
+  // ~36; allow slack for phase only.
+  const auto msgs = fed.network().meter(sim::Channel::kMaintenance).messages;
+  EXPECT_GE(msgs, 18u);
+  EXPECT_LE(msgs, 30u);
+  std::size_t roots = 0;
+  for (auto* s : fed.servers()) {
+    if (s->alive() && s->is_root()) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  expect_invariants(fed);
 }
 
 }  // namespace

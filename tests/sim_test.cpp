@@ -3,10 +3,13 @@
 // failure injection.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/delay_space.h"
+#include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -295,6 +298,219 @@ TEST(Network, SelfSendIsImmediate) {
   f.net.send(3, 3, 10, Channel::kQuery, [&] { at = f.sim.now(); });
   f.sim.run();
   EXPECT_EQ(at, 0);
+}
+
+// --- Fault plans (sim/fault.h) ---
+
+TEST(Fault, PlanDescribeAndEmpty) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.any_message_faults());
+  plan.loss_rate = 0.02;
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.any_message_faults());
+  EXPECT_NE(plan.describe().find("loss=0.02"), std::string::npos);
+}
+
+// Regression: drops used to be decided AFTER the channel meters were
+// charged, inflating the paper's overhead metrics with bytes that never
+// went on the wire.
+TEST(Fault, SendTimeDropsAreNotChargedToChannels) {
+  NetFixture f;
+  f.net.set_loss_rate(1.0);
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    f.net.send(0, 1, 7, Channel::kQuery, [&] { ++delivered; });
+  }
+  f.sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(f.net.meter(Channel::kQuery).messages, 0u);
+  EXPECT_EQ(f.net.meter(Channel::kQuery).bytes, 0u);
+  EXPECT_EQ(f.net.dropped_messages(), 100u);
+  EXPECT_EQ(f.net.metrics().counter("sim.fault.dropped").value(), 100u);
+}
+
+TEST(Fault, LossAccountingConservesMessages) {
+  NetFixture f;
+  f.net.set_loss_rate(0.4);
+  for (int i = 0; i < 1000; ++i) {
+    f.net.send(0, 1, 1, Channel::kQuery, [] {});
+  }
+  f.sim.run();
+  // Every send is either charged to the channel or metered as a fault
+  // drop — never both, never neither.
+  const auto charged = f.net.meter(Channel::kQuery).messages;
+  const auto dropped = f.net.metrics().counter("sim.fault.dropped").value();
+  EXPECT_EQ(charged + dropped, 1000u);
+  EXPECT_GT(dropped, 250u);
+  EXPECT_LT(dropped, 550u);
+}
+
+TEST(Fault, DuplicationDeliversAndChargesTwice) {
+  NetFixture f;
+  FaultPlan plan;
+  plan.duplicate_rate = 1.0;
+  f.net.apply_fault_plan(plan);
+  int delivered = 0;
+  f.net.send(0, 1, 10, Channel::kUpdate, [&] { ++delivered; });
+  f.sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(f.net.meter(Channel::kUpdate).messages, 2u);
+  EXPECT_EQ(f.net.meter(Channel::kUpdate).bytes, 20u);
+  EXPECT_EQ(f.net.metrics().counter("sim.fault.duplicated").value(), 1u);
+}
+
+TEST(Fault, ReorderingJitterIsBounded) {
+  NetFixture f;
+  FaultPlan plan;
+  plan.reorder_rate = 1.0;
+  plan.max_jitter = 5 * kMillisecond;
+  f.net.apply_fault_plan(plan);
+  const Time base = f.space.latency(0, 1);
+  std::vector<Time> arrivals;
+  for (int i = 0; i < 50; ++i) {
+    f.net.send(0, 1, 1, Channel::kQuery,
+               [&] { arrivals.push_back(f.sim.now()); });
+  }
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  for (const auto t : arrivals) {
+    EXPECT_GT(t, base);  // jitter is at least 1us
+    EXPECT_LE(t, base + 5 * kMillisecond);
+  }
+  EXPECT_EQ(f.net.metrics().counter("sim.fault.reordered").value(), 50u);
+}
+
+TEST(Fault, PartitionWindowCutsThenHeals) {
+  NetFixture f;
+  FaultPlan plan;
+  PartitionWindow w;
+  w.group = {1};
+  w.start = 10 * kMillisecond;
+  w.heal_at = 500 * kMillisecond;
+  plan.partitions.push_back(w);
+  f.net.apply_fault_plan(plan);
+  int cut = 0, same_side = 0, healed = 0;
+  f.sim.schedule_at(20 * kMillisecond, [&] {
+    EXPECT_TRUE(f.net.partitioned(0, 1));
+    EXPECT_FALSE(f.net.partitioned(2, 3));  // both outside the group
+    f.net.send(0, 1, 1, Channel::kQuery, [&] { ++cut; });
+    f.net.send(2, 3, 1, Channel::kQuery, [&] { ++same_side; });
+  });
+  f.sim.schedule_at(600 * kMillisecond, [&] {
+    EXPECT_FALSE(f.net.partitioned(0, 1));
+    f.net.send(0, 1, 1, Channel::kQuery, [&] { ++healed; });
+  });
+  f.sim.run();
+  EXPECT_EQ(cut, 0);
+  EXPECT_EQ(same_side, 1);
+  EXPECT_EQ(healed, 1);
+  EXPECT_GE(f.net.metrics().counter("sim.fault.partitioned").value(), 1u);
+}
+
+TEST(Fault, NodeAndLinkLossAreDirectional) {
+  NetFixture f;
+  FaultPlan plan;
+  plan.node_loss.push_back({1, 1.0});     // node loss hits both directions
+  plan.link_loss.push_back({2, 3, 1.0});  // link loss only from->to
+  f.net.apply_fault_plan(plan);
+  int to_node = 0, from_node = 0, forward = 0, reverse = 0;
+  f.net.send(0, 1, 1, Channel::kQuery, [&] { ++to_node; });
+  f.net.send(1, 0, 1, Channel::kQuery, [&] { ++from_node; });
+  f.net.send(2, 3, 1, Channel::kQuery, [&] { ++forward; });
+  f.net.send(3, 2, 1, Channel::kQuery, [&] { ++reverse; });
+  f.sim.run();
+  EXPECT_EQ(to_node, 0);
+  EXPECT_EQ(from_node, 0);
+  EXPECT_EQ(forward, 0);
+  EXPECT_EQ(reverse, 1);
+}
+
+// A crash window kills a message already on the wire (the charge
+// stands, the delivery event fires into a dead receiver) and announces
+// both transitions to the protocol layer.
+TEST(Fault, CrashWindowDropsInFlightAndSignalsTransitions) {
+  NetFixture f;
+  std::vector<std::pair<NodeId, bool>> transitions;
+  f.net.set_node_transition_handler(
+      [&](NodeId n, bool up) { transitions.emplace_back(n, up); });
+  FaultPlan plan;
+  CrashWindow c;
+  c.node = 1;
+  c.crash_at = 1;  // well inside the 0->1 flight time (>= 5ms)
+  c.restart_at = 400 * kMillisecond;
+  plan.crashes.push_back(c);
+  f.net.apply_fault_plan(plan);
+  int in_flight = 0, after = 0;
+  f.net.send(0, 1, 5, Channel::kQuery, [&] { ++in_flight; });
+  f.sim.schedule_at(500 * kMillisecond, [&] {
+    f.net.send(0, 1, 5, Channel::kQuery, [&] { ++after; });
+  });
+  f.sim.run();
+  EXPECT_EQ(in_flight, 0);
+  EXPECT_EQ(after, 1);
+  EXPECT_EQ(f.net.meter(Channel::kQuery).bytes, 10u);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], (std::pair<NodeId, bool>{1, false}));
+  EXPECT_EQ(transitions[1], (std::pair<NodeId, bool>{1, true}));
+}
+
+TEST(Fault, NewPlanOrphansScheduledWindows) {
+  NetFixture f;
+  FaultPlan plan;
+  PartitionWindow w;
+  w.group = {1};
+  w.start = 100 * kMillisecond;
+  w.heal_at = 0;  // never heals on its own
+  plan.partitions.push_back(w);
+  f.net.apply_fault_plan(plan);
+  // Replacing the plan before the window opens must orphan it.
+  f.sim.schedule_at(50 * kMillisecond,
+                    [&] { f.net.apply_fault_plan(FaultPlan{}); });
+  int delivered = 0;
+  f.sim.schedule_at(200 * kMillisecond, [&] {
+    EXPECT_FALSE(f.net.partitioned(0, 1));
+    f.net.send(0, 1, 1, Channel::kQuery, [&] { ++delivered; });
+  });
+  f.sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+// The replay guarantee behind the chaos tests: equal seeds and equal
+// schedules fold to the same event digest, different seeds do not.
+std::uint64_t run_fault_schedule(std::uint64_t net_seed) {
+  Simulator sim;
+  DelaySpace space(10, util::Rng(7));
+  Network net(sim, space, util::Rng(net_seed));
+  FaultPlan plan;
+  plan.loss_rate = 0.3;
+  plan.duplicate_rate = 0.2;
+  plan.reorder_rate = 0.5;
+  plan.max_jitter = 5 * kMillisecond;
+  PartitionWindow w;
+  w.group = {1};
+  w.start = 50 * kMillisecond;
+  w.heal_at = 150 * kMillisecond;
+  plan.partitions.push_back(w);
+  CrashWindow c;
+  c.node = 2;
+  c.crash_at = 60 * kMillisecond;
+  c.restart_at = 120 * kMillisecond;
+  plan.crashes.push_back(c);
+  net.apply_fault_plan(plan);
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_at(i * kMillisecond, [&net, i] {
+      net.send(static_cast<NodeId>(i % 5), static_cast<NodeId>((i + 1) % 5),
+               10 + static_cast<std::uint64_t>(i), Channel::kQuery, [] {});
+    });
+  }
+  sim.run();
+  return net.event_digest();
+}
+
+TEST(Fault, DigestReplaysBitIdentically) {
+  EXPECT_EQ(run_fault_schedule(8), run_fault_schedule(8));
+  EXPECT_NE(run_fault_schedule(8), run_fault_schedule(9));
 }
 
 }  // namespace
