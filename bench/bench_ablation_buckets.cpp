@@ -28,10 +28,10 @@ int main(int argc, char** argv) {
                    util::Table::num(m.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
-  bench::write_report("ablation_buckets", profile, table);
+  const int rc = bench::finish_report("ablation_buckets", profile, table);
   std::printf(
       "\nexpected: update bytes/storage scale with buckets; server "
       "fan-out (false\npositives) grows as buckets shrink. The sweet spot "
       "is workload-dependent.\n");
-  return 0;
+  return rc;
 }

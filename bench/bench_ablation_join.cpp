@@ -33,12 +33,12 @@ int main(int argc, char** argv) {
                    util::Table::num(m.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
-  bench::write_report("ablation_join", profile, table);
+  const int rc = bench::finish_report("ablation_join", profile, table);
   std::printf(
       "\nexpected: balanced gives the shallowest tree and lowest latency; "
       "random\ndescent degrades both; proximity lands between (shorter "
       "hops, deeper tree).\nNote: non-balanced trees also break the "
       "data-locality anchoring, which is\npart of the penalty they show "
       "here.\n");
-  return 0;
+  return rc;
 }

@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
                    util::Table::num(m.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
-  bench::write_report("ablation_multires", profile, table);
+  const int rc = bench::finish_report("ablation_multires", profile, table);
   std::printf(
       "\nexpected: multi-resolution summaries cut update/storage bytes by "
       "an order of\nmagnitude at comparable query fan-out — sparse leaves, "
       "bounded interior summaries.\n");
-  return 0;
+  return rc;
 }

@@ -36,11 +36,11 @@ int main(int argc, char** argv) {
                    util::Table::sci(m.update_bytes_per_s)});
   }
   table.print(std::cout);
-  bench::write_report("ablation_overlay", profile, table);
+  const int rc = bench::finish_report("ablation_overlay", profile, table);
   std::printf(
       "\nexpected: the overlay costs extra update traffic but lets queries "
       "start\nanywhere — the root drops out of most query paths (root_hit%%), "
       "eliminating the\nbasic hierarchy's bottleneck and single point of "
       "failure.\n");
-  return 0;
+  return rc;
 }

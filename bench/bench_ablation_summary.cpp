@@ -144,10 +144,10 @@ int main(int argc, char** argv) {
                    util::Table::num(bloom.query_bytes, 0)});
   }
   table.print(std::cout);
-  bench::write_report("ablation_summary", profile, table);
+  const int rc = bench::finish_report("ablation_summary", profile, table);
   std::printf(
       "\nexpected: tiny Bloom filters save summary bytes but false "
       "positives raise\nservers-contacted; large filters approach the "
       "value-set fan-out.\n");
-  return 0;
+  return rc;
 }

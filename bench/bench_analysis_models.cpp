@@ -56,10 +56,10 @@ int main(int argc, char** argv) {
                      util::Table::sci(sword.update_bytes_per_round)});
   }
   scaling.print(std::cout);
-  bench::write_report("analysis_models", profile, scaling);
+  const int rc = bench::finish_report("analysis_models", profile, scaling);
   std::printf(
       "\nexpected: measured ROADS messages/round track the O(k*n*logn) "
       "model within a\nsmall constant; ROADS bytes ~2 orders below SWORD "
       "after the ts/tr=10 normalization.\n");
-  return 0;
+  return rc;
 }

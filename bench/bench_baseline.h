@@ -1,0 +1,167 @@
+// Bench regression gate: load two BENCH_<name>.json reports (see
+// bench_common.h's write_report) and flag cells that regressed beyond a
+// relative threshold. Only lower-is-better columns are gated — latency
+// ("ms", "p90"), traffic ("bytes", "b/s") — so improvements and
+// higher-is-better columns (completion counts, match counts) never trip
+// the gate. Rows are keyed by their first cell (the sweep parameter),
+// so reports with different sweeps compare only the common points, and
+// a profile mismatch (quick vs full, different seeds/faults) skips the
+// comparison entirely instead of producing nonsense diffs.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace roads::bench {
+
+struct ReportData {
+  std::string bench;
+  /// The profile object re-serialized key=value; equality means the two
+  /// reports measured the same configuration.
+  std::string profile_key;
+  std::vector<std::string> headers;
+  /// Row label (first cell as text) -> numeric cells (NaN for text).
+  std::vector<std::pair<std::string, std::vector<double>>> rows;
+};
+
+struct Regression {
+  std::string row;
+  std::string column;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  ///< current / baseline - 1, e.g. 0.25 = +25%
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << row << " / " << column << ": " << baseline << " -> " << current
+       << " (+" << static_cast<int>(std::lround(ratio * 100)) << "%)";
+    return os.str();
+  }
+};
+
+struct RegressionCheck {
+  std::vector<Regression> regressions;
+  /// Non-fatal observations (profile mismatch, missing rows/columns).
+  std::vector<std::string> notes;
+  std::size_t cells_compared = 0;
+  bool ok() const { return regressions.empty(); }
+};
+
+/// Lower-is-better columns worth gating: latency ("ms", "p90") and
+/// traffic ("bytes", "b/s"). Everything else (node counts, completion
+/// rates, matches, storage context columns without a byte unit) passes.
+inline bool regression_gated_column(const std::string& header) {
+  std::string h;
+  h.reserve(header.size());
+  for (const char c : header) {
+    h += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return h.find("ms") != std::string::npos ||
+         h.find("p90") != std::string::npos ||
+         h.find("bytes") != std::string::npos ||
+         h.find("b/s") != std::string::npos;
+}
+
+inline ReportData load_report(const std::string& path) {
+  const auto doc = util::parse_json_file(path);
+  ReportData out;
+  out.bench = doc.at("bench").as_string();
+  std::ostringstream profile;
+  for (const auto& [k, v] : doc.at("profile").as_object()) {
+    profile << k << "=";
+    if (v.is_number()) profile << v.as_number();
+    else if (v.is_bool()) profile << (v.as_bool() ? "true" : "false");
+    else if (v.is_string()) profile << v.as_string();
+    profile << ";";
+  }
+  out.profile_key = profile.str();
+  for (const auto& h : doc.at("headers").as_array()) {
+    out.headers.push_back(h.as_string());
+  }
+  for (const auto& row : doc.at("rows").as_array()) {
+    std::string label;
+    std::vector<double> cells;
+    for (std::size_t i = 0; i < row.as_array().size(); ++i) {
+      const auto& cell = row.as_array()[i];
+      if (i == 0) {
+        if (cell.is_number()) {
+          std::ostringstream os;
+          os << cell.as_number();
+          label = os.str();
+        } else if (cell.is_string()) {
+          label = cell.as_string();
+        }
+      }
+      cells.push_back(cell.is_number() ? cell.as_number()
+                                       : std::nan(""));
+    }
+    out.rows.emplace_back(std::move(label), std::move(cells));
+  }
+  return out;
+}
+
+/// Diffs `current` against `baseline`: every gated numeric cell present
+/// in both (matched by row label + header name) whose value grew by
+/// more than `threshold` relative (default caller: 0.10 = +10%) becomes
+/// a Regression. Tiny absolute values are exempt — a 0.4 -> 0.5 byte
+/// rounding artifact is not a regression worth failing CI over.
+inline RegressionCheck compare_reports(const ReportData& current,
+                                       const ReportData& baseline,
+                                       double threshold,
+                                       double min_abs = 1e-3) {
+  RegressionCheck check;
+  if (current.bench != baseline.bench) {
+    check.notes.push_back("bench name mismatch (" + current.bench + " vs " +
+                          baseline.bench + "); skipping comparison");
+    return check;
+  }
+  if (current.profile_key != baseline.profile_key) {
+    check.notes.push_back("profile mismatch; skipping comparison");
+    return check;
+  }
+
+  std::map<std::string, const std::vector<double>*> base_rows;
+  for (const auto& [label, cells] : baseline.rows) base_rows[label] = &cells;
+
+  for (const auto& [label, cells] : current.rows) {
+    const auto it = base_rows.find(label);
+    if (it == base_rows.end()) {
+      check.notes.push_back("row '" + label + "' absent from baseline");
+      continue;
+    }
+    const auto& base_cells = *it->second;
+    for (std::size_t c = 0; c < cells.size() && c < current.headers.size();
+         ++c) {
+      const auto& header = current.headers[c];
+      if (!regression_gated_column(header)) continue;
+      // Column positions can shift between revisions; match by name.
+      const auto hit = std::find(baseline.headers.begin(),
+                                 baseline.headers.end(), header);
+      if (hit == baseline.headers.end()) {
+        continue;  // new column: nothing to regress against
+      }
+      const auto bc = static_cast<std::size_t>(hit - baseline.headers.begin());
+      if (bc >= base_cells.size()) continue;
+      const double base = base_cells[bc];
+      const double cur = cells[c];
+      if (!std::isfinite(base) || !std::isfinite(cur)) continue;
+      ++check.cells_compared;
+      if (base < min_abs && cur < min_abs) continue;
+      if (base <= 0.0) continue;
+      const double ratio = cur / base - 1.0;
+      if (ratio > threshold) {
+        check.regressions.push_back({label, header, base, cur, ratio});
+      }
+    }
+  }
+  return check;
+}
+
+}  // namespace roads::bench

@@ -13,6 +13,16 @@
 // checker (a violation aborts the bench instead of averaging bad runs).
 // Faults are injected after clean formation; SWORD/central baselines
 // ignore them.
+//
+// Observability flags, uniform across every bench:
+//   --trace-out=PATH    write the seed run's causal trace as Chrome
+//                       trace-event JSON (open in Perfetto)
+//   --metrics-out=PATH  write the seed run's instrument registry as
+//                       Prometheus text
+//   --baseline=PATH     previous BENCH_<name>.json to diff against;
+//                       >threshold regressions on latency/byte columns
+//                       make the bench exit non-zero (CI gate)
+//   --regress-threshold=F  relative regression tolerance (default 0.10)
 #pragma once
 
 #include <cstdio>
@@ -22,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_baseline.h"
 #include "exp/experiment.h"
 #include "obs/export.h"
 #include "util/flags.h"
@@ -32,6 +43,10 @@ namespace roads::bench {
 struct BenchProfile {
   exp::ExpConfig base;
   bool full = false;
+  /// Previous BENCH_<name>.json to gate against; empty = no gate.
+  std::string baseline_path;
+  /// Relative regression tolerance for the gate (0.10 = +10%).
+  double regress_threshold = 0.10;
 };
 
 inline BenchProfile parse_profile(int argc, char** argv) {
@@ -66,6 +81,15 @@ inline BenchProfile parse_profile(int argc, char** argv) {
   profile.base.fault_plan.max_jitter =
       sim::ms(flags.get_int("fault-jitter-ms", 0));
   profile.base.verify_invariants = flags.get_bool("check-invariants", false);
+  // Observability outputs come from the designated seed run (see
+  // ExpConfig::trace_out); the flags just thread the paths through.
+  profile.base.trace_out = flags.get_string("trace-out", "");
+  profile.base.metrics_out = flags.get_string("metrics-out", "");
+  profile.base.trace_capacity = static_cast<std::size_t>(
+      flags.get_int("trace-capacity",
+                    static_cast<std::int64_t>(profile.base.trace_capacity)));
+  profile.baseline_path = flags.get_string("baseline", "");
+  profile.regress_threshold = flags.get_double("regress-threshold", 0.10);
   const auto unused = flags.unused_flags();
   if (!unused.empty()) {
     std::cerr << "warning: unused flags: " << unused << "\n";
@@ -146,6 +170,52 @@ inline void write_report(const std::string& name, const BenchProfile& profile,
   }
   os << "  ]\n}\n";
   std::cerr << "wrote " << path << "\n";
+}
+
+/// write_report plus the regression gate: when --baseline was given,
+/// re-loads the just-written report, diffs the latency/byte columns
+/// against the baseline and returns 1 (bench exit code) if anything
+/// regressed past the threshold. A missing or unreadable baseline only
+/// warns — CI's first run has nothing to compare against yet.
+inline int finish_report(const std::string& name, const BenchProfile& profile,
+                         const util::Table& table) {
+  write_report(name, profile, table);
+  if (profile.baseline_path.empty()) return 0;
+
+  ReportData current;
+  ReportData baseline;
+  try {
+    current = load_report("BENCH_" + name + ".json");
+  } catch (const std::exception& e) {
+    std::cerr << "warning: cannot re-load current report: " << e.what()
+              << "\n";
+    return 0;
+  }
+  try {
+    baseline = load_report(profile.baseline_path);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: no usable baseline (" << e.what()
+              << "); skipping regression gate\n";
+    return 0;
+  }
+
+  const auto check =
+      compare_reports(current, baseline, profile.regress_threshold);
+  for (const auto& note : check.notes) {
+    std::cerr << "baseline: " << note << "\n";
+  }
+  if (check.ok()) {
+    std::cerr << "baseline: " << check.cells_compared
+              << " cells within +" << profile.regress_threshold * 100
+              << "% of " << profile.baseline_path << "\n";
+    return 0;
+  }
+  std::cerr << "baseline: " << check.regressions.size()
+            << " regression(s) vs " << profile.baseline_path << ":\n";
+  for (const auto& r : check.regressions) {
+    std::cerr << "  " << r.to_string() << "\n";
+  }
+  return 1;
 }
 
 }  // namespace roads::bench

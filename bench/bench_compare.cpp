@@ -1,0 +1,100 @@
+// Standalone bench regression gate: diff every BENCH_*.json in one
+// directory against its namesake in a baseline directory.
+//
+//   bench_compare --current=DIR --baseline=DIR [--threshold=0.10]
+//
+// Exit codes: 0 = no gated column regressed past the threshold (or
+// nothing comparable — a missing baseline must not fail CI's first
+// run), 1 = at least one regression. Only lower-is-better columns
+// (latency "ms"/"p90", traffic "bytes"/"b/s") are gated; see
+// bench_baseline.h.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_baseline.h"
+#include "util/flags.h"
+
+namespace fs = std::filesystem;
+using namespace roads;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto current_dir = flags.get_string("current", ".");
+  const auto baseline_dir = flags.get_string("baseline", "");
+  const auto threshold = flags.get_double("threshold", 0.10);
+  const auto unused = flags.unused_flags();
+  if (!unused.empty()) {
+    std::cerr << "error: unused flags: " << unused << "\n";
+    return 2;
+  }
+  if (baseline_dir.empty()) {
+    std::cerr << "usage: bench_compare --current=DIR --baseline=DIR "
+                 "[--threshold=0.10]\n";
+    return 2;
+  }
+  if (!fs::is_directory(baseline_dir)) {
+    std::cerr << "no baseline directory (" << baseline_dir
+              << "); nothing to compare — passing\n";
+    return 0;
+  }
+
+  std::vector<fs::path> reports;
+  for (const auto& entry : fs::directory_iterator(current_dir)) {
+    const auto name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        entry.path().extension() == ".json") {
+      reports.push_back(entry.path());
+    }
+  }
+  std::sort(reports.begin(), reports.end());
+  if (reports.empty()) {
+    std::cerr << "no BENCH_*.json in " << current_dir << "; passing\n";
+    return 0;
+  }
+
+  std::size_t compared = 0;
+  std::size_t total_regressions = 0;
+  for (const auto& path : reports) {
+    const auto base_path = fs::path(baseline_dir) / path.filename();
+    if (!fs::exists(base_path)) {
+      std::printf("%-40s no baseline, skipped\n",
+                  path.filename().string().c_str());
+      continue;
+    }
+    bench::ReportData current;
+    bench::ReportData baseline;
+    try {
+      current = bench::load_report(path.string());
+      baseline = bench::load_report(base_path.string());
+    } catch (const std::exception& e) {
+      std::printf("%-40s unreadable (%s), skipped\n",
+                  path.filename().string().c_str(), e.what());
+      continue;
+    }
+    const auto check = bench::compare_reports(current, baseline, threshold);
+    for (const auto& note : check.notes) {
+      std::printf("%-40s note: %s\n", path.filename().string().c_str(),
+                  note.c_str());
+    }
+    if (check.cells_compared == 0) continue;
+    ++compared;
+    if (check.ok()) {
+      std::printf("%-40s ok (%zu cells)\n", path.filename().string().c_str(),
+                  check.cells_compared);
+      continue;
+    }
+    total_regressions += check.regressions.size();
+    std::printf("%-40s %zu REGRESSION(S):\n",
+                path.filename().string().c_str(), check.regressions.size());
+    for (const auto& r : check.regressions) {
+      std::printf("    %s\n", r.to_string().c_str());
+    }
+  }
+
+  std::printf("\n%zu report(s) compared, %zu regression(s) beyond +%.0f%%\n",
+              compared, total_regressions, threshold * 100.0);
+  return total_regressions > 0 ? 1 : 0;
+}

@@ -22,9 +22,9 @@ int main(int argc, char** argv) {
                    util::Table::num(roads.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
-  bench::write_report("fig10_degree", profile, table);
+  const int rc = bench::finish_report("fig10_degree", profile, table);
   std::printf(
       "\npaper shape: latency decreases as degree grows (flatter "
       "hierarchy, fewer hops);\nquery overhead decreases with it.\n");
-  return 0;
+  return rc;
 }

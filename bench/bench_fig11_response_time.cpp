@@ -9,10 +9,19 @@
 // dominates and ROADS catches up (~1%) and wins (~3%) because many leaf
 // servers retrieve their shares in parallel while the repository pays
 // the whole bill serially.
+//
+// This bench doubles as the causal-tracing acceptance harness: every
+// ROADS query must reconstruct into a complete span tree (no orphan
+// spans) whose critical-path decomposition sums to the measured
+// latency within 1 us; any violation makes the bench exit non-zero.
+#include <cmath>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "central/central_repository.h"
+#include "obs/span_tree.h"
 #include "roads/federation.h"
 #include "util/stats.h"
 #include "workload/query_generator.h"
@@ -35,6 +44,8 @@ store::ServiceModelParams service_model() {
   m.bandwidth_bytes_per_us = 64.0;
   return m;
 }
+
+std::int64_t abs64(std::int64_t v) { return v < 0 ? -v : v; }
 
 }  // namespace
 
@@ -59,6 +70,11 @@ int main(int argc, char** argv) {
   params.config.max_children = 8;
   params.config.collect_results = true;
   params.config.service_model = service_model();
+  // Large enough that a whole query's causal tree is never evicted
+  // before it is verified (verification happens right after each query).
+  params.trace_capacity = profile.base.trace_capacity > 0
+                              ? profile.base.trace_capacity
+                              : (std::size_t{1} << 16);
   core::Federation fed(std::move(params));
   fed.add_servers(kNodes);
   for (std::size_t n = 0; n < kNodes; ++n) {
@@ -99,6 +115,52 @@ int main(int argc, char** argv) {
                      "central_ms", "central_p90"});
   workload::QueryGenerator qgen(schema, spec, profile.base.seed ^ 0xf16);
   util::Rng pick(profile.base.seed ^ 0x11);
+
+  // Per-query causal-trace verification (the tracing acceptance gate).
+  std::size_t traces_verified = 0;
+  std::size_t trace_violations = 0;
+  std::vector<std::string> trace_errors;
+  const auto violation = [&](const std::string& what) {
+    ++trace_violations;
+    if (trace_errors.size() < 8) trace_errors.push_back(what);
+  };
+  const auto verify_trace = [&](const core::QueryOutcome& r) {
+    if (r.trace_id == 0 || fed.trace() == nullptr) {
+      violation("query produced no trace id");
+      return;
+    }
+    const auto tag = "trace " + std::to_string(r.trace_id);
+    const auto tree = obs::SpanTree::build(fed.trace()->events());
+    if (const auto orphans = tree.orphans(r.trace_id); !orphans.empty()) {
+      violation(tag + ": " + std::to_string(orphans.size()) +
+                " orphan span(s)");
+    }
+    if (!r.forwarding_path || !r.forwarding_path->complete) {
+      violation(tag + ": forwarding critical path incomplete");
+    } else {
+      const auto want =
+          static_cast<std::int64_t>(std::llround(r.latency_ms * 1000.0));
+      if (abs64(r.forwarding_path->total_us - want) > 1) {
+        violation(tag + ": forwarding decomposition " +
+                  std::to_string(r.forwarding_path->total_us) +
+                  "us != measured " + std::to_string(want) + "us");
+      }
+    }
+    if (r.response_path) {
+      if (!r.response_path->complete) {
+        violation(tag + ": response critical path incomplete");
+      } else {
+        const auto want =
+            static_cast<std::int64_t>(std::llround(r.response_ms * 1000.0));
+        if (abs64(r.response_path->total_us - want) > 1) {
+          violation(tag + ": response decomposition " +
+                    std::to_string(r.response_path->total_us) +
+                    "us != measured " + std::to_string(want) + "us");
+        }
+      }
+    }
+    ++traces_verified;
+  };
   for (const double sel :
        {0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03}) {
     util::Samples roads_ms;
@@ -117,6 +179,7 @@ int main(int argc, char** argv) {
       if (r.complete) {
         roads_ms.add(r.response_ms);
         match_counts.add(static_cast<double>(r.matching_records));
+        verify_trace(r);
       }
       const auto c = repo.run_query(*q, static_cast<sim::NodeId>(start + 1));
       if (c.complete) central_ms.add(c.response_ms);
@@ -129,10 +192,37 @@ int main(int argc, char** argv) {
                    util::Table::num(central_ms.percentile(90.0), 0)});
   }
   table.print(std::cout);
-  bench::write_report("fig11_response_time", profile, table);
+
+  // This bench drives the federation itself (no exp-driver runs), so
+  // honor the uniform observability flags here.
+  if (!profile.base.trace_out.empty() && fed.trace() != nullptr) {
+    std::ofstream os(profile.base.trace_out);
+    if (os) {
+      obs::write_chrome_trace(*fed.trace(), os);
+      std::cerr << "wrote " << profile.base.trace_out << "\n";
+    }
+  }
+  if (!profile.base.metrics_out.empty()) {
+    std::ofstream os(profile.base.metrics_out);
+    if (os) {
+      obs::write_prometheus(fed.network().metrics(), os);
+      std::cerr << "wrote " << profile.base.metrics_out << "\n";
+    }
+  }
+
+  int rc = bench::finish_report("fig11_response_time", profile, table);
+  std::printf("\ncausal trace: %zu queries verified", traces_verified);
+  if (trace_violations > 0) {
+    std::printf(", %zu VIOLATION(S)\n", trace_violations);
+    for (const auto& e : trace_errors) std::printf("  %s\n", e.c_str());
+    rc = 1;
+  } else {
+    std::printf(
+        " (complete span trees, critical-path sums exact to 1 us)\n");
+  }
   std::printf(
       "\npaper shape: central faster at low selectivity (one round trip); "
       "ROADS\ncomparable at ~1%% and faster at ~3%% (parallel retrieval "
       "across leaf servers).\n");
-  return 0;
+  return rc;
 }

@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
                    util::Table::num(done_pct, 1)});
   }
   table.print(std::cout);
-  bench::write_report("fig3_latency_nodes", profile, table);
+  const int rc = bench::finish_report("fig3_latency_nodes", profile, table);
   std::printf(
       "\npaper shape: ROADS ~log (depth-bound, jump when height grows), "
       "SWORD linear;\nROADS 40-60%% lower latency at scale.\n");
-  return 0;
+  return rc;
 }

@@ -33,10 +33,10 @@ int main(int argc, char** argv) {
                           1)});
   }
   table.print(std::cout);
-  bench::write_report("fig4_update_nodes", profile, table);
+  const int rc = bench::finish_report("fig4_update_nodes", profile, table);
   std::printf(
       "\npaper shape: ROADS 1-2 orders of magnitude below SWORD at every "
       "size\n(constant-size summaries vs per-record multi-ring "
       "registration).\n");
-  return 0;
+  return rc;
 }

@@ -29,10 +29,10 @@ int main(int argc, char** argv) {
          util::Table::num(sword.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
-  bench::write_report("fig5_query_nodes", profile, table);
+  const int rc = bench::finish_report("fig5_query_nodes", profile, table);
   std::printf(
       "\npaper shape: ROADS above SWORD (2-5x in the paper; voluntary "
       "sharing\nforces visiting every owner with matches), both growing "
       "with system size.\n");
-  return 0;
+  return rc;
 }

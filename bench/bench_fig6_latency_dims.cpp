@@ -26,9 +26,9 @@ int main(int argc, char** argv) {
                    util::Table::num(sword.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
-  bench::write_report("fig6_latency_dims", profile, table);
+  const int rc = bench::finish_report("fig6_latency_dims", profile, table);
   std::printf(
       "\npaper shape: ROADS latency decreases with dimensionality (~40%% "
       "from 2 to 8);\nSWORD flat (uses only one dimension to route).\n");
-  return 0;
+  return rc;
 }

@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
                    util::Table::num(sword.servers_contacted_avg, 1)});
   }
   table.print(std::cout);
-  bench::write_report("fig7_query_dims", profile, table);
+  const int rc = bench::finish_report("fig7_query_dims", profile, table);
   std::printf(
       "\npaper shape: SWORD linear up (message size); ROADS dips as extra "
       "dimensions\nprune branches, then flattens/rises as pruning "
       "saturates.\n");
-  return 0;
+  return rc;
 }

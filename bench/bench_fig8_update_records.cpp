@@ -34,9 +34,9 @@ int main(int argc, char** argv) {
                           1)});
   }
   table.print(std::cout);
-  bench::write_report("fig8_update_records", profile, table);
+  const int rc = bench::finish_report("fig8_update_records", profile, table);
   std::printf(
       "\npaper shape: ROADS constant (fixed-size summaries); SWORD linear "
       "in records.\n");
-  return 0;
+  return rc;
 }

@@ -25,10 +25,10 @@ int main(int argc, char** argv) {
                    util::Table::sci(roads.update_bytes_per_s)});
   }
   table.print(std::cout);
-  bench::write_report("fig9_overlap", profile, table);
+  const int rc = bench::finish_report("fig9_overlap", profile, table);
   std::printf(
       "\npaper shape: latency and query overhead increase mildly with "
       "overlap\n(more servers hold matching records); update overhead "
       "unchanged.\n");
-  return 0;
+  return rc;
 }

@@ -57,10 +57,10 @@ int main(int argc, char** argv) {
                           1)});
   }
   table.print(std::cout);
-  bench::write_report("table1_storage", profile, table);
+  const int rc = bench::finish_report("table1_storage", profile, table);
   std::printf(
       "\npaper shape: ROADS per-server storage is constant in record "
       "count\n(summaries); SWORD and central grow linearly, so the gap "
       "widens with data.\n");
-  return 0;
+  return rc;
 }

@@ -15,9 +15,13 @@ CentralRepository::CentralRepository(std::size_t client_nodes,
                                      CentralParams params)
     : params_(std::move(params)),
       rng_(params_.seed),
+      trace_(params_.trace_capacity > 0
+                 ? std::make_unique<obs::TraceBuffer>(params_.trace_capacity)
+                 : nullptr),
       simulator_(),
       delay_space_(client_nodes + 1, rng_.fork(0x5e1f), params_.delay),
-      network_(simulator_, delay_space_, rng_.fork(0x2e70)),
+      network_(simulator_, delay_space_, rng_.fork(0x2e70), nullptr,
+               trace_.get()),
       node_count_(client_nodes + 1),
       store_(params_.schema),
       lookup_us_(network_.metrics().histogram("central.lookup_us")),
@@ -69,6 +73,9 @@ CentralQueryOutcome CentralRepository::run_query(const record::Query& query,
   auto run = std::make_shared<Run>();
   const sim::Time issued_at = simulator_.now();
 
+  // Roots the query's causal tree (client transit -> service span ->
+  // result transit), mirroring the ROADS side's trace shape.
+  sim::TraceSpan trace_root(network_, client, "central_query");
   network_.send(
       client, repository_node(), query.wire_size() + kQueryHeader,
       sim::Channel::kQuery, [this, run, query, client] {
@@ -84,8 +91,12 @@ CentralQueryOutcome CentralRepository::run_query(const record::Query& query,
             store::service_time_us(params_.service_model, stats, record_bytes);
         run->matches = ids.size();
         // One combined reply+results message once retrieval finishes.
+        // The retrieval window is a service span; the deferred closure
+        // re-enters the captured context like the ROADS handlers do.
+        const auto svc = network_.begin_span(repository_node(), "service");
         simulator_.schedule_after(
-            service, [this, run, client, record_bytes] {
+            service, [this, run, client, record_bytes, svc] {
+              sim::ScopedTraceContext svc_scope(network_, svc);
               network_.send(repository_node(), client,
                             kReplyHeader + record_bytes,
                             sim::Channel::kResult, [this, run] {
@@ -93,6 +104,7 @@ CentralQueryOutcome CentralRepository::run_query(const record::Query& query,
                               run->results_at = simulator_.now();
                               run->done = true;
                             });
+              network_.end_span(svc);
             });
       });
 

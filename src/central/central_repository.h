@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "record/query.h"
 #include "record/record.h"
 #include "record/schema.h"
@@ -30,6 +32,11 @@ struct CentralParams {
   /// tr: owners re-export records this often (soft state).
   sim::Time record_refresh_period = sim::seconds(10);
   store::ServiceModelParams service_model;
+  /// Bound on the structured trace ring; 0 disables tracing. When on,
+  /// each query forms its own causal tree (transit -> service ->
+  /// transit) like the ROADS side, so the baselines are comparable in
+  /// a trace viewer too.
+  std::size_t trace_capacity = 0;
 };
 
 struct CentralQueryOutcome {
@@ -56,6 +63,8 @@ class CentralRepository {
   /// Shared instrument registry (central.* latencies live here next to
   /// the net.* channel meters).
   obs::MetricsRegistry& metrics() { return network_.metrics(); }
+  /// Structured event trace; nullptr when trace_capacity was 0.
+  obs::TraceBuffer* trace() { return trace_.get(); }
   sim::Time record_refresh_period() const {
     return params_.record_refresh_period;
   }
@@ -80,6 +89,7 @@ class CentralRepository {
  private:
   CentralParams params_;
   util::Rng rng_;
+  std::unique_ptr<obs::TraceBuffer> trace_;  // must outlive network_
   sim::Simulator simulator_;
   sim::DelaySpace delay_space_;
   sim::Network network_;

@@ -1,9 +1,13 @@
 #include "exp/experiment.h"
 
 #include <algorithm>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "obs/export.h"
 #include "record/schema.h"
 #include "roads/federation.h"
 #include "testing/invariants.h"
@@ -44,14 +48,53 @@ workload::RecordGenerator generator_for(const ExpConfig& config,
 /// window is open, so single-root is only demanded for fault-free
 /// plans.
 void verify_run_invariants(core::Federation& fed, const ExpConfig& config,
-                           const char* stage) {
+                           const char* stage, std::uint64_t run_seed) {
   testing::InvariantOptions opts;
   opts.summary_soundness = false;
   opts.expect_single_root = config.fault_plan.empty();
   const auto report = testing::check_invariants(fed, opts);
   if (!report.ok()) {
-    throw std::runtime_error(std::string("run_roads_once: invariants failed ") +
-                             stage + ": " + report.to_string());
+    std::string msg = std::string("run_roads_once: invariants failed ") +
+                      stage + ": " + report.to_string();
+    // Flight recorder: dump the trace ring's last events as a Chrome
+    // trace tagged with the failing seed, so the violation's causal
+    // history survives the throw and the run can be replayed.
+    if (auto* trace = fed.trace()) {
+      const std::string path =
+          "FLIGHT_invariants_seed" + std::to_string(run_seed) + ".json";
+      std::ofstream os(path);
+      if (os) {
+        obs::write_flight_record(*trace, os, msg, run_seed);
+        msg += " [flight record: " + path + "]";
+      }
+    }
+    throw std::runtime_error(msg);
+  }
+}
+
+/// Observability outputs for the designated repetition (run_seed ==
+/// config.seed): the causal trace as a Perfetto-loadable Chrome trace
+/// and the instrument registry as Prometheus text.
+void write_run_observability(core::Federation& fed, const ExpConfig& config,
+                             std::uint64_t run_seed) {
+  if (run_seed != config.seed) return;
+  if (!config.trace_out.empty() && fed.trace() != nullptr) {
+    std::ofstream os(config.trace_out);
+    if (os) {
+      obs::write_chrome_trace(*fed.trace(), os);
+      std::cerr << "wrote " << config.trace_out << "\n";
+    } else {
+      std::cerr << "warning: cannot write " << config.trace_out << "\n";
+    }
+  }
+  if (!config.metrics_out.empty()) {
+    std::ofstream os(config.metrics_out);
+    if (os) {
+      obs::write_prometheus(fed.network().metrics(), os);
+      std::cerr << "wrote " << config.metrics_out << "\n";
+    } else {
+      std::cerr << "warning: cannot write " << config.metrics_out << "\n";
+    }
   }
 }
 
@@ -78,6 +121,13 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   params.config.join_policy = config.join_policy;
   params.config.summary_keepalive_rounds = config.summary_keepalive_rounds;
   params.config.incremental_refresh = config.incremental_refresh;
+  // A full query batch needs far more ring than the maintenance-window
+  // default, so --trace-out bumps the bound unless the caller pinned it.
+  if (config.trace_capacity > 0) {
+    params.trace_capacity = config.trace_capacity;
+  } else if (!config.trace_out.empty() && run_seed == config.seed) {
+    params.trace_capacity = std::size_t{1} << 16;
+  }
 
   core::Federation fed(std::move(params));
   fed.add_servers(config.nodes);
@@ -102,7 +152,7 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
     fed.apply_fault_plan(config.fault_plan);
   }
   if (config.verify_invariants) {
-    verify_run_invariants(fed, config, "after stabilize");
+    verify_run_invariants(fed, config, "after stabilize", run_seed);
   }
 
   RunMetrics metrics;
@@ -177,8 +227,9 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   }
   metrics.instruments = fed.network().metrics().snapshot();
   if (config.verify_invariants) {
-    verify_run_invariants(fed, config, "after query batch");
+    verify_run_invariants(fed, config, "after query batch", run_seed);
   }
+  write_run_observability(fed, config, run_seed);
   return metrics;
 }
 

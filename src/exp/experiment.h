@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "hierarchy/join_policy.h"
@@ -79,7 +80,21 @@ struct ExpConfig {
   /// stabilization and again after the query batch); a violation throws
   /// so a bad run cannot silently pollute an averaged figure. Summary
   /// soundness probes are excluded — they would charge the §V meters.
+  /// A failing run dumps its trace ring as a flight record
+  /// (FLIGHT_invariants_seed<seed>.json) next to the bench output.
   bool verify_invariants = false;
+  /// Trace-ring bound handed to FederationParams; 0 keeps the
+  /// federation default (large enough for maintenance-window causal
+  /// trees, bumped automatically when trace_out is set so a full query
+  /// batch fits).
+  std::size_t trace_capacity = 0;
+  /// When set, the repetition with run_seed == seed writes its causal
+  /// trace here as Chrome trace-event JSON (open in Perfetto or
+  /// chrome://tracing).
+  std::string trace_out;
+  /// When set, the same repetition writes its instrument registry here
+  /// in Prometheus text exposition.
+  std::string metrics_out;
 };
 
 /// The §V metrics from one run of one system.

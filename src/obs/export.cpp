@@ -1,8 +1,11 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <set>
+#include <vector>
 
 namespace roads::obs {
 
@@ -64,8 +67,117 @@ void write_trace_jsonl(const TraceBuffer& trace, std::ostream& os) {
     if (!ev.label.empty()) {
       os << ",\"label\":\"" << json_escape(ev.label) << "\"";
     }
+    if (ev.trace != 0) os << ",\"trace\":" << ev.trace;
+    if (ev.parent != 0) os << ",\"parent\":" << ev.parent;
     os << "}\n";
   }
+}
+
+namespace {
+
+/// One rendered trace event, sortable by (ts, stable sequence).
+struct ChromeEvent {
+  std::int64_t ts = 0;
+  std::uint64_t seq = 0;
+  std::string json;
+};
+
+std::string chrome_span_name(const Span& s) {
+  switch (s.category) {
+    case SpanCategory::kNetwork:
+      return "net:" + s.label;
+    case SpanCategory::kRoot:
+      return s.label.empty() ? "root" : s.label;
+    default:
+      return s.label.empty() ? to_string(s.category) : s.label;
+  }
+}
+
+void emit_chrome_events(const SpanTree& tree, std::ostream& os) {
+  // Stable pid/tid mapping: everything is one process (pid 1), one
+  // track per node (tid = node + 1, so node 0 is not confused with the
+  // unset tid 0).
+  std::set<std::uint32_t> nodes;
+  for (const auto& [id, s] : tree.spans()) {
+    if (s.start_us >= 0) nodes.insert(s.node);
+  }
+  for (const auto& m : tree.markers()) nodes.insert(m.node);
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&os, &first](const std::string& json) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << json;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"roads-sim\"}}");
+  for (const auto node : nodes) {
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(node + 1) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"node " +
+         std::to_string(node) + "\"}}");
+  }
+
+  std::vector<ChromeEvent> events;
+  std::uint64_t seq = 0;
+  for (const auto& [id, s] : tree.spans()) {
+    if (s.start_us < 0) continue;  // begin event evicted; can't place it
+    const std::int64_t dur = s.closed() ? s.end_us - s.start_us : 0;
+    std::string json = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                       std::to_string(s.node + 1) +
+                       ",\"ts\":" + std::to_string(s.start_us) +
+                       ",\"dur\":" + std::to_string(dur) + ",\"name\":\"" +
+                       json_escape(chrome_span_name(s)) + "\",\"cat\":\"" +
+                       to_string(s.category) +
+                       "\",\"args\":{\"span\":" + std::to_string(s.id) +
+                       ",\"parent\":" + std::to_string(s.parent) +
+                       ",\"trace\":" + std::to_string(s.trace);
+    if (s.category == SpanCategory::kNetwork) {
+      json += ",\"peer\":" + std::to_string(s.peer) +
+              ",\"bytes\":" + std::to_string(s.bytes);
+    }
+    if (s.false_positive) json += ",\"false_positive\":true";
+    if (s.dropped) json += ",\"dropped\":true";
+    if (!s.closed()) json += ",\"unclosed\":true";
+    json += "}}";
+    events.push_back({s.start_us, seq++, std::move(json)});
+  }
+  for (const auto& m : tree.markers()) {
+    std::string json =
+        "{\"ph\":\"i\",\"pid\":1,\"tid\":" + std::to_string(m.node + 1) +
+        ",\"ts\":" + std::to_string(m.at_us) + ",\"s\":\"t\",\"name\":\"" +
+        to_string(m.kind) + "\",\"args\":{\"span\":" + std::to_string(m.span) +
+        ",\"trace\":" + std::to_string(m.trace) +
+        ",\"value\":" + json_number(m.value) + "}}";
+    events.push_back({m.at_us, seq++, std::move(json)});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ChromeEvent& a, const ChromeEvent& b) {
+              return a.ts != b.ts ? a.ts < b.ts : a.seq < b.seq;
+            });
+  for (const auto& ev : events) emit(ev.json);
+  os << "\n]";
+}
+
+}  // namespace
+
+void write_chrome_trace(const SpanTree& tree, std::ostream& os) {
+  emit_chrome_events(tree, os);
+  os << "}\n";
+}
+
+void write_chrome_trace(const TraceBuffer& trace, std::ostream& os) {
+  write_chrome_trace(SpanTree::build(trace.events()), os);
+}
+
+void write_flight_record(const TraceBuffer& trace, std::ostream& os,
+                         const std::string& reason, std::uint64_t seed) {
+  const auto events = trace.events();
+  emit_chrome_events(SpanTree::build(events), os);
+  os << ",\n\"reason\":\"" << json_escape(reason) << "\",\"seed\":" << seed
+     << ",\"buffered_events\":" << events.size()
+     << ",\"evicted_events\":" << trace.dropped() << "}\n";
 }
 
 std::string prometheus_name(const std::string& prefix,

@@ -1,13 +1,18 @@
 // Machine-readable exporters for the obs layer: JSON-lines trace
 // dumps (one event object per line, greppable and stream-parseable),
-// Prometheus text exposition for the metrics registry, and the small
-// JSON formatting helpers the bench reporter reuses.
+// Chrome trace-event JSON (load the file in Perfetto / chrome://tracing
+// to see one track per node with nested causal spans), Prometheus text
+// exposition for the metrics registry, flight-recorder dumps for
+// chaos/invariant failures, and the small JSON formatting helpers the
+// bench reporter reuses.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span_tree.h"
 #include "obs/trace.h"
 
 namespace roads::obs {
@@ -24,6 +29,24 @@ std::string json_number(double v);
 /// Fields that carry no information for the kind (span 0, zero bytes)
 /// are omitted to keep lines short.
 void write_trace_jsonl(const TraceBuffer& trace, std::ostream& os);
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in
+/// Perfetto or chrome://tracing. One track per node (pid 1, tid =
+/// node + 1, named via metadata events), every closed span a complete
+/// "X" event (ts/dur in microseconds, category + causal ids in args),
+/// markers as instant "i" events. Events are emitted in
+/// non-decreasing ts order with a stable tie-break, and the pid/tid
+/// mapping depends only on node ids — identical runs export identical
+/// files.
+void write_chrome_trace(const SpanTree& tree, std::ostream& os);
+void write_chrome_trace(const TraceBuffer& trace, std::ostream& os);
+
+/// Flight-recorder dump for a failing run: the last-N buffered events
+/// as a Chrome trace (extra top-level keys are ignored by viewers)
+/// plus the failure reason, the seed to replay it with, and how much
+/// history the bounded buffer had already evicted.
+void write_flight_record(const TraceBuffer& trace, std::ostream& os,
+                         const std::string& reason, std::uint64_t seed);
 
 /// Prometheus text exposition (type comments + samples). Metric names
 /// are sanitized ('.' and '-' become '_') and prefixed, e.g.

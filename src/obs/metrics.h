@@ -24,6 +24,17 @@ namespace roads::obs {
 /// Monotonically increasing event count. Lock-free; safe to bump from
 /// util::ThreadPool workers. reset() exists because experiment drivers
 /// meter deltas over a window (mirroring sim::Network::reset_meters).
+///
+/// Thread-safety contract (see ObsStress tests): inc() is an atomic RMW
+/// — concurrent increments from any number of threads are never lost.
+/// take() is an atomic exchange, so a reader cutting a metering window
+/// with take() attributes every increment to exactly one window: the
+/// sum of all take() results plus the final value() equals the total
+/// number of increments, even under contention. reset() is take() with
+/// the old value discarded; the racy read-then-reset idiom
+/// (`v = c.value(); c.reset();`) CAN lose increments that land between
+/// the two calls, which is why the single-threaded simulation drivers
+/// only reset between windows while no recorder is running.
 class Counter {
  public:
   void inc(std::uint64_t delta = 1) {
@@ -32,13 +43,29 @@ class Counter {
   std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  /// Atomically returns the current value and zeroes the counter.
+  std::uint64_t take() {
+    return value_.exchange(0, std::memory_order_relaxed);
+  }
+  void reset() { take(); }
 
  private:
   std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written scalar (queue depths, hierarchy height, replica counts).
+///
+/// Thread-safety contract: set() is a plain atomic store (last writer
+/// wins — fine for state snapshots). add() is a CAS loop: on failure
+/// the expected value is reloaded and the sum recomputed, so concurrent
+/// deltas all land exactly once (no lost updates; an "ABA" revisit of
+/// the same bits is harmless because the new value is derived from the
+/// freshly observed one). All operations are memory_order_relaxed —
+/// the gauge publishes no other data, only its own value, so no
+/// acquire/release edges are needed. Floating-point caveat: the *sum*
+/// is exact only as far as double addition is; interleavings can
+/// reorder additions, so results that depend on FP rounding order are
+/// not bit-deterministic (integral-valued deltas within 2^53 are).
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }

@@ -1,0 +1,282 @@
+#include "obs/span_tree.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace roads::obs {
+
+namespace {
+
+SpanCategory category_for_label(const std::string& label,
+                                std::uint64_t parent) {
+  if (parent == 0) return SpanCategory::kRoot;
+  if (label == "proc") return SpanCategory::kProcessing;
+  if (label == "service") return SpanCategory::kService;
+  return SpanCategory::kOther;
+}
+
+/// Fetches the span, creating a placeholder when its begin event was
+/// evicted from the buffer.
+Span& slot(std::map<std::uint64_t, Span>& spans, std::uint64_t id) {
+  auto [it, inserted] = spans.try_emplace(id);
+  if (inserted) it->second.id = id;
+  return it->second;
+}
+
+void fill_links(Span& s, const TraceEvent& ev) {
+  if (s.trace == 0) s.trace = ev.trace;
+  if (s.parent == 0) s.parent = ev.parent;
+}
+
+}  // namespace
+
+const char* to_string(SpanCategory category) {
+  switch (category) {
+    case SpanCategory::kRoot:
+      return "root";
+    case SpanCategory::kNetwork:
+      return "network";
+    case SpanCategory::kProcessing:
+      return "processing";
+    case SpanCategory::kService:
+      return "service";
+    case SpanCategory::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+SpanTree SpanTree::build(const std::vector<TraceEvent>& events) {
+  SpanTree tree;
+  for (const auto& ev : events) {
+    if (ev.span == 0) continue;  // untraced legacy stream
+    switch (ev.kind) {
+      case TraceKind::kSend: {
+        auto& s = slot(tree.spans_, ev.span);
+        if (s.start_us < 0) s.start_us = ev.at_us;
+        s.node = ev.node;
+        s.peer = ev.peer;
+        s.bytes = ev.bytes;
+        s.category = SpanCategory::kNetwork;
+        s.label = ev.label;
+        fill_links(s, ev);
+        break;
+      }
+      case TraceKind::kDeliver: {
+        auto& s = slot(tree.spans_, ev.span);
+        if (!s.closed()) s.end_us = ev.at_us;  // keep first delivery
+        if (s.category == SpanCategory::kOther) {
+          s.category = SpanCategory::kNetwork;
+          s.node = ev.node;
+          s.peer = ev.peer;
+          s.bytes = ev.bytes;
+          s.label = ev.label;
+        }
+        fill_links(s, ev);
+        break;
+      }
+      case TraceKind::kDrop: {
+        auto& s = slot(tree.spans_, ev.span);
+        if (!s.closed()) {
+          s.end_us = ev.at_us;
+          s.dropped = true;
+        }
+        fill_links(s, ev);
+        break;
+      }
+      case TraceKind::kSpanBegin: {
+        auto& s = slot(tree.spans_, ev.span);
+        if (s.start_us < 0) s.start_us = ev.at_us;
+        s.node = ev.node;
+        s.label = ev.label;
+        fill_links(s, ev);
+        s.category = category_for_label(ev.label, s.parent);
+        break;
+      }
+      case TraceKind::kSpanEnd: {
+        auto& s = slot(tree.spans_, ev.span);
+        if (!s.closed()) s.end_us = ev.at_us;
+        fill_links(s, ev);
+        break;
+      }
+      case TraceKind::kQueryStart: {
+        auto& s = slot(tree.spans_, ev.span);
+        if (s.start_us < 0) s.start_us = ev.at_us;
+        s.node = ev.node;
+        s.trace = ev.span;  // the query root names its own tree
+        s.category = SpanCategory::kRoot;
+        s.label = "query";
+        break;
+      }
+      case TraceKind::kQueryComplete: {
+        auto& s = slot(tree.spans_, ev.span);
+        if (!s.closed()) s.end_us = ev.at_us;
+        s.trace = ev.span;
+        s.category = SpanCategory::kRoot;
+        if (s.label.empty()) s.label = "query";
+        tree.markers_.push_back(
+            {ev.kind, ev.at_us, ev.span, ev.trace, ev.node, ev.value});
+        break;
+      }
+      case TraceKind::kQueryFalsePositive: {
+        slot(tree.spans_, ev.span).false_positive = true;
+        tree.markers_.push_back(
+            {ev.kind, ev.at_us, ev.span, ev.trace, ev.node, ev.value});
+        break;
+      }
+      case TraceKind::kQueryHop:
+      case TraceKind::kQueryRedirect:
+      case TraceKind::kQueryResult:
+        tree.markers_.push_back(
+            {ev.kind, ev.at_us, ev.span, ev.trace, ev.node, ev.value});
+        break;
+      default:
+        break;  // maintenance transitions carry no span semantics
+    }
+  }
+  return tree;
+}
+
+const Span* SpanTree::find(std::uint64_t id) const {
+  auto it = spans_.find(id);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t> SpanTree::traces() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, s] : spans_) {
+    if (s.parent == 0 && s.trace == id) out.push_back(id);
+  }
+  return out;
+}
+
+namespace {
+void sort_by_start(std::vector<const Span*>& spans) {
+  std::sort(spans.begin(), spans.end(), [](const Span* a, const Span* b) {
+    return a->start_us != b->start_us ? a->start_us < b->start_us
+                                      : a->id < b->id;
+  });
+}
+}  // namespace
+
+std::vector<const Span*> SpanTree::trace_spans(std::uint64_t trace) const {
+  std::vector<const Span*> out;
+  for (const auto& [id, s] : spans_) {
+    if (s.trace == trace) out.push_back(&s);
+  }
+  sort_by_start(out);
+  return out;
+}
+
+std::vector<const Span*> SpanTree::children(std::uint64_t id) const {
+  std::vector<const Span*> out;
+  for (const auto& [sid, s] : spans_) {
+    if (s.parent == id) out.push_back(&s);
+  }
+  sort_by_start(out);
+  return out;
+}
+
+std::vector<const Span*> SpanTree::orphans(std::uint64_t trace) const {
+  std::vector<const Span*> out;
+  for (const auto& [id, s] : spans_) {
+    if (trace != 0 && s.trace != trace) continue;
+    if (s.parent != 0 && spans_.find(s.parent) == spans_.end()) {
+      out.push_back(&s);
+    }
+  }
+  sort_by_start(out);
+  return out;
+}
+
+std::vector<const Span*> SpanTree::unclosed(std::uint64_t trace) const {
+  std::vector<const Span*> out;
+  for (const auto& [id, s] : spans_) {
+    if (trace != 0 && s.trace != trace) continue;
+    if (!s.closed()) out.push_back(&s);
+  }
+  sort_by_start(out);
+  return out;
+}
+
+std::vector<SpanMarker> SpanTree::trace_markers(std::uint64_t trace) const {
+  std::vector<SpanMarker> out;
+  for (const auto& m : markers_) {
+    if (m.trace == trace) out.push_back(m);
+  }
+  return out;
+}
+
+CriticalPath query_critical_path(const SpanTree& tree, std::uint64_t trace,
+                                 QueryEndpoint endpoint) {
+  CriticalPath cp;
+  const Span* root = tree.find(trace);
+  if (root == nullptr || root->start_us < 0) return cp;
+
+  const auto wanted = endpoint == QueryEndpoint::kResponse
+                          ? TraceKind::kQueryResult
+                          : TraceKind::kQueryHop;
+  const SpanMarker* terminal = nullptr;
+  const auto markers = tree.trace_markers(trace);
+  for (const auto& m : markers) {
+    if (m.kind != wanted) continue;
+    if (terminal == nullptr || m.at_us > terminal->at_us) terminal = &m;
+  }
+  if (terminal == nullptr) return cp;
+  cp.terminal_span = terminal->span;
+  cp.terminal_at_us = terminal->at_us;
+
+  // Chain from the terminal's span up to the root.
+  std::vector<const Span*> chain;
+  std::unordered_set<std::uint64_t> visited;
+  std::uint64_t cur = terminal->span;
+  while (cur != 0 && visited.insert(cur).second) {
+    const Span* s = tree.find(cur);
+    if (s == nullptr || s->start_us < 0) return cp;  // history evicted
+    chain.push_back(s);
+    if (s->id == trace) break;
+    cur = s->parent;
+  }
+  if (chain.empty() || chain.back()->id != trace) return cp;
+  std::reverse(chain.begin(), chain.end());
+
+  // A network span is a false-positive detour when the handler span it
+  // fed (its child on the chain side) flagged a summary false positive
+  // — or when the flag landed on the transit span itself.
+  std::unordered_set<std::uint64_t> detour_feeders;
+  for (const auto& [id, s] : tree.spans()) {
+    if (s.false_positive && s.parent != 0) detour_feeders.insert(s.parent);
+  }
+
+  // Partition [root start, terminal] walking chain boundaries: the
+  // region a span covers is attributed to its category, any region
+  // where the chain had no span open is queueing. Boundaries advance
+  // monotonically, so the four phases sum to terminal - start exactly.
+  const std::int64_t started = root->start_us;
+  const std::int64_t terminal_at = terminal->at_us;
+  cp.total_us = terminal_at - started;
+  std::int64_t cursor = started;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Span* s = chain[i];
+    const std::int64_t boundary =
+        i + 1 < chain.size() ? std::max(chain[i + 1]->start_us, cursor)
+                             : std::max(terminal_at, cursor);
+    const std::int64_t begin = std::clamp(s->start_us, cursor, boundary);
+    const std::int64_t close = s->closed() ? s->end_us : boundary;
+    const std::int64_t end = std::clamp(close, begin, boundary);
+    cp.queueing_us += (begin - cursor) + (boundary - end);
+    const std::int64_t covered = end - begin;
+    if (s->category == SpanCategory::kNetwork) {
+      ++cp.hops;
+      const bool detour = s->false_positive || detour_feeders.count(s->id) > 0;
+      (detour ? cp.detour_us : cp.network_us) += covered;
+    } else {
+      cp.processing_us += covered;
+    }
+    cursor = boundary;
+  }
+  cp.complete = true;
+  return cp;
+}
+
+}  // namespace roads::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace roads::obs {
 
 const char* to_string(TraceKind kind) {
@@ -32,6 +34,12 @@ const char* to_string(TraceKind kind) {
       return "query_false_positive";
     case TraceKind::kQueryComplete:
       return "query_complete";
+    case TraceKind::kQueryResult:
+      return "query_result";
+    case TraceKind::kSpanBegin:
+      return "span_begin";
+    case TraceKind::kSpanEnd:
+      return "span_end";
   }
   return "?";
 }
@@ -52,11 +60,45 @@ std::uint64_t TraceBuffer::dropped() const {
   return dropped_;
 }
 
+std::uint64_t TraceBuffer::dropped(TraceKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_kind_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<std::pair<TraceKind, std::uint64_t>> TraceBuffer::dropped_by_kind()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<TraceKind, std::uint64_t>> out;
+  for (std::size_t k = 0; k < kTraceKindCount; ++k) {
+    if (dropped_kind_[k] != 0) {
+      out.emplace_back(static_cast<TraceKind>(k), dropped_kind_[k]);
+    }
+  }
+  return out;
+}
+
+void TraceBuffer::bind_metrics(MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t k = 0; k < kTraceKindCount; ++k) {
+    auto& counter = registry.counter(
+        std::string("obs.trace.dropped.") +
+        to_string(static_cast<TraceKind>(k)));
+    drop_counters_[k] = &counter;
+    // Credit evictions that happened before the registry was attached.
+    if (dropped_kind_[k] > counter.value()) {
+      counter.inc(dropped_kind_[k] - counter.value());
+    }
+  }
+}
+
 void TraceBuffer::record(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (ring_.size() == capacity_) {
+    const auto k = static_cast<std::size_t>(ring_.front().kind);
     ring_.pop_front();
     ++dropped_;
+    ++dropped_kind_[k];
+    if (drop_counters_[k] != nullptr) drop_counters_[k]->inc();
   }
   ring_.push_back(std::move(event));
 }
@@ -79,6 +121,15 @@ std::vector<TraceEvent> TraceBuffer::span_events(std::uint64_t span) const {
   return out;
 }
 
+std::vector<TraceEvent> TraceBuffer::trace_events(std::uint64_t trace) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& ev : ring_) {
+    if (ev.trace == trace) out.push_back(ev);
+  }
+  return out;
+}
+
 std::vector<TraceEvent> TraceBuffer::events_of(TraceKind kind) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TraceEvent> out;
@@ -92,6 +143,7 @@ void TraceBuffer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   ring_.clear();
   dropped_ = 0;
+  for (auto& d : dropped_kind_) d = 0;
 }
 
 }  // namespace roads::obs

@@ -2,11 +2,18 @@
 // events — message sends/deliveries with channel and byte size, server
 // join/leave/heartbeat-miss/rejoin transitions, and query lifecycle
 // spans (start, per-hop arrival with latency, redirects including
-// summary false positives, completion). Queries allocate a span id so
-// a hop-by-hop record of one query can be pulled out of the mixed
-// stream afterwards. Bounded capacity + eviction keeps long
-// simulations at O(capacity) memory; the dropped() counter says how
-// much history was lost.
+// summary false positives, completion). Bounded capacity + eviction
+// keeps long simulations at O(capacity) memory; the dropped() counters
+// say how much history was lost, per event kind.
+//
+// Causal tracing: every event carries (trace, span, parent) so the
+// flat stream reconstructs into parent-child span trees (obs::SpanTree).
+// A TraceContext names the span currently executing; the network
+// piggybacks it on every message (the message transit becomes a child
+// span of whatever handler sent it) and protocol handlers open explicit
+// processing/service spans under it. `trace` is the id of the tree's
+// root span, so one query / refresh wave / heartbeat wave can be pulled
+// out of the mixed stream with a single filter.
 #pragma once
 
 #include <atomic>
@@ -14,12 +21,16 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace roads::obs {
 
+class MetricsRegistry;
+
 enum class TraceKind : std::uint8_t {
-  // Network layer.
+  // Network layer (span = message transit span; begins at kSend, ends
+  // at kDeliver or kDrop).
   kSend = 0,     // node -> peer, bytes on `label` channel
   kDeliver = 1,  // delivery event fired at peer
   kDrop = 2,     // lost to a down node or the loss coin
@@ -30,24 +41,51 @@ enum class TraceKind : std::uint8_t {
   kRejoin = 6,         // node starts rejoining via candidate peer
   kRootElection = 7,   // node elected itself root
   // Query lifecycle (span != 0).
-  kQueryStart = 8,          // issued at node
+  kQueryStart = 8,          // issued at node; begins the query root span
   kQueryHop = 9,            // arrived at node; value = latency-so-far ms
   kQueryRedirect = 10,      // node redirected to value targets
   kQueryFalsePositive = 11, // summary matched but node had nothing
-  kQueryComplete = 12,      // value = matching records
+  kQueryComplete = 12,      // value = matching records; ends root span
+  kQueryResult = 13,        // result batch arrived; value = records
+  // Explicit spans (handler processing, service time, trace roots).
+  kSpanBegin = 14,  // opens span `span` under `parent`; label = taxonomy
+  kSpanEnd = 15,    // closes span `span`
 };
 
+/// Number of distinct TraceKind values (for per-kind accounting).
+constexpr std::size_t kTraceKindCount = 16;
+
 const char* to_string(TraceKind kind);
+
+/// The causal position a piece of work executes in: which tree it
+/// belongs to (`trace` = root span id), which span is currently open
+/// (`span` — new child spans and messages parent under it) and how many
+/// propagation steps separate it from the root (`depth`). A
+/// default-constructed context is inactive: work started under it roots
+/// a fresh tree instead of extending one.
+struct TraceContext {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint32_t depth = 0;
+
+  bool active() const { return trace != 0; }
+  /// The context a child span `span_id` executes under.
+  TraceContext child(std::uint64_t span_id) const {
+    return {trace != 0 ? trace : span_id, span_id, depth + 1};
+  }
+};
 
 struct TraceEvent {
   std::int64_t at_us = 0;   // simulation time
   TraceKind kind = TraceKind::kSend;
-  std::uint64_t span = 0;   // query span id; 0 = not part of a span
+  std::uint64_t span = 0;   // span this event belongs to; 0 = none
   std::uint32_t node = 0;   // primary actor
   std::uint32_t peer = 0;   // counterpart (receiver, parent, target...)
   std::uint64_t bytes = 0;
   double value = 0.0;       // kind-specific scalar (latency ms, counts)
   std::string label;        // channel name or short annotation
+  std::uint64_t trace = 0;  // root span id of the causal tree; 0 = none
+  std::uint64_t parent = 0; // parent span id; 0 = root / not a span
 };
 
 class TraceBuffer {
@@ -56,19 +94,31 @@ class TraceBuffer {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
-  /// Events evicted so far to keep the buffer bounded.
+  /// Events evicted so far to keep the buffer bounded (all kinds).
   std::uint64_t dropped() const;
+  /// Events of one kind evicted so far.
+  std::uint64_t dropped(TraceKind kind) const;
+  /// Per-kind eviction counts, only kinds with drops, kind-ordered.
+  std::vector<std::pair<TraceKind, std::uint64_t>> dropped_by_kind() const;
+
+  /// Mirrors eviction counts into `registry` as
+  /// "obs.trace.dropped.<kind>" counters, so long chaos runs can tell
+  /// which history was evicted without holding the buffer. Counters are
+  /// bumped as evictions happen; existing drops are credited on bind.
+  void bind_metrics(MetricsRegistry& registry);
 
   /// Appends an event, evicting the oldest when full. Thread-safe.
   void record(TraceEvent event);
 
-  /// Allocates a fresh query span id (1, 2, ...).
+  /// Allocates a fresh span id (1, 2, ...).
   std::uint64_t next_span();
 
   /// Oldest-first snapshot of everything currently buffered.
   std::vector<TraceEvent> events() const;
-  /// Oldest-first snapshot restricted to one query span.
+  /// Oldest-first snapshot restricted to one span id.
   std::vector<TraceEvent> span_events(std::uint64_t span) const;
+  /// Oldest-first snapshot restricted to one causal tree (root span id).
+  std::vector<TraceEvent> trace_events(std::uint64_t trace) const;
   /// Oldest-first snapshot restricted to one kind.
   std::vector<TraceEvent> events_of(TraceKind kind) const;
 
@@ -79,6 +129,8 @@ class TraceBuffer {
   mutable std::mutex mutex_;
   std::deque<TraceEvent> ring_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_kind_[kTraceKindCount] = {};
+  class Counter* drop_counters_[kTraceKindCount] = {};
   std::atomic<std::uint64_t> next_span_{0};
 };
 

@@ -21,10 +21,18 @@ void RoadsClient::trace_span(obs::TraceKind kind, sim::NodeId node,
   obs::TraceEvent ev;
   ev.at_us = network_.simulator().now();
   ev.kind = kind;
-  ev.span = span_;
   ev.node = node;
   ev.peer = location_;
   ev.value = value;
+  ev.trace = span_;  // the root span id names the query's causal tree
+  // Lifecycle endpoints pin to the root span itself; per-hop markers
+  // pin to the span they fired inside (the delivering transit span),
+  // which is what the critical-path walk chains from.
+  const auto ctx = network_.trace_context();
+  const bool endpoint = kind == obs::TraceKind::kQueryStart ||
+                        kind == obs::TraceKind::kQueryComplete;
+  ev.span = (!endpoint && ctx.trace == span_ && ctx.span != 0) ? ctx.span
+                                                               : span_;
   trace->record(std::move(ev));
 }
 
@@ -37,6 +45,10 @@ void RoadsClient::start(sim::NodeId start_server) {
     span_ = trace->next_span();
     trace_span(obs::TraceKind::kQueryStart, start_server);
   }
+  // The initial visit runs under the query's root span so the first
+  // query message (and everything downstream of it) chains into the
+  // tree rooted at span_.
+  sim::ScopedTraceContext scope(network_, obs::TraceContext{span_, span_, 0});
   visit(start_server, QueryMode::kStart);
 }
 
@@ -89,6 +101,8 @@ void RoadsClient::on_results(sim::NodeId server,
   results_arrived_.insert(server);
   result_.last_result_at =
       std::max(result_.last_result_at, network_.simulator().now());
+  trace_span(obs::TraceKind::kQueryResult, server,
+             static_cast<double>(records.size()));
   for (auto& r : records) result_.records.push_back(std::move(r));
   check_complete();
 }

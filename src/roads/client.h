@@ -72,8 +72,9 @@ class RoadsClient : public std::enable_shared_from_this<RoadsClient> {
   const Result& result() const { return result_; }
   /// Every server/owner node this query contacted.
   const std::set<sim::NodeId>& visited() const { return visited_; }
-  /// Trace span id of this query's lifecycle events (0 when the
-  /// network has no trace buffer attached).
+  /// Root span id of this query's causal tree — every event and span
+  /// of the query carries it as `trace` (0 when the network has no
+  /// trace buffer attached).
   std::uint64_t span() const { return span_; }
 
   // --- Server-side callbacks (invoked at message delivery time) ---

@@ -21,9 +21,13 @@ class Federation::OwnerAgent : public QueryTarget {
     const auto node = owner_->node();
     client->on_arrival(node);
     auto& network = federation_.network_;
+    // Same span discipline as RoadsServer::handle_query: processing
+    // opens at arrival and the deferred closures re-enter the context.
+    const auto proc = network.begin_span(node, "proc");
     network.simulator().schedule_after(
         federation_.config_.query_processing_delay, [this, client, node,
-                                                     &network] {
+                                                     proc, &network] {
+          sim::ScopedTraceContext trace_scope(network, proc);
           auto records = owner_->answer(client->principal(), client->query());
           const std::size_t matches = records.size();
           const bool results_pending = client->collect_results() && matches > 0;
@@ -32,7 +36,10 @@ class Federation::OwnerAgent : public QueryTarget {
                        [client, node, matches, results_pending] {
                          client->on_reply(node, {}, matches, results_pending);
                        });
-          if (!results_pending) return;
+          if (!results_pending) {
+            network.end_span(proc);
+            return;
+          }
           std::uint64_t bytes = 0;
           for (const auto& r : records) bytes += r.wire_size();
           store::QueryStats stats;
@@ -40,16 +47,20 @@ class Federation::OwnerAgent : public QueryTarget {
           stats.matches = matches;
           const auto service = store::service_time_us(
               federation_.config_.service_model, stats, bytes);
+          const auto svc = network.begin_span(node, "service");
           network.simulator().schedule_after(
               service,
-              [client, node, bytes, records = std::move(records),
+              [client, node, bytes, svc, records = std::move(records),
                &network]() mutable {
+                sim::ScopedTraceContext svc_scope(network, svc);
                 network.send(node, client->location(), msg::results(bytes),
                              sim::Channel::kResult,
                              [client, node, records = std::move(records)]() mutable {
                                client->on_results(node, std::move(records));
                              });
+                network.end_span(svc);
               });
+          network.end_span(proc);
         });
   }
 
@@ -68,7 +79,9 @@ Federation::Federation(FederationParams params)
       simulator_(),
       delay_space_(0, rng_.fork(0x5e1f), params.delay),
       network_(simulator_, delay_space_, rng_.fork(0x2e70), &metrics_,
-               trace_.get()) {}
+               trace_.get()) {
+  if (trace_) trace_->bind_metrics(metrics_);
+}
 
 Federation::~Federation() = default;
 
@@ -222,6 +235,38 @@ QueryOutcome Federation::run_query_scoped(const record::Query& query,
   out.matching_records = r.matching_records;
   out.contacted.assign(client->visited().begin(), client->visited().end());
   out.records = r.records;
+
+  // Critical-path attribution (tracing on): rebuild this query's span
+  // tree from the buffered events and split the measured latency into
+  // network / processing / queueing / false-positive-detour phases.
+  out.trace_id = client->span();
+  if (trace_ && out.trace_id != 0) {
+    const auto tree = obs::SpanTree::build(trace_->events());
+    auto fwd = obs::query_critical_path(tree, out.trace_id,
+                                        obs::QueryEndpoint::kForwarding);
+    if (fwd.complete) {
+      metrics_.histogram("roads.query.critpath.network_ms")
+          .record(fwd.network_us / 1000.0);
+      metrics_.histogram("roads.query.critpath.processing_ms")
+          .record(fwd.processing_us / 1000.0);
+      metrics_.histogram("roads.query.critpath.queueing_ms")
+          .record(fwd.queueing_us / 1000.0);
+      metrics_.histogram("roads.query.critpath.detour_ms")
+          .record(fwd.detour_us / 1000.0);
+    } else {
+      // Chain broken: history evicted from the bounded buffer (or the
+      // query never left the start server).
+      metrics_.counter("roads.query.critpath.incomplete").inc();
+    }
+    out.forwarding_path = fwd;
+    if (config_.collect_results) {
+      auto resp = obs::query_critical_path(tree, out.trace_id,
+                                           obs::QueryEndpoint::kResponse);
+      if (resp.complete || resp.terminal_span != 0) {
+        out.response_path = resp;
+      }
+    }
+  }
   return out;
 }
 

@@ -23,6 +23,7 @@
 
 #include "hierarchy/topology.h"
 #include "obs/metrics.h"
+#include "obs/span_tree.h"
 #include "obs/trace.h"
 #include "record/query.h"
 #include "record/schema.h"
@@ -65,6 +66,14 @@ struct QueryOutcome {
   /// measurements in the overlay ablation).
   std::vector<sim::NodeId> contacted;
   std::vector<record::ResourceRecord> records;
+  /// Root span id of the query's causal tree (0 when tracing is off).
+  std::uint64_t trace_id = 0;
+  /// Critical-path decomposition of the forwarding latency / total
+  /// response time (set when tracing is on; response only in
+  /// result-collection mode with at least one result batch). The four
+  /// phases sum to the corresponding measured latency exactly.
+  std::optional<obs::CriticalPath> forwarding_path;
+  std::optional<obs::CriticalPath> response_path;
 };
 
 class Federation : public Directory {

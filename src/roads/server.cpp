@@ -57,6 +57,10 @@ void RoadsServer::trace_event(obs::TraceKind kind, sim::NodeId peer,
   ev.node = id_;
   ev.peer = peer;
   ev.value = value;
+  // Point events inherit the causal tree of whatever handler emits
+  // them, so e.g. a heartbeat-miss shows up inside the failure-check
+  // wave that detected it.
+  ev.trace = network_.trace_context().trace;
   trace->record(std::move(ev));
 }
 
@@ -135,6 +139,7 @@ void RoadsServer::start_timers() {
 
 void RoadsServer::leave() {
   if (!alive_) return;
+  sim::TraceSpan trace_root(network_, id_, "leave");
   if (parent_) {
     send_to_server(*parent_, msg::leave_notice(), sim::Channel::kMaintenance,
                    [child = id_](RoadsServer& p) {
@@ -324,6 +329,9 @@ SummaryPtr RoadsServer::compute_branch_summary() const {
 void RoadsServer::refresh_summaries() {
   if (!alive_) return;
   obs::ScopedTimer timer(refresh_us_);
+  // Roots a causal tree: the parent push, sibling forwards and replica
+  // cascade triggered by this wave all chain under one span.
+  sim::TraceSpan trace_root(network_, id_, "summary_refresh");
   // Round r is a keepalive wave when r % K == 0 (the first round always
   // is), so every soft-state TTL downstream is renewed at least every
   // K periods. K == 0 makes every round a keepalive: suppression off.
@@ -463,6 +471,9 @@ void RoadsServer::start_join(sim::NodeId seed,
   join_.active = true;
   join_.current = seed;
   join_.on_complete = std::move(on_complete);
+  // Roots the join negotiation's causal tree (request, redirects and
+  // accept/backtrack responses chain under it).
+  sim::TraceSpan trace_root(network_, id_, "join");
   send_join_request(seed);
 }
 
@@ -626,6 +637,7 @@ void RoadsServer::handle_stats_update(sim::NodeId child,
 // --------------------------------------------------------------------------
 
 void RoadsServer::on_heartbeat_timer() {
+  sim::TraceSpan trace_root(network_, id_, "heartbeat_wave");
   if (parent_) {
     const auto stats = children_.aggregate();
     send_to_server(*parent_, msg::heartbeat_up(), sim::Channel::kMaintenance,
@@ -664,6 +676,7 @@ void RoadsServer::handle_heartbeat_down(
 }
 
 void RoadsServer::on_failure_check_timer() {
+  sim::TraceSpan trace_root(network_, id_, "failure_check");
   const auto now = network_.simulator().now();
   const sim::Time limit =
       config_.heartbeat_period * config_.heartbeat_miss_limit;
@@ -797,9 +810,18 @@ void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
   if (!alive_) return;
   query_hops_.inc();
   client->on_arrival(id_);
+  // The processing span opens at arrival so the evaluation delay is
+  // attributed to per-hop processing, not queueing. The deferred
+  // closure re-enters the captured context: raw schedule_after timers
+  // run outside any delivery scope.
+  const auto proc = network_.begin_span(id_, "proc");
   network_.simulator().schedule_after(
-      config_.query_processing_delay, [this, client, mode] {
-        if (!alive_) return;
+      config_.query_processing_delay, [this, client, mode, proc] {
+        if (!alive_) {
+          network_.end_span(proc);
+          return;
+        }
+        sim::ScopedTraceContext trace_scope(network_, proc);
         const auto& q = client->query();
         std::vector<std::pair<sim::NodeId, QueryMode>> targets;
 
@@ -873,8 +895,10 @@ void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
         if (mode != QueryMode::kStart && local_matches == 0 &&
             targets.empty()) {
           query_false_positives_.inc();
+          // Pinned to the processing span: the critical-path analyzer
+          // marks the transit that fed this hop as detour time.
           trace_event(obs::TraceKind::kQueryFalsePositive,
-                      client->location(), 0.0, client->span());
+                      client->location(), 0.0, proc.span);
         }
 
         const bool results_pending =
@@ -893,18 +917,27 @@ void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
           stats.matches = local_records.size();
           const auto service = store::service_time_us(
               config_.service_model, stats, record_bytes);
+          // Retrieval time is its own span (child of proc) so response
+          // critical paths separate evaluation from service delay.
+          const auto svc = network_.begin_span(id_, "service");
           network_.simulator().schedule_after(
-              service, [this, client, record_bytes,
+              service, [this, client, record_bytes, svc,
                         records = std::move(local_records)]() mutable {
-                if (!alive_) return;
+                if (!alive_) {
+                  network_.end_span(svc);
+                  return;
+                }
+                sim::ScopedTraceContext svc_scope(network_, svc);
                 network_.send(id_, client->location(),
                               msg::results(record_bytes), sim::Channel::kResult,
                               [client, server = id_,
                                records = std::move(records)]() mutable {
                                 client->on_results(server, std::move(records));
                               });
+                network_.end_span(svc);
               });
         }
+        network_.end_span(proc);
       });
 }
 

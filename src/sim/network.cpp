@@ -59,9 +59,31 @@ void Network::set_node_up(NodeId node, bool up) {
 }
 
 void Network::trace_message(obs::TraceKind kind, NodeId from, NodeId to,
-                            std::uint64_t bytes, Channel channel) {
-  trace_->record({sim_.now(), kind, 0, from, to, bytes, 0.0,
-                  to_string(channel)});
+                            std::uint64_t bytes, Channel channel,
+                            std::uint64_t span, std::uint64_t trace,
+                            std::uint64_t parent) {
+  trace_->record({sim_.now(), kind, span, from, to, bytes, 0.0,
+                  to_string(channel), trace, parent});
+}
+
+obs::TraceContext Network::begin_span_under(const obs::TraceContext& parent,
+                                            NodeId node, const char* label) {
+  if (trace_ == nullptr) return {};
+  const std::uint64_t id = trace_->next_span();
+  const auto ctx = parent.child(id);
+  trace_->record({sim_.now(), obs::TraceKind::kSpanBegin, id, node, node, 0,
+                  0.0, label, ctx.trace, parent.span});
+  return ctx;
+}
+
+obs::TraceContext Network::begin_span(NodeId node, const char* label) {
+  return begin_span_under(trace_ctx_, node, label);
+}
+
+void Network::end_span(const obs::TraceContext& ctx) {
+  if (trace_ == nullptr || ctx.span == 0) return;
+  trace_->record({sim_.now(), obs::TraceKind::kSpanEnd, ctx.span, 0, 0, 0,
+                  0.0, "", ctx.trace, 0});
 }
 
 void Network::digest_event(EventOutcome outcome, NodeId from, NodeId to,
@@ -164,11 +186,23 @@ void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
   send_bulk(from, to, 1, bytes, channel, std::move(deliver));
 }
 
+obs::TraceContext Network::trace_send(NodeId from, NodeId to,
+                                      std::uint64_t bytes, Channel channel) {
+  if (trace_ == nullptr) return {};
+  const std::uint64_t span = trace_->next_span();
+  const auto ctx = trace_ctx_.child(span);
+  trace_message(obs::TraceKind::kSend, from, to, bytes, channel, span,
+                ctx.trace, trace_ctx_.span);
+  return ctx;
+}
+
 void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
                                 Channel channel, Time delay,
+                                obs::TraceContext delivery_ctx,
                                 std::function<void()> deliver) {
   sim_.schedule_after(
-      delay, [this, from, to, bytes, channel, fn = std::move(deliver)] {
+      delay,
+      [this, from, to, bytes, channel, delivery_ctx, fn = std::move(deliver)] {
         // A receiver that died in flight (or got partitioned away while
         // the message was on the wire) drops the message; the sender
         // already spent the bytes, so the channel charge stands.
@@ -176,7 +210,8 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
           dropped_->inc();
           digest_event(EventOutcome::kDropDeliver, from, to, bytes, channel);
           if (trace_) {
-            trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
+            trace_message(obs::TraceKind::kDrop, from, to, bytes, channel,
+                          delivery_ctx.span, delivery_ctx.trace);
           }
           return;
         }
@@ -185,14 +220,19 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
           fault_partitioned_->inc();
           digest_event(EventOutcome::kDropDeliver, from, to, bytes, channel);
           if (trace_) {
-            trace_message(obs::TraceKind::kDrop, from, to, bytes, channel);
+            trace_message(obs::TraceKind::kDrop, from, to, bytes, channel,
+                          delivery_ctx.span, delivery_ctx.trace);
           }
           return;
         }
         digest_event(EventOutcome::kDeliver, from, to, bytes, channel);
         if (trace_) {
-          trace_message(obs::TraceKind::kDeliver, from, to, bytes, channel);
+          trace_message(obs::TraceKind::kDeliver, from, to, bytes, channel,
+                        delivery_ctx.span, delivery_ctx.trace);
         }
+        // The handler runs inside the message's causal context: any
+        // send it makes becomes a child span of this transit.
+        ScopedTraceContext scope(*this, delivery_ctx);
         fn();
       });
 }
@@ -228,7 +268,7 @@ void Network::send_bulk(NodeId from, NodeId to, std::uint64_t messages,
   message_counters_[c]->inc(messages);
   byte_counters_[c]->inc(bytes);
   digest_event(EventOutcome::kSend, from, to, bytes, channel);
-  if (trace_) trace_message(obs::TraceKind::kSend, from, to, bytes, channel);
+  const auto delivery_ctx = trace_send(from, to, bytes, channel);
 
   const bool duplicate =
       plan_.duplicate_rate > 0.0 && rng_.bernoulli(plan_.duplicate_rate);
@@ -241,19 +281,19 @@ void Network::send_bulk(NodeId from, NodeId to, std::uint64_t messages,
 
   if (duplicate) {
     // The duplicate is a real extra transmission: it charges the
-    // channel again and takes the undithered base latency, so it can
-    // arrive before or after the jittered original.
+    // channel again, takes the undithered base latency (so it can
+    // arrive before or after the jittered original) and owns its own
+    // transit span — two wires, two spans under the same parent.
     message_counters_[c]->inc(messages);
     byte_counters_[c]->inc(bytes);
     fault_duplicated_->inc(messages);
     digest_event(EventOutcome::kDuplicate, from, to, bytes, channel);
-    if (trace_) {
-      trace_message(obs::TraceKind::kSend, from, to, bytes, channel);
-    }
+    const auto dup_ctx = trace_send(from, to, bytes, channel);
     schedule_delivery(from, to, bytes, channel, space_.latency(from, to),
-                      deliver);
+                      dup_ctx, deliver);
   }
-  schedule_delivery(from, to, bytes, channel, delay, std::move(deliver));
+  schedule_delivery(from, to, bytes, channel, delay, delivery_ctx,
+                    std::move(deliver));
 }
 
 ChannelMeter Network::meter(Channel channel) const {

@@ -27,6 +27,19 @@
 // (Federation shares one across subsystems) or let the network own a
 // private one. An optional obs::TraceBuffer receives structured
 // send/deliver/drop events.
+//
+// Causal tracing: the network carries a current obs::TraceContext —
+// the span whatever handler is presently executing belongs to. Every
+// traced message allocates a transit span as a child of that context
+// (or roots a fresh tree when none is active), and the delivery
+// callback runs with the message's context installed, so sends made
+// inside a handler automatically chain into the same tree across any
+// number of hops. This is plain (non-atomic) state because each
+// Simulator run is single-threaded; parallel experiment repetitions
+// own separate Network instances. Handlers that defer work through
+// raw Simulator::schedule_after must capture trace_context() at
+// delivery and reinstall it (ScopedTraceContext) inside the closure,
+// or the deferred sends root new trees.
 #pragma once
 
 #include <array>
@@ -89,6 +102,23 @@ class Network {
 
   obs::TraceBuffer* trace() { return trace_; }
   void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
+  /// The causal context of the handler currently executing (inactive
+  /// outside any traced delivery/span). Prefer ScopedTraceContext /
+  /// TraceSpan over calling set_trace_context directly.
+  obs::TraceContext trace_context() const { return trace_ctx_; }
+  void set_trace_context(const obs::TraceContext& ctx) { trace_ctx_ = ctx; }
+
+  /// Opens an explicit span as a child of the current context (a fresh
+  /// root when none is active), emits kSpanBegin and returns the
+  /// context child spans and sends should run under. Inactive context
+  /// returned when tracing is off. `label` is the span taxonomy name
+  /// ("proc", "service", or a root-cause name like "summary_refresh").
+  obs::TraceContext begin_span(NodeId node, const char* label);
+  obs::TraceContext begin_span_under(const obs::TraceContext& parent,
+                                     NodeId node, const char* label);
+  /// Closes a span opened by begin_span* (no-op for inactive contexts).
+  void end_span(const obs::TraceContext& ctx);
 
   /// One-way latency from a to b (delegates to the delay space).
   Time latency(NodeId a, NodeId b) const { return space_.latency(a, b); }
@@ -158,13 +188,20 @@ class Network {
   };
 
   void trace_message(obs::TraceKind kind, NodeId from, NodeId to,
-                     std::uint64_t bytes, Channel channel);
+                     std::uint64_t bytes, Channel channel,
+                     std::uint64_t span = 0, std::uint64_t trace = 0,
+                     std::uint64_t parent = 0);
   void digest_event(EventOutcome outcome, NodeId from, NodeId to,
                     std::uint64_t bytes, Channel channel);
   /// Combined send-time loss probability for this (from, to) pair.
   double loss_probability(NodeId from, NodeId to) const;
+  /// Allocates a transit span under the current context and emits the
+  /// kSend event; returns the context the delivery should run under.
+  obs::TraceContext trace_send(NodeId from, NodeId to, std::uint64_t bytes,
+                               Channel channel);
   void schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
                          Channel channel, Time delay,
+                         obs::TraceContext delivery_ctx,
                          std::function<void()> deliver);
   void set_partition_active(std::size_t index, bool active);
 
@@ -193,6 +230,56 @@ class Network {
   obs::Counter* fault_partitioned_;
   util::Fnv1a digest_;
   std::vector<bool> down_;  // indexed by NodeId; default all up
+  obs::TraceContext trace_ctx_;
+};
+
+/// RAII: installs `ctx` as the network's current trace context and
+/// restores the previous one on scope exit. Used by the delivery path
+/// and by handlers that re-enter a captured context from a deferred
+/// closure.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(Network& net, const obs::TraceContext& ctx)
+      : net_(net), prev_(net.trace_context()) {
+    net_.set_trace_context(ctx);
+  }
+  ~ScopedTraceContext() { net_.set_trace_context(prev_); }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  Network& net_;
+  obs::TraceContext prev_;
+};
+
+/// RAII span: begins a span (child of the current context, or a fresh
+/// root when none is active — e.g. a timer-driven refresh wave),
+/// installs its context, and ends + restores on destruction. A no-op
+/// when tracing is off.
+class TraceSpan {
+ public:
+  TraceSpan(Network& net, NodeId node, const char* label)
+      : net_(net), prev_(net.trace_context()),
+        ctx_(net.begin_span(node, label)) {
+    if (ctx_.span != 0) net_.set_trace_context(ctx_);
+  }
+  ~TraceSpan() {
+    if (ctx_.span != 0) {
+      net_.end_span(ctx_);
+      net_.set_trace_context(prev_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  const obs::TraceContext& context() const { return ctx_; }
+
+ private:
+  Network& net_;
+  obs::TraceContext prev_;
+  obs::TraceContext ctx_;
 };
 
 }  // namespace roads::sim

@@ -11,11 +11,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "roads/federation.h"
 #include "sim/fault.h"
 #include "testing/invariants.h"
@@ -76,10 +78,22 @@ std::string replay_hint(std::uint64_t seed, const sim::FaultPlan& plan) {
   return out.str();
 }
 
-void expect_converged_invariants(Federation& fed) {
+void expect_converged_invariants(Federation& fed, std::uint64_t seed) {
   testing::InvariantOptions opts;
   opts.soundness_probes = 8;
   const auto report = testing::check_invariants(fed, opts);
+  if (!report.ok() && fed.trace() != nullptr) {
+    // Flight recorder: the failing run's last causal events, tagged
+    // with the seed, so the violation can be studied (and replayed via
+    // CHAOS_SEED) after the sweep has moved on.
+    const std::string path =
+        "FLIGHT_chaos_seed" + std::to_string(seed) + ".json";
+    std::ofstream os(path);
+    if (os) {
+      obs::write_flight_record(*fed.trace(), os, report.to_string(), seed);
+      ADD_FAILURE() << "invariant failure; flight record written to " << path;
+    }
+  }
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_GT(report.checks_run, 0u);
 }
@@ -119,7 +133,7 @@ TEST(Chaos, MessageFaultsThenHealConvergeSound) {
     ASSERT_EQ(root_count(fed), 1u);
     const auto topo = fed.topology();
     EXPECT_EQ(topo.subtree(topo.root()).size(), 16u);
-    expect_converged_invariants(fed);
+    expect_converged_invariants(fed, seed);
   }
 }
 
@@ -169,7 +183,7 @@ TEST(Chaos, SubtreePartitionHealsToSingleRoot) {
     ASSERT_EQ(root_count(fed), 1u);
     const auto healed = fed.topology();
     EXPECT_EQ(healed.subtree(healed.root()).size(), 16u);
-    expect_converged_invariants(fed);
+    expect_converged_invariants(fed, seed);
   }
 }
 
@@ -211,7 +225,7 @@ TEST(Chaos, CoordinatedInteriorCrashRestartRecovers) {
     ASSERT_EQ(root_count(fed), 1u);
     const auto healed = fed.topology();
     EXPECT_EQ(healed.subtree(healed.root()).size(), 16u);
-    expect_converged_invariants(fed);
+    expect_converged_invariants(fed, seed);
   }
 }
 
@@ -278,7 +292,7 @@ TEST(Chaos, CheckerRejectsCorruptedFederation) {
   // And once maintenance has run its course, the same checker passes.
   fed.advance(sim::seconds(120));
   fed.stabilize(2);
-  expect_converged_invariants(fed);
+  expect_converged_invariants(fed, 7);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <limits>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "obs/export.h"
@@ -69,6 +70,50 @@ TEST(Histogram, QuantilesAgreeWithSamples) {
   EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
   EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+}
+
+// The documented windowing contract: take() cuts metering windows
+// atomically, so every increment lands in exactly one window — the sum
+// of all take() results plus the final value equals the total number of
+// increments even with writers running through the cuts.
+TEST(Counter, TakeWindowsLoseNoIncrementsUnderContention) {
+  obs::Counter c;
+  constexpr std::size_t kWriters = 8;
+  constexpr std::size_t kPerWriter = 50'000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> taken{0};
+  std::thread cutter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      taken.fetch_add(c.take(), std::memory_order_relaxed);
+    }
+  });
+  {
+    util::ThreadPool pool(4);
+    pool.parallel_for(kWriters, [&c](std::size_t) {
+      for (std::size_t k = 0; k < kPerWriter; ++k) c.inc();
+    });
+  }
+  done.store(true, std::memory_order_release);
+  cutter.join();
+  EXPECT_EQ(taken.load() + c.value(), kWriters * kPerWriter);
+}
+
+// Gauge::add is a CAS loop, so concurrent deltas are never lost. The
+// deltas here are exactly representable in double (powers of two), so
+// the result must be exact regardless of addition order.
+TEST(Gauge, ConcurrentAddLosesNoUpdates) {
+  obs::Gauge g;
+  constexpr std::size_t kTasks = 16;
+  constexpr std::size_t kPerTask = 20'000;
+  util::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&g](std::size_t i) {
+    // Half the tasks add, half subtract; the residue is known exactly.
+    const double delta = (i % 2 == 0) ? 1.0 : -0.5;
+    for (std::size_t k = 0; k < kPerTask; ++k) g.add(delta);
+  });
+  const double expected =
+      (kTasks / 2) * kPerTask * 1.0 - (kTasks / 2) * kPerTask * 0.5;
+  EXPECT_DOUBLE_EQ(g.value(), expected);
 }
 
 TEST(MetricsRegistry, GetOrCreateReturnsSameInstrument) {
@@ -185,6 +230,41 @@ TEST(TraceBuffer, SpanAndKindFiltering) {
   EXPECT_EQ(trace.next_span(), 2u);
 }
 
+TEST(TraceBuffer, DroppedPerKindAndBoundCounters) {
+  obs::TraceBuffer trace(2);
+  const auto put = [&trace](obs::TraceKind kind) {
+    obs::TraceEvent ev;
+    ev.kind = kind;
+    trace.record(ev);
+  };
+  // Fill, then evict: 3 sends + 2 delivers through a 2-slot ring
+  // evicts the 3 oldest events — all sends (FIFO); the delivers stay
+  // buffered.
+  put(obs::TraceKind::kSend);
+  put(obs::TraceKind::kSend);
+  put(obs::TraceKind::kSend);
+  put(obs::TraceKind::kDeliver);
+  put(obs::TraceKind::kDeliver);
+  EXPECT_EQ(trace.dropped(), 3u);
+  EXPECT_EQ(trace.dropped(obs::TraceKind::kSend), 3u);
+  EXPECT_EQ(trace.dropped(obs::TraceKind::kDeliver), 0u);
+  EXPECT_EQ(trace.dropped(obs::TraceKind::kJoin), 0u);
+  const auto by_kind = trace.dropped_by_kind();
+  ASSERT_EQ(by_kind.size(), 1u);
+  EXPECT_EQ(by_kind[0].first, obs::TraceKind::kSend);
+  EXPECT_EQ(by_kind[0].second, 3u);
+
+  // Late binding back-credits the evictions that already happened...
+  obs::MetricsRegistry registry;
+  trace.bind_metrics(registry);
+  EXPECT_EQ(registry.counter("obs.trace.dropped.send").value(), 3u);
+  // ...and live evictions keep the counters in step: the next record
+  // evicts the older of the two buffered delivers.
+  put(obs::TraceKind::kSend);
+  EXPECT_EQ(trace.dropped(obs::TraceKind::kDeliver), 1u);
+  EXPECT_EQ(registry.counter("obs.trace.dropped.deliver").value(), 1u);
+}
+
 TEST(Export, TraceJsonlGolden) {
   obs::TraceBuffer trace(8);
   obs::TraceEvent ev;
@@ -200,6 +280,25 @@ TEST(Export, TraceJsonlGolden) {
   EXPECT_EQ(os.str(),
             "{\"t_us\":1234,\"kind\":\"query_hop\",\"node\":3,"
             "\"span\":7,\"peer\":9,\"value\":2.5}\n");
+}
+
+TEST(Export, TraceJsonlCausalFields) {
+  obs::TraceBuffer trace(8);
+  obs::TraceEvent ev;
+  ev.at_us = 10;
+  ev.kind = obs::TraceKind::kSend;
+  ev.span = 5;
+  ev.node = 1;
+  ev.peer = 2;
+  ev.bytes = 64;
+  ev.trace = 3;
+  ev.parent = 4;
+  trace.record(ev);
+  std::ostringstream os;
+  obs::write_trace_jsonl(trace, os);
+  EXPECT_EQ(os.str(),
+            "{\"t_us\":10,\"kind\":\"send\",\"node\":1,\"span\":5,"
+            "\"peer\":2,\"bytes\":64,\"trace\":3,\"parent\":4}\n");
 }
 
 TEST(Export, JsonHelpers) {
