@@ -64,16 +64,6 @@ void RoadsServer::trace_event(obs::TraceKind kind, sim::NodeId peer,
   trace->record(std::move(ev));
 }
 
-void RoadsServer::send_to_server(sim::NodeId to, std::uint64_t bytes,
-                                 sim::Channel channel,
-                                 std::function<void(RoadsServer&)> deliver) {
-  network_.send(id_, to, bytes, channel,
-                [this, to, fn = std::move(deliver)] {
-                  RoadsServer& peer = directory_.server(to);
-                  if (peer.alive()) fn(peer);
-                });
-}
-
 // --------------------------------------------------------------------------
 // Lifecycle
 // --------------------------------------------------------------------------
@@ -96,15 +86,24 @@ void RoadsServer::start_timers() {
   const auto first_refresh = static_cast<sim::Time>(
       rng_.uniform(0.0, static_cast<double>(sim::seconds(1))));
   // Self-rescheduling closures: each tick re-arms itself unless the
-  // server has stopped.
-  auto schedule_refresh = std::make_shared<std::function<void()>>();
-  *schedule_refresh = [this, epoch, schedule_refresh] {
-    if (!alive_ || life_epoch_ != epoch) return;
-    if (!refresh_paused_) refresh_summaries();
-    network_.simulator().schedule_after(config_.summary_refresh_period,
-                                        *schedule_refresh);
-  };
-  sim.schedule_after(first_refresh, *schedule_refresh);
+  // server has stopped. The tick body lives once in a shared
+  // UniqueFunction; every arm schedules a 16-byte [tick] trampoline, so
+  // re-arming never copies (or re-allocates) the closure state. The
+  // body holds itself only weakly — the pending trampoline owns the
+  // one strong reference, so a drained or destroyed simulator releases
+  // the chain instead of leaking a shared_ptr cycle.
+  auto schedule_refresh = std::make_shared<util::UniqueFunction<void()>>();
+  *schedule_refresh =
+      [this, epoch, weak = std::weak_ptr(schedule_refresh)] {
+        if (!alive_ || life_epoch_ != epoch) return;
+        if (!refresh_paused_) refresh_summaries();
+        if (auto tick = weak.lock()) {
+          network_.simulator().schedule_after(
+              config_.summary_refresh_period, [tick] { (*tick)(); });
+        }
+      };
+  sim.schedule_after(first_refresh,
+                     [tick = std::move(schedule_refresh)] { (*tick)(); });
 
   if (!config_.maintenance_enabled) return;
 
@@ -116,25 +115,29 @@ void RoadsServer::start_timers() {
 
   const auto first_hb = static_cast<sim::Time>(
       rng_.uniform(0.0, static_cast<double>(config_.heartbeat_period)));
-  auto schedule_hb = std::make_shared<std::function<void()>>();
-  *schedule_hb = [this, epoch, schedule_hb] {
+  auto schedule_hb = std::make_shared<util::UniqueFunction<void()>>();
+  *schedule_hb = [this, epoch, weak = std::weak_ptr(schedule_hb)] {
     if (!alive_ || life_epoch_ != epoch) return;
     on_heartbeat_timer();
-    network_.simulator().schedule_after(config_.heartbeat_period,
-                                        *schedule_hb);
+    if (auto tick = weak.lock()) {
+      network_.simulator().schedule_after(config_.heartbeat_period,
+                                          [tick] { (*tick)(); });
+    }
   };
-  sim.schedule_after(first_hb, *schedule_hb);
+  sim.schedule_after(first_hb, [tick = std::move(schedule_hb)] { (*tick)(); });
 
-  auto schedule_check = std::make_shared<std::function<void()>>();
-  *schedule_check = [this, epoch, schedule_check] {
+  auto schedule_check = std::make_shared<util::UniqueFunction<void()>>();
+  *schedule_check = [this, epoch, weak = std::weak_ptr(schedule_check)] {
     if (!alive_ || life_epoch_ != epoch) return;
     on_failure_check_timer();
-    network_.simulator().schedule_after(config_.heartbeat_period,
-                                        *schedule_check);
+    if (auto tick = weak.lock()) {
+      network_.simulator().schedule_after(config_.heartbeat_period,
+                                          [tick] { (*tick)(); });
+    }
   };
   // Offset the sweep by half a period so checks interleave heartbeats.
   sim.schedule_after(first_hb + config_.heartbeat_period / 2,
-                     *schedule_check);
+                     [tick = std::move(schedule_check)] { (*tick)(); });
 }
 
 void RoadsServer::leave() {
@@ -466,7 +469,7 @@ std::uint64_t RoadsServer::stored_summary_bytes() const {
 // --------------------------------------------------------------------------
 
 void RoadsServer::start_join(sim::NodeId seed,
-                             std::function<void(bool)> on_complete) {
+                             util::UniqueFunction<void(bool)> on_complete) {
   join_ = JoinState{};
   join_.active = true;
   join_.current = seed;
@@ -903,12 +906,14 @@ void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
 
         const bool results_pending =
             client->collect_results() && local_matches > 0;
-        network_.send(id_, client->location(),
-                      msg::redirect_reply(targets.size()), sim::Channel::kQuery,
-                      [client, server = id_, targets, local_matches,
-                       results_pending] {
-                        client->on_reply(server, targets, local_matches,
-                                         results_pending);
+        // Size the reply before the capture moves the target list out.
+        const auto reply_bytes = msg::redirect_reply(targets.size());
+        network_.send(id_, client->location(), reply_bytes,
+                      sim::Channel::kQuery,
+                      [client, server = id_, targets = std::move(targets),
+                       local_matches, results_pending]() mutable {
+                        client->on_reply(server, std::move(targets),
+                                         local_matches, results_pending);
                       });
 
         if (results_pending) {

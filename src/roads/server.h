@@ -38,6 +38,7 @@
 #include "sim/network.h"
 #include "store/record_store.h"
 #include "summary/resource_summary.h"
+#include "util/unique_function.h"
 #include "util/rng.h"
 
 namespace roads::core {
@@ -63,7 +64,7 @@ class RoadsServer : public QueryTarget {
   /// Joins the hierarchy starting the descent at `seed`; `on_complete`
   /// fires with success/failure once settled.
   void start_join(sim::NodeId seed,
-                  std::function<void(bool)> on_complete = {});
+                  util::UniqueFunction<void(bool)> on_complete = {});
   /// Starts the periodic summary-refresh timer (and maintenance timers
   /// when the config enables them).
   void start_timers();
@@ -185,9 +186,19 @@ class RoadsServer : public QueryTarget {
   void parent_lost();
   void try_rejoin_candidates();
 
+  /// Sends a protocol message to `to`; `deliver(peer)` runs at the
+  /// receiving server if it is alive at delivery time. Templated so
+  /// the caller's functor composes into ONE sim::DeliverFn closure —
+  /// no intermediate std::function wrapper, no extra allocation.
+  template <class F>
   void send_to_server(sim::NodeId to, std::uint64_t bytes,
-                      sim::Channel channel,
-                      std::function<void(RoadsServer&)> deliver);
+                      sim::Channel channel, F deliver) {
+    network_.send(id_, to, bytes, channel,
+                  [this, to, fn = std::move(deliver)]() mutable {
+                    RoadsServer& peer = directory_.server(to);
+                    if (peer.alive()) fn(peer);
+                  });
+  }
 
   /// Records a maintenance/query trace event when tracing is on.
   void trace_event(obs::TraceKind kind, sim::NodeId peer, double value = 0.0,
@@ -260,7 +271,7 @@ class RoadsServer : public QueryTarget {
     std::vector<sim::NodeId> excluded;   // branches found unwilling
     std::vector<sim::NodeId> fallbacks;  // rejoin candidates still untried
     std::uint64_t request_seq = 0;       // matches replies to requests
-    std::function<void(bool)> on_complete;
+    util::UniqueFunction<void(bool)> on_complete;
   };
   JoinState join_;
 

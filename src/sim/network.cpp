@@ -47,6 +47,7 @@ Network::Network(Simulator& simulator, DelaySpace& delay_space, util::Rng rng,
   fault_duplicated_ = &metrics_->counter("sim.fault.duplicated");
   fault_reordered_ = &metrics_->counter("sim.fault.reordered");
   fault_partitioned_ = &metrics_->counter("sim.fault.partitioned");
+  sim_.bind_metrics(*metrics_);
 }
 
 bool Network::node_up(NodeId node) const {
@@ -182,7 +183,7 @@ void Network::apply_fault_plan(const FaultPlan& plan) {
 }
 
 void Network::send(NodeId from, NodeId to, std::uint64_t bytes,
-                   Channel channel, std::function<void()> deliver) {
+                   Channel channel, DeliverFn deliver) {
   send_bulk(from, to, 1, bytes, channel, std::move(deliver));
 }
 
@@ -199,10 +200,11 @@ obs::TraceContext Network::trace_send(NodeId from, NodeId to,
 void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
                                 Channel channel, Time delay,
                                 obs::TraceContext delivery_ctx,
-                                std::function<void()> deliver) {
+                                DeliverFn deliver) {
   sim_.schedule_after(
       delay,
-      [this, from, to, bytes, channel, delivery_ctx, fn = std::move(deliver)] {
+      [this, from, to, bytes, channel, delivery_ctx,
+       fn = std::move(deliver)]() mutable {
         // A receiver that died in flight (or got partitioned away while
         // the message was on the wire) drops the message; the sender
         // already spent the bytes, so the channel charge stands.
@@ -239,7 +241,7 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
 
 void Network::send_bulk(NodeId from, NodeId to, std::uint64_t messages,
                         std::uint64_t bytes, Channel channel,
-                        std::function<void()> deliver) {
+                        DeliverFn deliver) {
   if (!node_up(from)) return;  // a dead sender emits nothing
 
   // Send-time kills are decided BEFORE the channel meters are charged:
@@ -283,14 +285,21 @@ void Network::send_bulk(NodeId from, NodeId to, std::uint64_t messages,
     // The duplicate is a real extra transmission: it charges the
     // channel again, takes the undithered base latency (so it can
     // arrive before or after the jittered original) and owns its own
-    // transit span — two wires, two spans under the same parent.
+    // transit span — two wires, two spans under the same parent. The
+    // move-only closure is parked in a shared block and both
+    // deliveries invoke it (handlers already tolerate re-invocation
+    // under duplication).
     message_counters_[c]->inc(messages);
     byte_counters_[c]->inc(bytes);
     fault_duplicated_->inc(messages);
     digest_event(EventOutcome::kDuplicate, from, to, bytes, channel);
     const auto dup_ctx = trace_send(from, to, bytes, channel);
+    auto shared = std::make_shared<DeliverFn>(std::move(deliver));
     schedule_delivery(from, to, bytes, channel, space_.latency(from, to),
-                      dup_ctx, deliver);
+                      dup_ctx, [shared] { (*shared)(); });
+    schedule_delivery(from, to, bytes, channel, delay, delivery_ctx,
+                      [shared] { (*shared)(); });
+    return;
   }
   schedule_delivery(from, to, bytes, channel, delay, delivery_ctx,
                     std::move(deliver));

@@ -44,7 +44,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -58,6 +57,7 @@
 #include "sim/time.h"
 #include "util/hash.h"
 #include "util/rng.h"
+#include "util/unique_function.h"
 
 namespace roads::sim {
 
@@ -72,6 +72,16 @@ constexpr std::size_t kChannelCount = 5;
 
 const char* to_string(Channel channel);
 
+/// Delivery callback. Move-only: the network moves it hop to hop
+/// (send -> transit -> delivery event) without ever copying the
+/// captured state. Inline capacity 64 covers the protocol layers'
+/// reply closures (shared_ptr client + target vector + counters);
+/// larger captures spill to the util::spill pool. A message duplicated
+/// by a FaultPlan invokes the SAME closure twice (the state is owned
+/// once) — handlers must tolerate re-invocation, which duplication
+/// already demands of them.
+using DeliverFn = util::UniqueFunction<void(), 64>;
+
 /// Snapshot of one channel's traffic counters.
 struct ChannelMeter {
   std::uint64_t messages = 0;
@@ -83,7 +93,7 @@ class Network {
   /// Called when a fault-plan crash window flips a node down (up=false)
   /// or back up (up=true); lets the protocol layer fail/restart the
   /// corresponding server object.
-  using NodeTransitionHandler = std::function<void(NodeId, bool up)>;
+  using NodeTransitionHandler = util::UniqueFunction<void(NodeId, bool up)>;
 
   /// `metrics` is the registry the channel counters live in; nullptr
   /// makes the network own a private registry. `trace` enables
@@ -129,14 +139,13 @@ class Network {
   /// never charged to the channel; a receiver that dies in flight drops
   /// the message with the bytes already spent.
   void send(NodeId from, NodeId to, std::uint64_t bytes, Channel channel,
-            std::function<void()> deliver);
+            DeliverFn deliver);
 
   /// Accounts a batch of `messages` logical messages totalling `bytes`
   /// that travel together (e.g. a bulk record registration); delivered
   /// as one event. Loss applies to the whole batch.
   void send_bulk(NodeId from, NodeId to, std::uint64_t messages,
-                 std::uint64_t bytes, Channel channel,
-                 std::function<void()> deliver);
+                 std::uint64_t bytes, Channel channel, DeliverFn deliver);
 
   bool node_up(NodeId node) const;
   void set_node_up(NodeId node, bool up);
@@ -201,8 +210,7 @@ class Network {
                                Channel channel);
   void schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
                          Channel channel, Time delay,
-                         obs::TraceContext delivery_ctx,
-                         std::function<void()> deliver);
+                         obs::TraceContext delivery_ctx, DeliverFn deliver);
   void set_partition_active(std::size_t index, bool active);
 
   Simulator& sim_;

@@ -1,20 +1,117 @@
 #include "sim/simulator.h"
 
 #include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace roads::sim {
 
-EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot_index = free_head_;
+    free_head_ = slot_at(slot_index).next_free;
+    return slot_index;
+  }
+  if (slot_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return static_cast<std::uint32_t>(slot_count_++);
+}
+
+void Simulator::free_slot(std::uint32_t slot_index) {
+  Slot& slot = slot_at(slot_index);
+  slot.active = false;
+  ++slot.generation;  // invalidates the heap tombstone and any live id
+  slot.next_free = free_head_;
+  free_head_ = slot_index;
+}
+
+void Simulator::note_depth() {
+  if (live_ > stats_.max_depth) {
+    stats_.max_depth = live_;
+    if (max_depth_gauge_ != nullptr) {
+      max_depth_gauge_->set(static_cast<double>(live_));
+    }
+  }
+  if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(live_));
+}
+
+// Hole-based sifts: the displaced element is kept in registers while
+// the hole walks the tree, so each level costs one key+ref copy
+// instead of a three-way swap.
+void Simulator::heap_push(HeapKey key, HeapRef ref) {
+  std::size_t i = heap_keys_.size();
+  heap_keys_.push_back(key);
+  heap_refs_.push_back(ref);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(key, heap_keys_[parent])) break;
+    heap_keys_[i] = heap_keys_[parent];
+    heap_refs_[i] = heap_refs_[parent];
+    i = parent;
+  }
+  heap_keys_[i] = key;
+  heap_refs_[i] = ref;
+}
+
+void Simulator::heap_pop_top() {
+  const HeapKey key = heap_keys_.back();
+  const HeapRef ref = heap_refs_.back();
+  heap_keys_.pop_back();
+  heap_refs_.pop_back();
+  const std::size_t n = heap_keys_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child =
+        first_child + kArity < n ? first_child + kArity : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_keys_[c], heap_keys_[best])) best = c;
+    }
+    if (!before(heap_keys_[best], key)) break;
+    heap_keys_[i] = heap_keys_[best];
+    heap_refs_[i] = heap_refs_[best];
+    i = best;
+  }
+  heap_keys_[i] = key;
+  heap_refs_[i] = ref;
+}
+
+EventId Simulator::schedule_at(Time when, EventFn fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator: scheduling into the past");
   }
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  pending_ids_.insert(id);
-  return id;
+  const bool stored_inline = fn.is_inline();
+  const std::uint32_t slot_index = acquire_slot();
+  Slot& slot = slot_at(slot_index);
+  slot.fn = std::move(fn);
+  slot.active = true;
+  const std::uint32_t gen = slot.generation;
+  heap_push(HeapKey{when, next_seq_++}, HeapRef{slot_index, gen});
+  ++live_;
+  ++stats_.scheduled;
+  if (stored_inline) {
+    ++stats_.inline_events;
+  } else {
+    ++stats_.spilled_events;
+  }
+  if (scheduled_counter_ != nullptr) {
+    scheduled_counter_->inc();
+    (stored_inline ? inline_counter_ : spilled_counter_)->inc();
+  }
+  note_depth();
+  return (static_cast<EventId>(gen) << 32) | slot_index;
 }
 
-EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+EventId Simulator::schedule_after(Time delay, EventFn fn) {
   if (delay < 0) {
     throw std::invalid_argument("Simulator: negative delay");
   }
@@ -22,21 +119,45 @@ EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
 }
 
 void Simulator::cancel(EventId id) {
-  if (pending_ids_.erase(id) > 0) cancelled_.insert(id);
+  const std::uint32_t slot_index = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot_index >= slot_count_) return;
+  Slot& slot = slot_at(slot_index);
+  if (!slot.active || slot.generation != gen) return;  // ran or cancelled
+  slot.fn = nullptr;  // release the closure (and any spill block) now
+  free_slot(slot_index);
+  --live_;
+  ++stats_.cancelled;
+  if (cancelled_counter_ != nullptr) cancelled_counter_->inc();
+  if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(live_));
+  // The heap entry stays behind as a tombstone; pop_one() discards it
+  // when it reaches the top (generation mismatch).
 }
 
 bool Simulator::pop_one() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+  while (!heap_keys_.empty()) {
+    const HeapKey top = heap_keys_.front();
+    const HeapRef top_ref = heap_refs_.front();
+    heap_pop_top();
+    Slot& slot = slot_at(top_ref.slot);
+    if (!slot.active || slot.generation != top_ref.gen) {
+      continue;  // tombstone
     }
-    pending_ids_.erase(ev.id);
-    now_ = ev.when;
-    ev.fn();
+    // Retire the id before invoking so a handler cancelling itself is
+    // a no-op, but keep the slot OFF the free list until the closure
+    // returns: chunk addresses are stable, so the closure runs in
+    // place (no move) while reschedules grow the slab around it.
+    slot.active = false;
+    ++slot.generation;
+    --live_;
+    now_ = top.when;
+    ++stats_.executed;
+    if (executed_counter_ != nullptr) executed_counter_->inc();
+    if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(live_));
+    slot.fn();
+    slot.fn = nullptr;
+    slot.next_free = free_head_;
+    free_head_ = top_ref.slot;
     return true;
   }
   return false;
@@ -50,7 +171,10 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(Time deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  // Deliberately checks the raw heap top — tombstones included — to
+  // match the pre-slab engine's loop condition exactly, keeping replay
+  // digests identical for runs that mix cancel() with run_until().
+  while (!heap_keys_.empty() && heap_keys_.front().when <= deadline) {
     if (pop_one()) ++executed;
   }
   if (now_ < deadline) now_ = deadline;
@@ -61,6 +185,18 @@ std::size_t Simulator::run_steps(std::size_t limit) {
   std::size_t executed = 0;
   while (executed < limit && pop_one()) ++executed;
   return executed;
+}
+
+void Simulator::bind_metrics(obs::MetricsRegistry& registry) {
+  depth_gauge_ = &registry.gauge("sim.queue.depth");
+  max_depth_gauge_ = &registry.gauge("sim.queue.max_depth");
+  scheduled_counter_ = &registry.counter("sim.queue.scheduled");
+  executed_counter_ = &registry.counter("sim.queue.executed");
+  cancelled_counter_ = &registry.counter("sim.queue.cancelled");
+  inline_counter_ = &registry.counter("sim.queue.inline");
+  spilled_counter_ = &registry.counter("sim.queue.spilled");
+  depth_gauge_->set(static_cast<double>(live_));
+  max_depth_gauge_->set(static_cast<double>(stats_.max_depth));
 }
 
 }  // namespace roads::sim

@@ -5,39 +5,77 @@
 // the same seed bit-for-bit reproducible. One Simulator instance drives
 // one experiment; repetitions run as independent instances (optionally
 // in parallel via util::ThreadPool, since instances share nothing).
+//
+// Engine layout: event closures live in a chunked slab of reusable
+// slots (a free list threads through vacant entries; chunks are never
+// reallocated, so slot addresses are stable and closures execute in
+// place), and a 4-ary min-heap of 24-byte {when, seq, slot, gen}
+// entries orders execution. EventIds pack (generation << 32 | slot);
+// cancel() is an O(1) tombstone — it bumps the slot's generation and
+// frees it, and the stale heap entry is skipped when it surfaces
+// because its generation no longer matches. No per-event hashing, no
+// allocation for closures that fit the EventFn inline buffer.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/unique_function.h"
+
+namespace roads::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace roads::obs
 
 namespace roads::sim {
 
+/// Packed (generation << 32 | slot). Generations start at 1, so a
+/// valid id is never 0 and a stale id can never match a reused slot.
 using EventId = std::uint64_t;
+
+/// Inline capacity 48 covers every protocol timer, fault transition
+/// and trampoline closure in the tree, keeping slab slots one cache
+/// line (96 bytes) so deep queues stay memory-lean. Network delivery
+/// closures (~150 bytes: DeliverFn + endpoints + TraceContext) spill
+/// to the thread-local util::spill pool, whose LIFO free lists hand
+/// back cache-warm blocks under the bounded in-flight message counts
+/// the protocols produce.
+using EventFn = util::UniqueFunction<void(), 48>;
 
 class Simulator {
  public:
+  /// Lifecycle tallies; inline/spilled split what fraction of event
+  /// closures fit EventFn's buffer (spills hit the util::spill pool).
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t inline_events = 0;
+    std::uint64_t spilled_events = 0;
+    std::size_t max_depth = 0;  // high-water pending_events()
+  };
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
   /// Events scheduled but neither executed nor cancelled.
-  std::size_t pending_events() const { return pending_ids_.size(); }
+  std::size_t pending_events() const { return live_; }
 
   /// Schedules `fn` at absolute time `when` (>= now). Returns an id
   /// usable with cancel().
-  EventId schedule_at(Time when, std::function<void()> fn);
+  EventId schedule_at(Time when, EventFn fn);
 
   /// Schedules `fn` after a relative delay (>= 0).
-  EventId schedule_after(Time delay, std::function<void()> fn);
+  EventId schedule_after(Time delay, EventFn fn);
 
   /// Prevents a pending event from running; no-op if it already ran,
-  /// was already cancelled, or never existed.
+  /// was already cancelled, or never existed. O(1).
   void cancel(EventId id);
 
   /// Runs events until the queue drains. Returns the number executed.
@@ -50,29 +88,73 @@ class Simulator {
   /// Executes at most `limit` events (safety valve for protocol loops).
   std::size_t run_steps(std::size_t limit);
 
+  const Stats& stats() const { return stats_; }
+
+  /// Publishes sim.queue.{depth,max_depth} gauges and
+  /// sim.queue.{scheduled,executed,cancelled,inline,spilled} counters
+  /// into `registry`. Unbound simulators pay one branch per event.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
-  struct Event {
+  // Heap entries carry the ordering keys directly so sifting never
+  // chases the slot indirection; 4-ary halves the depth vs binary.
+  // Keys and slot refs live in parallel arrays so one sift comparison
+  // touches a 16-byte key only — a 4-child sibling group is a single
+  // cache line instead of 1.5.
+  struct HeapKey {
     Time when;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // FIFO among same-instant events
-    }
+  struct HeapRef {
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNoSlot;
+    bool active = false;
+  };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  // Fixed-size chunks keep slot addresses stable as the slab grows —
+  // growth never move-constructs existing closures, and pop_one can
+  // run a closure in place while the handler schedules freely.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  static bool before(const HeapKey& a, const HeapKey& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;  // FIFO among same-instant events
+  }
 
   bool pop_one();
+  void heap_push(HeapKey key, HeapRef ref);
+  void heap_pop_top();
+  std::uint32_t acquire_slot();
+  void free_slot(std::uint32_t slot_index);
+  void note_depth();
+
+  Slot& slot_at(std::uint32_t slot_index) {
+    return chunks_[slot_index >> kChunkShift][slot_index & (kChunkSize - 1)];
+  }
 
   Time now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Ids still live in queue_; cancel() moves an id from here into
-  // cancelled_, so cancelling an executed or unknown id cannot leak an
-  // entry or underflow pending_events().
-  std::unordered_set<EventId> pending_ids_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+  std::size_t slot_count_ = 0;
+  std::vector<HeapKey> heap_keys_;
+  std::vector<HeapRef> heap_refs_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t free_head_ = kNoSlot;
+  Stats stats_;
+
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* max_depth_gauge_ = nullptr;
+  obs::Counter* scheduled_counter_ = nullptr;
+  obs::Counter* executed_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+  obs::Counter* inline_counter_ = nullptr;
+  obs::Counter* spilled_counter_ = nullptr;
 };
 
 }  // namespace roads::sim

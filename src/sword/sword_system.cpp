@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/unique_function.h"
+
 namespace roads::sword {
 
 namespace {
@@ -274,20 +276,26 @@ SwordQueryOutcome SwordSystem::run_query(const record::Query& query,
 
   // Chain the routing hops as events; arrivals at routing servers count
   // toward latency (they are servers the query contacts).
-  auto hop_fn = std::make_shared<std::function<void(std::size_t)>>();
-  *hop_fn = [this, run, path, hop_fn](std::size_t i) {
+  // The hop body holds itself weakly; the in-flight delivery closure
+  // owns the one strong reference (see the server timer idiom), so the
+  // chain frees itself once the walk ends or the message is lost.
+  auto hop_fn = std::make_shared<util::UniqueFunction<void(std::size_t)>>();
+  *hop_fn = [this, run, path,
+             weak = std::weak_ptr(hop_fn)](std::size_t i) {
     run->last_arrival = std::max(run->last_arrival, simulator_.now());
     if (i + 1 < path.size()) {
       ++run->servers_contacted;  // intermediate routing server
+      auto hop = weak.lock();
       network_.send(path[i], path[i + 1], msg_query_bytes(run->query),
                     sim::Channel::kQuery,
-                    [hop_fn, i] { (*hop_fn)(i + 1); });
+                    [hop = std::move(hop), i] { (*hop)(i + 1); });
     } else {
       deliver_to_segment(run, 0);
     }
   };
   network_.send(start, path.front(), msg_query_bytes(query),
-                sim::Channel::kQuery, [hop_fn] { (*hop_fn)(0); });
+                sim::Channel::kQuery,
+                [hop = std::move(hop_fn)] { (*hop)(0); });
 
   std::size_t guard = 0;
   while (!run->done && simulator_.run_steps(1) > 0) {

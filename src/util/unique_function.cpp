@@ -1,0 +1,80 @@
+#include "util/unique_function.h"
+
+namespace roads::util::spill {
+namespace {
+
+// Size classes cover the closure shapes the engine actually spills:
+// deferred query evaluation captures (shared_ptr + vectors) land in
+// the 64/128 classes; record-shipping closures reach 256/512. Larger
+// one-off captures fall through to operator new untracked by a class.
+constexpr std::size_t kClassSizes[] = {64, 128, 256, 512};
+constexpr int kClassCount = 4;
+// Per-class retention cap so a burst (e.g. a fig11 query storm) cannot
+// pin an unbounded free list for the rest of the thread's life.
+constexpr std::size_t kMaxCachedPerClass = 256;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct Pool {
+  FreeBlock* free_list[kClassCount] = {};
+  std::size_t cached[kClassCount] = {};
+  Stats stats;
+
+  ~Pool() {
+    for (int c = 0; c < kClassCount; ++c) {
+      while (free_list[c] != nullptr) {
+        FreeBlock* block = free_list[c];
+        free_list[c] = block->next;
+        ::operator delete(block);
+      }
+    }
+  }
+};
+
+thread_local Pool t_pool;
+
+int class_of(std::size_t bytes) {
+  for (int c = 0; c < kClassCount; ++c) {
+    if (bytes <= kClassSizes[c]) return c;
+  }
+  return -1;
+}
+
+}  // namespace
+
+void* acquire(std::size_t bytes) {
+  Pool& pool = t_pool;
+  ++pool.stats.live;
+  const int c = class_of(bytes);
+  if (c >= 0 && pool.free_list[c] != nullptr) {
+    FreeBlock* block = pool.free_list[c];
+    pool.free_list[c] = block->next;
+    --pool.cached[c];
+    ++pool.stats.pool_hits;
+    return block;
+  }
+  ++pool.stats.allocations;
+  return ::operator new(c >= 0 ? kClassSizes[c] : bytes);
+}
+
+void release(void* block, std::size_t bytes) {
+  Pool& pool = t_pool;
+  --pool.stats.live;
+  const int c = class_of(bytes);
+  if (c < 0 || pool.cached[c] >= kMaxCachedPerClass) {
+    ::operator delete(block);
+    return;
+  }
+  auto* free_block = static_cast<FreeBlock*>(block);
+  free_block->next = pool.free_list[c];
+  pool.free_list[c] = free_block;
+  ++pool.cached[c];
+}
+
+Stats stats() { return t_pool.stats; }
+
+void reset_stats() { t_pool.stats = Stats{}; }
+
+}  // namespace roads::util::spill

@@ -1,0 +1,167 @@
+// Move-only callable wrapper with a small-buffer optimization, built
+// for the event engine's hot path. Unlike std::function it never
+// copies the target, so closures can own move-only state
+// (UniqueFunction members, unique_ptrs) and moving one between queue
+// slots is a pointer steal (spilled) or a nothrow move (inline).
+//
+// Targets are stored inline when they fit in `InlineBytes`, are no
+// more aligned than std::max_align_t, and are nothrow-move-
+// constructible; everything else spills to a thread-local size-class
+// pool (see spill::acquire) so steady-state oversized captures recycle
+// blocks instead of hitting the global allocator per event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace roads::util {
+
+namespace spill {
+
+/// Per-thread pool statistics. `live` is signed: a block acquired on
+/// one thread and released on another decrements the releasing
+/// thread's count (the block migrates to that thread's free list).
+struct Stats {
+  std::uint64_t allocations = 0;  // blocks fetched from operator new
+  std::uint64_t pool_hits = 0;    // blocks recycled from the free list
+  std::int64_t live = 0;          // acquired minus released (this thread)
+};
+
+/// Returns a block of at least `bytes` aligned for max_align_t.
+void* acquire(std::size_t bytes);
+/// Returns `block` (from acquire with the same `bytes`) to the pool.
+void release(void* block, std::size_t bytes);
+
+Stats stats();
+void reset_stats();
+
+}  // namespace spill
+
+template <class Signature, std::size_t InlineBytes = 48>
+class UniqueFunction;
+
+template <class R, class... Args, std::size_t InlineBytes>
+class UniqueFunction<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      target_ = static_cast<void*>(buf_);
+    } else {
+      target_ = spill::acquire(sizeof(Fn));
+    }
+    ::new (target_) Fn(std::forward<F>(f));
+    invoke_ = &invoke_impl<Fn>;
+    manage_ = &manage_impl<Fn>;
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { steal(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// True when the target lives in the inline buffer (empty wrappers
+  /// report false; spilled targets report false).
+  bool is_inline() const noexcept {
+    return target_ == static_cast<const void*>(buf_);
+  }
+
+  R operator()(Args... args) {
+    return invoke_(target_, static_cast<Args&&>(args)...);
+  }
+
+ private:
+  enum class Op { kMoveTo, kDestroy };
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= InlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static R invoke_impl(void* target, Args&&... args) {
+    return (*static_cast<Fn*>(target))(static_cast<Args&&>(args)...);
+  }
+
+  template <class Fn>
+  static void manage_impl(Op op, UniqueFunction& self, UniqueFunction* dst) {
+    auto* fn = static_cast<Fn*>(self.target_);
+    switch (op) {
+      case Op::kMoveTo:
+        if constexpr (fits_inline<Fn>()) {
+          dst->target_ = static_cast<void*>(dst->buf_);
+          ::new (dst->target_) Fn(std::move(*fn));
+          fn->~Fn();
+        } else {
+          dst->target_ = self.target_;  // steal the spilled block
+        }
+        break;
+      case Op::kDestroy:
+        fn->~Fn();
+        if constexpr (!fits_inline<Fn>()) {
+          spill::release(self.target_, sizeof(Fn));
+        }
+        break;
+    }
+  }
+
+  void steal(UniqueFunction& other) noexcept {
+    if (!other.invoke_) return;
+    other.manage_(Op::kMoveTo, other, this);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.target_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (invoke_) {
+      manage_(Op::kDestroy, *this, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+      target_ = nullptr;
+    }
+  }
+
+  using Invoke = R (*)(void*, Args&&...);
+  using Manage = void (*)(Op, UniqueFunction&, UniqueFunction*);
+
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  void* target_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+};
+
+}  // namespace roads::util

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/experiment.h"
 #include "obs/export.h"
 #include "roads/federation.h"
 #include "sim/fault.h"
@@ -232,27 +233,83 @@ TEST(Chaos, CoordinatedInteriorCrashRestartRecovers) {
 // The determinism guarantee the whole harness rests on: the same seed
 // replays the same fault schedule decision for decision, which the
 // network's running event digest makes checkable bit-for-bit.
+std::uint64_t fault_replay_digest(std::uint64_t seed) {
+  Federation fed(chaos_params(seed));
+  fed.add_servers(12);
+  seed_identifiable(fed, 12);
+  fed.start();
+  fed.stabilize();
+  sim::FaultPlan plan;
+  plan.loss_rate = 0.1;
+  plan.duplicate_rate = 0.05;
+  plan.reorder_rate = 0.3;
+  plan.max_jitter = sim::ms(10);
+  const auto now = fed.simulator().now();
+  plan.crashes.push_back({3, now + sim::seconds(5), now + sim::seconds(25)});
+  fed.apply_fault_plan(plan);
+  fed.advance(sim::seconds(90));
+  return fed.network().event_digest();
+}
+
 TEST(Chaos, ReplayDigestIsBitIdentical) {
-  const auto run_once = [](std::uint64_t seed) {
-    Federation fed(chaos_params(seed));
-    fed.add_servers(12);
-    seed_identifiable(fed, 12);
-    fed.start();
-    fed.stabilize();
-    sim::FaultPlan plan;
-    plan.loss_rate = 0.1;
-    plan.duplicate_rate = 0.05;
-    plan.reorder_rate = 0.3;
-    plan.max_jitter = sim::ms(10);
-    const auto now = fed.simulator().now();
-    plan.crashes.push_back(
-        {3, now + sim::seconds(5), now + sim::seconds(25)});
-    fed.apply_fault_plan(plan);
-    fed.advance(sim::seconds(90));
-    return fed.network().event_digest();
-  };
-  EXPECT_EQ(run_once(42), run_once(42));
-  EXPECT_NE(run_once(42), run_once(43));
+  EXPECT_EQ(fault_replay_digest(42), fault_replay_digest(42));
+  EXPECT_NE(fault_replay_digest(42), fault_replay_digest(43));
+}
+
+// Digests recorded from the pre-slab event engine (PR 5 swapped the
+// simulator's priority queue and closure storage). A full federation
+// run — join, stabilize, faults, crash/restart, 90 simulated seconds —
+// must replay bit-identically on the slotted engine for all 16 seeds.
+// These constants pin the protocol-visible execution order end to end;
+// they only change if replay semantics change, never for a pure
+// performance change.
+TEST(Chaos, ReplayDigestsMatchPreSlabEngineGoldens) {
+  constexpr std::uint64_t kGoldens[16] = {
+      0xe5f31f052b32e72cull, 0xf013b34fbb93c45aull, 0x387577e53635e548ull,
+      0x0d186b3b4fabe062ull, 0x3c3d30a984ad31eaull, 0xa60f8860cd41640bull,
+      0x3e72995e1d8471dfull, 0xf73f14fb63a4e407ull, 0x4b79b0b89349cfd8ull,
+      0x4d65408605d4222dull, 0x4e6ea180b41339dfull, 0x47e088488639d693ull,
+      0x940a2e6e346f33beull, 0x2a74ab7910d77eeaull, 0xc8442dd92104ea4dull,
+      0xbb748389fb725c95ull};
+  for (std::uint64_t seed = 2000; seed < 2016; ++seed) {
+    EXPECT_EQ(fault_replay_digest(seed), kGoldens[seed - 2000])
+        << "federation replay diverged from the pre-slab engine at seed "
+        << seed;
+  }
+}
+
+// Same guarantee one level up: the experiment driver's headline metrics
+// (latency, traffic, matches, storage) recorded on the pre-slab engine,
+// compared exactly — doubles included — because the event order feeding
+// them is deterministic.
+TEST(Chaos, ExperimentMetricsMatchPreSlabEngineGoldens) {
+  exp::ExpConfig cfg;
+  cfg.nodes = 24;
+  cfg.records_per_node = 40;
+  cfg.attributes = 4;
+  cfg.query_dimensions = 2;
+  cfg.queries = 25;
+  cfg.runs = 1;
+  cfg.max_children = 3;
+  cfg.histogram_buckets = 64;
+
+  const auto m5 = exp::run_roads_once(cfg, 5);
+  EXPECT_DOUBLE_EQ(m5.latency_avg_ms, 625.96352000000002);
+  EXPECT_DOUBLE_EQ(m5.latency_p90_ms, 723.39300000000003);
+  EXPECT_DOUBLE_EQ(m5.query_bytes_avg, 1367.8000000000002);
+  EXPECT_DOUBLE_EQ(m5.update_bytes_per_round, 83360.0);
+  EXPECT_DOUBLE_EQ(m5.matches_avg, 54.280000000000001);
+  EXPECT_DOUBLE_EQ(m5.queries_completed, 25.0);
+  EXPECT_DOUBLE_EQ(m5.max_storage_bytes, 14352.0);
+
+  const auto m6 = exp::run_roads_once(cfg, 6);
+  EXPECT_DOUBLE_EQ(m6.latency_avg_ms, 564.94468000000006);
+  EXPECT_DOUBLE_EQ(m6.latency_p90_ms, 667.06500000000005);
+  EXPECT_DOUBLE_EQ(m6.query_bytes_avg, 1514.9999999999998);
+  EXPECT_DOUBLE_EQ(m6.update_bytes_per_round, 83360.0);
+  EXPECT_DOUBLE_EQ(m6.matches_avg, 65.439999999999998);
+  EXPECT_DOUBLE_EQ(m6.queries_completed, 25.0);
+  EXPECT_DOUBLE_EQ(m6.max_storage_bytes, 14352.0);
 }
 
 // Negative test: the checker must actually reject a broken federation.

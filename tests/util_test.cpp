@@ -4,11 +4,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
 #include "util/flags.h"
 #include "util/log.h"
+#include "util/unique_function.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -399,6 +401,135 @@ TEST(Log, ClockPrefixIsOptional) {
             "[INFO  t=1.500s] tick");
   set_log_clock(nullptr);
   EXPECT_EQ(format_log_line(LogLevel::kWarn, "msg"), "[WARN ] msg");
+}
+
+// --- UniqueFunction ---
+
+// Counts constructions/destructions so the tests can prove the wrapper
+// never duplicates or leaks its target across moves and spills.
+struct LifeCounter {
+  static int alive;
+  static int moves;
+  LifeCounter() { ++alive; }
+  LifeCounter(const LifeCounter&) { ++alive; }
+  LifeCounter(LifeCounter&&) noexcept {
+    ++alive;
+    ++moves;
+  }
+  ~LifeCounter() { --alive; }
+};
+int LifeCounter::alive = 0;
+int LifeCounter::moves = 0;
+
+TEST(UniqueFunction, SmallTargetStaysInline) {
+  int hits = 0;
+  UniqueFunction<void()> fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, OversizedTargetSpillsToPool) {
+  spill::reset_stats();
+  struct Big {
+    char payload[UniqueFunction<void()>::kInlineBytes + 1] = {};
+  };
+  {
+    Big big;
+    big.payload[7] = 3;
+    char seen = 0;
+    UniqueFunction<void()> fn([big, &seen] { seen = big.payload[7]; });
+    EXPECT_FALSE(fn.is_inline());
+    EXPECT_EQ(spill::stats().live, 1);
+    fn();
+    EXPECT_EQ(seen, 3);
+  }
+  EXPECT_EQ(spill::stats().live, 0);
+}
+
+TEST(UniqueFunction, SpillPoolRecyclesBlocks) {
+  spill::reset_stats();
+  struct Big {
+    char payload[200] = {};
+  };
+  for (int i = 0; i < 10; ++i) {
+    UniqueFunction<void()> fn([big = Big{}] { (void)big; });
+    EXPECT_FALSE(fn.is_inline());
+    fn();
+  }
+  const auto stats = spill::stats();
+  EXPECT_EQ(stats.live, 0);
+  // First iteration allocates; the other nine reuse the same block.
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.pool_hits, 9u);
+}
+
+TEST(UniqueFunction, MoveTransfersInlineTarget) {
+  LifeCounter::alive = 0;
+  LifeCounter::moves = 0;
+  {
+    UniqueFunction<void()> a([c = LifeCounter{}] { (void)c; });
+    EXPECT_TRUE(a.is_inline());
+    const int moves_before = LifeCounter::moves;
+    UniqueFunction<void()> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    // The inline target is move-constructed into b, never copied.
+    EXPECT_EQ(LifeCounter::moves, moves_before + 1);
+    EXPECT_EQ(LifeCounter::alive, 1);
+    b();
+  }
+  EXPECT_EQ(LifeCounter::alive, 0);
+}
+
+TEST(UniqueFunction, MoveStealsSpilledBlockWithoutTouchingTarget) {
+  LifeCounter::alive = 0;
+  LifeCounter::moves = 0;
+  struct Payload {
+    LifeCounter counter;
+    char pad[UniqueFunction<void()>::kInlineBytes] = {};
+  };
+  {
+    UniqueFunction<void()> a([p = Payload{}] { (void)p; });
+    EXPECT_FALSE(a.is_inline());
+    const int moves_before = LifeCounter::moves;
+    UniqueFunction<void()> b(std::move(a));
+    // Spilled moves are a pointer steal: the payload is not touched.
+    EXPECT_EQ(LifeCounter::moves, moves_before);
+    EXPECT_EQ(LifeCounter::alive, 1);
+    b();
+  }
+  EXPECT_EQ(LifeCounter::alive, 0);
+}
+
+TEST(UniqueFunction, MoveAssignDestroysPreviousTarget) {
+  LifeCounter::alive = 0;
+  UniqueFunction<void()> fn([c = LifeCounter{}] { (void)c; });
+  EXPECT_EQ(LifeCounter::alive, 1);
+  fn = [] {};  // implicit conversion + move-assign
+  EXPECT_EQ(LifeCounter::alive, 0);
+  fn();
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCaptures) {
+  auto owned = std::make_unique<int>(17);
+  UniqueFunction<int()> fn([p = std::move(owned)] { return *p; });
+  UniqueFunction<int()> moved(std::move(fn));
+  EXPECT_EQ(moved(), 17);
+}
+
+TEST(UniqueFunction, PassesArgumentsAndReturnsValues) {
+  UniqueFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+  UniqueFunction<void(std::unique_ptr<int>&&)> sink;
+  int seen = 0;
+  sink = [&seen](std::unique_ptr<int>&& p) { seen = *p; };
+  sink(std::make_unique<int>(9));
+  EXPECT_EQ(seen, 9);
 }
 
 }  // namespace
