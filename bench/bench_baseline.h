@@ -127,13 +127,39 @@ inline RegressionCheck compare_reports(const ReportData& current,
     return check;
   }
 
+  // Keys on only one side are schema drift, not regressions: report
+  // them once as added/removed and keep comparing the overlap.
+  for (const auto& header : current.headers) {
+    if (std::find(baseline.headers.begin(), baseline.headers.end(), header) ==
+        baseline.headers.end()) {
+      check.notes.push_back("column '" + header +
+                            "' added since baseline; skipped");
+    }
+  }
+  for (const auto& header : baseline.headers) {
+    if (std::find(current.headers.begin(), current.headers.end(), header) ==
+        current.headers.end()) {
+      check.notes.push_back("column '" + header +
+                            "' removed since baseline; skipped");
+    }
+  }
+
   std::map<std::string, const std::vector<double>*> base_rows;
   for (const auto& [label, cells] : baseline.rows) base_rows[label] = &cells;
+  std::map<std::string, bool> current_labels;
+  for (const auto& [label, cells] : current.rows) current_labels[label] = true;
+  for (const auto& [label, cells] : baseline.rows) {
+    if (!current_labels.count(label)) {
+      check.notes.push_back("row '" + label +
+                            "' removed since baseline; skipped");
+    }
+  }
 
   for (const auto& [label, cells] : current.rows) {
     const auto it = base_rows.find(label);
     if (it == base_rows.end()) {
-      check.notes.push_back("row '" + label + "' absent from baseline");
+      check.notes.push_back("row '" + label +
+                            "' added since baseline; skipped");
       continue;
     }
     const auto& base_cells = *it->second;

@@ -23,6 +23,11 @@
 //                       >threshold regressions on latency/byte columns
 //                       make the bench exit non-zero (CI gate)
 //   --regress-threshold=F  relative regression tolerance (default 0.10)
+//   --timeline-out=PATH  write the seed run's telemetry timeline as
+//                       PATH.csv + PATH.jsonl (per-window rates,
+//                       latency quantiles, staleness/divergence probes)
+//   --probe-interval=S  timeline sampling interval in seconds of sim
+//                       time (0 = one window per summary period)
 #pragma once
 
 #include <cstdio>
@@ -85,6 +90,9 @@ inline BenchProfile parse_profile(int argc, char** argv) {
   // ExpConfig::trace_out); the flags just thread the paths through.
   profile.base.trace_out = flags.get_string("trace-out", "");
   profile.base.metrics_out = flags.get_string("metrics-out", "");
+  profile.base.timeline_out = flags.get_string("timeline-out", "");
+  profile.base.probe_interval =
+      sim::seconds(flags.get_int("probe-interval", 0));
   profile.base.trace_capacity = static_cast<std::size_t>(
       flags.get_int("trace-capacity",
                     static_cast<std::int64_t>(profile.base.trace_capacity)));

@@ -21,6 +21,7 @@
 
 #include "bench_common.h"
 #include "central/central_repository.h"
+#include "exp/telemetry.h"
 #include "obs/span_tree.h"
 #include "roads/federation.h"
 #include "util/stats.h"
@@ -88,6 +89,16 @@ int main(int argc, char** argv) {
   }
   fed.start();
   fed.stabilize();
+  // Telemetry over the query phase: a 5 s window (unless overridden)
+  // resolves the per-selectivity-group load swings, and the staleness
+  // series shows soft state ageing while refresh is paused below.
+  exp::TelemetryOptions topts;
+  topts.timeline.window = profile.base.probe_interval > 0
+                              ? profile.base.probe_interval
+                              : sim::seconds(5);
+  topts.audit_seed = profile.base.seed ^ 0x0b5e;
+  const auto timeline = exp::attach_timeline(fed, topts);
+  timeline->start(fed.simulator());
   fed.set_refresh_paused(true);
 
   // --- Central repository with the same records ---
@@ -207,6 +218,23 @@ int main(int argc, char** argv) {
     if (os) {
       obs::write_prometheus(fed.network().metrics(), os);
       std::cerr << "wrote " << profile.base.metrics_out << "\n";
+    }
+  }
+  const std::string tl_prefix = profile.base.timeline_out.empty()
+                                    ? "TIMELINE_fig11_response_time"
+                                    : profile.base.timeline_out;
+  {
+    std::ofstream os(tl_prefix + ".csv");
+    if (os) {
+      timeline->write_csv(os);
+      std::cerr << "wrote " << tl_prefix << ".csv\n";
+    }
+  }
+  {
+    std::ofstream os(tl_prefix + ".jsonl");
+    if (os) {
+      timeline->write_jsonl(os);
+      std::cerr << "wrote " << tl_prefix << ".jsonl\n";
     }
   }
 

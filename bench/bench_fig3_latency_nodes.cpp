@@ -3,6 +3,12 @@
 // with a visible jump when the depth increases, e.g. at 640 nodes) and
 // stays 40-60% below SWORD, which grows linearly because the query
 // sequentially traverses a ring segment proportional to system size.
+//
+// Each sweep point also runs the telemetry timeline (one window per
+// summary period unless --probe-interval overrides) and writes the
+// seed run's per-window series to TIMELINE_fig3_latency_nodes_n<N>.*;
+// the conv_s column is the averaged warm-up cutoff the convergence
+// detector measured (-1 = never converged within the run).
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -12,12 +18,16 @@ int main(int argc, char** argv) {
       "Figure 3 — query latency vs number of nodes (ROADS vs SWORD)",
       profile);
 
+  const std::string timeline_prefix = profile.base.timeline_out.empty()
+                                          ? "TIMELINE_fig3_latency_nodes"
+                                          : profile.base.timeline_out;
   util::Table table({"nodes", "roads_ms", "roads_p90", "sword_ms",
                      "sword_p90", "sword/roads", "roads_height",
-                     "roads_done%"});
+                     "roads_done%", "conv_s"});
   for (const auto n : bench::node_sweep(profile.full)) {
     auto cfg = profile.base;
     cfg.nodes = n;
+    cfg.timeline_out = timeline_prefix + "_n" + std::to_string(n);
     const auto roads = exp::average_runs(cfg, exp::run_roads_once);
     const auto sword = exp::average_runs(cfg, exp::run_sword_once);
     // Completed-query fraction: 100% without faults; under --fault-*
@@ -33,7 +43,8 @@ int main(int argc, char** argv) {
                                         std::max(roads.latency_avg_ms, 1.0),
                                     2),
                    util::Table::num(roads.hierarchy_height, 0),
-                   util::Table::num(done_pct, 1)});
+                   util::Table::num(done_pct, 1),
+                   util::Table::num(roads.converged_at_s, 0)});
   }
   table.print(std::cout);
   const int rc = bench::finish_report("fig3_latency_nodes", profile, table);

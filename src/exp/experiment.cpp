@@ -7,7 +7,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "exp/telemetry.h"
 #include "obs/export.h"
+#include "obs/timeline.h"
 #include "record/schema.h"
 #include "roads/federation.h"
 #include "testing/invariants.h"
@@ -48,7 +50,8 @@ workload::RecordGenerator generator_for(const ExpConfig& config,
 /// window is open, so single-root is only demanded for fault-free
 /// plans.
 void verify_run_invariants(core::Federation& fed, const ExpConfig& config,
-                           const char* stage, std::uint64_t run_seed) {
+                           const char* stage, std::uint64_t run_seed,
+                           const obs::Timeline* timeline) {
   testing::InvariantOptions opts;
   opts.summary_soundness = false;
   opts.expect_single_root = config.fault_plan.empty();
@@ -64,7 +67,7 @@ void verify_run_invariants(core::Federation& fed, const ExpConfig& config,
           "FLIGHT_invariants_seed" + std::to_string(run_seed) + ".json";
       std::ofstream os(path);
       if (os) {
-        obs::write_flight_record(*trace, os, msg, run_seed);
+        obs::write_flight_record(*trace, os, msg, run_seed, timeline);
         msg += " [flight record: " + path + "]";
       }
     }
@@ -76,7 +79,8 @@ void verify_run_invariants(core::Federation& fed, const ExpConfig& config,
 /// config.seed): the causal trace as a Perfetto-loadable Chrome trace
 /// and the instrument registry as Prometheus text.
 void write_run_observability(core::Federation& fed, const ExpConfig& config,
-                             std::uint64_t run_seed) {
+                             std::uint64_t run_seed,
+                             const obs::Timeline* timeline) {
   if (run_seed != config.seed) return;
   if (!config.trace_out.empty() && fed.trace() != nullptr) {
     std::ofstream os(config.trace_out);
@@ -94,6 +98,24 @@ void write_run_observability(core::Federation& fed, const ExpConfig& config,
       std::cerr << "wrote " << config.metrics_out << "\n";
     } else {
       std::cerr << "warning: cannot write " << config.metrics_out << "\n";
+    }
+  }
+  if (!config.timeline_out.empty() && timeline != nullptr) {
+    const std::string csv_path = config.timeline_out + ".csv";
+    std::ofstream csv(csv_path);
+    if (csv) {
+      timeline->write_csv(csv);
+      std::cerr << "wrote " << csv_path << "\n";
+    } else {
+      std::cerr << "warning: cannot write " << csv_path << "\n";
+    }
+    const std::string jsonl_path = config.timeline_out + ".jsonl";
+    std::ofstream jsonl(jsonl_path);
+    if (jsonl) {
+      timeline->write_jsonl(jsonl);
+      std::cerr << "wrote " << jsonl_path << "\n";
+    } else {
+      std::cerr << "warning: cannot write " << jsonl_path << "\n";
     }
   }
 }
@@ -145,6 +167,21 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   }
 
   fed.start();
+  // Telemetry sampler: attached after formation (add_server drains the
+  // event queue between joins; a live sampler would keep those drains
+  // spinning) and before stabilization, so the timeline captures the
+  // formation-to-steady-state convergence the detector cuts off.
+  std::unique_ptr<obs::Timeline> timeline;
+  if (config.probe_interval > 0 || !config.timeline_out.empty()) {
+    TelemetryOptions topts;
+    topts.timeline.window = config.probe_interval > 0 ? config.probe_interval
+                                                      : config.summary_period;
+    topts.audit_query_dimensions = config.query_dimensions;
+    topts.audit_range_length = config.query_range_length;
+    topts.audit_seed = run_seed ^ 0x0b5e;
+    timeline = attach_timeline(fed, topts);
+    timeline->start(fed.simulator());
+  }
   fed.stabilize();
   // Faults start after clean formation: the paper's resilience story is
   // a formed hierarchy under churn/loss, not formation under fire.
@@ -152,7 +189,8 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
     fed.apply_fault_plan(config.fault_plan);
   }
   if (config.verify_invariants) {
-    verify_run_invariants(fed, config, "after stabilize", run_seed);
+    verify_run_invariants(fed, config, "after stabilize", run_seed,
+                          timeline.get());
   }
 
   RunMetrics metrics;
@@ -226,10 +264,29 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
         static_cast<double>(touched_root) / static_cast<double>(completed);
   }
   metrics.instruments = fed.network().metrics().snapshot();
-  if (config.verify_invariants) {
-    verify_run_invariants(fed, config, "after query batch", run_seed);
+  if (timeline) {
+    const auto first = timeline->first_converged_at();
+    metrics.converged_at_s = first ? sim::to_seconds(*first) : -1.0;
+    // Time-to-recover: for every scheduled disruption, sim time from
+    // the disruption's start to the first (re-)convergence at or after
+    // it; the run reports the worst one. A disruption that never
+    // re-converged reports -1.
+    for (const auto start : config.fault_plan.disruption_starts()) {
+      const auto recovered = timeline->converged_after(start);
+      if (!recovered) {
+        metrics.time_to_recover_s = -1.0;
+        break;
+      }
+      metrics.time_to_recover_s =
+          std::max(metrics.time_to_recover_s,
+                   sim::to_seconds(*recovered - start));
+    }
   }
-  write_run_observability(fed, config, run_seed);
+  if (config.verify_invariants) {
+    verify_run_invariants(fed, config, "after query batch", run_seed,
+                          timeline.get());
+  }
+  write_run_observability(fed, config, run_seed, timeline.get());
   return metrics;
 }
 
@@ -328,6 +385,8 @@ RunMetrics average_runs(
     sum.hierarchy_height += m.hierarchy_height;
     sum.maintenance_msgs_per_round += m.maintenance_msgs_per_round;
     sum.root_contact_fraction += m.root_contact_fraction;
+    sum.converged_at_s += m.converged_at_s;
+    sum.time_to_recover_s += m.time_to_recover_s;
   }
   const auto d = static_cast<double>(runs);
   sum.latency_avg_ms /= d;
@@ -342,6 +401,8 @@ RunMetrics average_runs(
   sum.hierarchy_height /= d;
   sum.maintenance_msgs_per_round /= d;
   sum.root_contact_fraction /= d;
+  sum.converged_at_s /= d;
+  sum.time_to_recover_s /= d;
   sum.instruments = util::MetricSet::average(instruments);
   return sum;
 }

@@ -95,6 +95,16 @@ struct ExpConfig {
   /// When set, the same repetition writes its instrument registry here
   /// in Prometheus text exposition.
   std::string metrics_out;
+  /// Timeline telemetry sampling interval. 0 disables the Timeline
+  /// unless timeline_out is set, in which case the summary period is
+  /// used. The sampler tick is read-only (no messages, no federation
+  /// RNG draws), so enabling it changes only event-queue scheduling.
+  sim::Time probe_interval = 0;
+  /// When set, the repetition with run_seed == seed writes its timeline
+  /// as <timeline_out>.csv (scalar series per window) and
+  /// <timeline_out>.jsonl (one window per line, per-node series
+  /// included).
+  std::string timeline_out;
 };
 
 /// The §V metrics from one run of one system.
@@ -119,6 +129,13 @@ struct RunMetrics {
   /// ROADS only: fraction of queries whose resolution touched the root
   /// — the bottleneck measure the replication overlay exists to fix.
   double root_contact_fraction = 0.0;
+  /// Timeline-derived (both 0 when the Timeline is off, see
+  /// ExpConfig::probe_interval): sim-time of first convergence — the
+  /// warm-up cutoff — and the largest measured time-to-recover across
+  /// the fault plan's disruption windows. -1 means the detector never
+  /// (re-)converged before the run ended.
+  double converged_at_s = 0.0;
+  double time_to_recover_s = 0.0;
   /// Snapshot of the run's instrument registry (net.* channel meters,
   /// roads.* protocol counters, overlay/central latency histograms),
   /// averaged element-wise across repetitions.

@@ -26,6 +26,12 @@ void ChildTable::update_heartbeat(NodeId child, sim::Time now) {
   it->second.last_heartbeat = now;
 }
 
+void ChildTable::update_summary(NodeId child, sim::Time now) {
+  auto it = entries_.find(child);
+  if (it == entries_.end()) return;
+  it->second.last_summary = now;
+}
+
 void ChildTable::touch_all(sim::Time now) {
   for (auto& [_, entry] : entries_) entry.last_heartbeat = now;
 }
@@ -56,6 +62,15 @@ std::vector<NodeId> ChildTable::expired(sim::Time deadline) const {
   std::vector<NodeId> out;
   for (const auto& [id, e] : entries_) {
     if (e.last_heartbeat < deadline) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<sim::Time> ChildTable::summary_ages(sim::Time now) const {
+  std::vector<sim::Time> out;
+  for (const auto& [_, e] : entries_) {
+    if (e.last_summary == 0) continue;  // never sent one yet
+    out.push_back(now >= e.last_summary ? now - e.last_summary : 0);
   }
   return out;
 }

@@ -23,6 +23,10 @@ class ChildTable {
     NodeId id = 0;
     BranchStats stats;
     sim::Time last_heartbeat = 0;
+    /// When this child's branch summary was last refreshed (0 = never);
+    /// heartbeats renew liveness without refreshing summary content, so
+    /// the two stamps age independently.
+    sim::Time last_summary = 0;
   };
 
   std::size_t size() const { return entries_.size(); }
@@ -40,6 +44,8 @@ class ChildTable {
   void update_stats(NodeId child, const BranchStats& stats);
   /// Records a heartbeat arrival.
   void update_heartbeat(NodeId child, sim::Time now);
+  /// Records a branch-summary refresh from the child.
+  void update_summary(NodeId child, sim::Time now);
   /// Resets every child's heartbeat clock (when failure detection
   /// starts, so children added earlier are not instantly expired).
   void touch_all(sim::Time now);
@@ -50,6 +56,11 @@ class ChildTable {
 
   /// Children whose last heartbeat is older than `deadline`.
   std::vector<NodeId> expired(sim::Time deadline) const;
+
+  /// Staleness ages (now - last_summary) of children that have sent a
+  /// summary at least once, in child-id order — the child-summary
+  /// staleness probe's raw series.
+  std::vector<sim::Time> summary_ages(sim::Time now) const;
 
   /// This node's own branch stats given its children.
   BranchStats aggregate() const;

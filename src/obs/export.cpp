@@ -7,6 +7,8 @@
 #include <set>
 #include <vector>
 
+#include "obs/timeline.h"
+
 namespace roads::obs {
 
 std::string json_escape(const std::string& s) {
@@ -172,19 +174,32 @@ void write_chrome_trace(const TraceBuffer& trace, std::ostream& os) {
 }
 
 void write_flight_record(const TraceBuffer& trace, std::ostream& os,
-                         const std::string& reason, std::uint64_t seed) {
+                         const std::string& reason, std::uint64_t seed,
+                         const Timeline* timeline,
+                         std::size_t timeline_windows) {
   const auto events = trace.events();
   emit_chrome_events(SpanTree::build(events), os);
   os << ",\n\"reason\":\"" << json_escape(reason) << "\",\"seed\":" << seed
      << ",\"buffered_events\":" << events.size()
-     << ",\"evicted_events\":" << trace.dropped() << "}\n";
+     << ",\"evicted_events\":" << trace.dropped();
+  if (timeline != nullptr) {
+    os << ",\n\"timeline_windows\":";
+    timeline->write_json_windows(os, timeline_windows);
+  }
+  os << "}\n";
 }
 
 std::string prometheus_name(const std::string& prefix,
                             const std::string& name) {
   std::string out = prefix.empty() ? "" : prefix + "_";
   for (const char c : name) {
-    out += (c == '.' || c == '-' || c == ' ') ? '_' : c;
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  // Prometheus names must not start with a digit ([a-zA-Z_:] first).
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
   }
   return out;
 }

@@ -41,17 +41,26 @@ void write_trace_jsonl(const TraceBuffer& trace, std::ostream& os);
 void write_chrome_trace(const SpanTree& tree, std::ostream& os);
 void write_chrome_trace(const TraceBuffer& trace, std::ostream& os);
 
+class Timeline;
+
 /// Flight-recorder dump for a failing run: the last-N buffered events
 /// as a Chrome trace (extra top-level keys are ignored by viewers)
 /// plus the failure reason, the seed to replay it with, and how much
-/// history the bounded buffer had already evicted.
+/// history the bounded buffer had already evicted. When a Timeline is
+/// attached, its last `timeline_windows` windows ride along under a
+/// "timeline_windows" key, so the dump shows how staleness/divergence
+/// evolved right before the failure.
 void write_flight_record(const TraceBuffer& trace, std::ostream& os,
-                         const std::string& reason, std::uint64_t seed);
+                         const std::string& reason, std::uint64_t seed,
+                         const Timeline* timeline = nullptr,
+                         std::size_t timeline_windows = 64);
 
-/// Prometheus text exposition (type comments + samples). Metric names
-/// are sanitized ('.' and '-' become '_') and prefixed, e.g.
-/// "net.query.bytes" -> "roads_net_query_bytes". Histograms emit
-/// cumulative _bucket{le="..."} series plus _sum and _count.
+/// Prometheus text exposition (a # TYPE comment per metric family +
+/// samples). Metric names are sanitized to the Prometheus charset
+/// (anything outside [a-zA-Z0-9_:] becomes '_', a leading digit gets a
+/// '_' prefix) and prefixed, e.g. "net.query.bytes" ->
+/// "roads_net_query_bytes". Histograms emit cumulative
+/// _bucket{le="..."} series plus _sum and _count.
 void write_prometheus(const MetricsRegistry& registry, std::ostream& os,
                       const std::string& prefix = "roads");
 

@@ -48,6 +48,9 @@ double Histogram::max() const {
 
 double Histogram::quantile(double q) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // An empty histogram has no sample set to interpolate over; define
+  // every quantile as 0 so snapshot/export paths never read into one.
+  if (samples_.count() == 0) return 0.0;
   return samples_.percentile(q * 100.0);
 }
 

@@ -1,0 +1,49 @@
+#include "obs/probes.h"
+
+#include <algorithm>
+
+namespace roads::obs {
+
+double gini(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    total += sorted[i];
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  // G = (2 * sum(i * x_i) - (n + 1) * sum(x)) / (n * sum(x)), with
+  // x ascending and i 1-based — the standard rank formula.
+  return (2.0 * weighted - (n + 1.0) * total) / (n * total);
+}
+
+double max_over_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  double max = 0.0;
+  for (const double v : values) {
+    total += v;
+    max = std::max(max, v);
+  }
+  if (total <= 0.0) return 0.0;
+  return max / (total / static_cast<double>(values.size()));
+}
+
+StalenessStats summarize_ages(const std::vector<sim::Time>& ages) {
+  StalenessStats out;
+  out.count = ages.size();
+  if (ages.empty()) return out;
+  double sum_s = 0.0;
+  for (const auto age : ages) {
+    out.max_age = std::max(out.max_age, age);
+    sum_s += sim::to_seconds(age);
+  }
+  out.mean_age_s = sum_s / static_cast<double>(ages.size());
+  return out;
+}
+
+}  // namespace roads::obs

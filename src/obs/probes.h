@@ -1,0 +1,65 @@
+// Health-probe arithmetic for the Timeline: pure functions over
+// sampled protocol state. The obs layer cannot see federation types
+// (it sits below them), so the probes here are value-level — staleness
+// summaries over age vectors, load-imbalance statistics over per-node
+// counts, divergence tallies over query audits — and the layer that
+// owns the protocol objects (exp::attach_timeline) wires them into
+// Timeline probe callbacks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace roads::obs {
+
+/// Gini coefficient of a non-negative load vector: 0 = perfectly even,
+/// -> 1 = one node carries everything. 0 for empty input or zero total
+/// (no load is "even"). The per-node query-load imbalance probe.
+double gini(const std::vector<double>& values);
+
+/// max / mean of a non-negative load vector; 0 when empty or all-zero.
+/// 1.0 = perfectly balanced; N = one of N nodes carries everything.
+double max_over_mean(const std::vector<double>& values);
+
+/// Staleness summary over soft-state ages (replicas, child summaries).
+struct StalenessStats {
+  std::size_t count = 0;
+  sim::Time max_age = 0;
+  double mean_age_s = 0.0;
+
+  double max_age_s() const { return sim::to_seconds(max_age); }
+};
+StalenessStats summarize_ages(const std::vector<sim::Time>& ages);
+
+/// Tally of a sampled ground-truth divergence audit: each (server,
+/// query) pair compares what the server's summary claims against what
+/// its records actually hold. False positives (summary matches, no
+/// record does) measure summary looseness; false negatives (records
+/// match, summary says no) measure unsound/stale summaries — the
+/// signal that spikes while a partition starves refresh waves.
+struct DivergenceTally {
+  std::uint64_t pairs = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+
+  void add(bool summary_claims, bool records_match) {
+    ++pairs;
+    if (summary_claims && !records_match) ++false_positives;
+    if (!summary_claims && records_match) ++false_negatives;
+  }
+  double fp_rate() const {
+    return pairs ? static_cast<double>(false_positives) /
+                       static_cast<double>(pairs)
+                 : 0.0;
+  }
+  double fn_rate() const {
+    return pairs ? static_cast<double>(false_negatives) /
+                       static_cast<double>(pairs)
+                 : 0.0;
+  }
+};
+
+}  // namespace roads::obs

@@ -1,5 +1,6 @@
 #include "overlay/replica_store.h"
 
+#include <algorithm>
 #include <optional>
 
 namespace roads::overlay {
@@ -53,6 +54,23 @@ std::vector<const Replica*> ReplicaStore::all() const {
   out.reserve(replicas_.size());
   for (const auto& [_, r] : replicas_) out.push_back(&r);
   return out;
+}
+
+std::vector<sim::Time> ReplicaStore::ages(sim::Time now) const {
+  std::vector<sim::Time> out;
+  out.reserve(replicas_.size());
+  for (const auto& [_, r] : replicas_) {
+    out.push_back(now >= r.received_at ? now - r.received_at : 0);
+  }
+  return out;
+}
+
+sim::Time ReplicaStore::max_age(sim::Time now) const {
+  sim::Time max = 0;
+  for (const auto& [_, r] : replicas_) {
+    if (now >= r.received_at) max = std::max(max, now - r.received_at);
+  }
+  return max;
 }
 
 std::vector<const Replica*> ReplicaStore::matching(

@@ -59,6 +59,15 @@ class ReplicaStore {
   /// All live replicas in deterministic (origin, kind) order.
   std::vector<const Replica*> all() const;
 
+  /// Staleness ages (now - received_at) of every held replica, in
+  /// deterministic (origin, kind) order — the raw series behind the
+  /// Timeline's replica-staleness probe. Ages approach ttl() only when
+  /// refresh waves stop reaching this server (partition, crashed
+  /// origin); the sweep removes anything that crosses it.
+  std::vector<sim::Time> ages(sim::Time now) const;
+  /// Largest staleness age; 0 when no replicas are held.
+  sim::Time max_age(sim::Time now) const;
+
   /// Live replicas whose summary matches the query, restricted to
   /// `kind`. The workhorse of query shortcutting.
   std::vector<const Replica*> matching(const record::Query& query,

@@ -147,6 +147,13 @@ class Federation : public Directory {
   /// servers; owner nodes are not part of the hierarchy.
   hierarchy::Topology topology() const;
 
+  /// Per-server query visit counts (index == NodeId), accumulated
+  /// across every run_query — the raw series behind the Timeline's
+  /// query-load imbalance probe (max/mean + Gini).
+  const std::vector<std::uint64_t>& query_visits() const {
+    return query_visits_;
+  }
+
   sim::Simulator& simulator() { return simulator_; }
   sim::Network& network() { return network_; }
   /// Shared instrument registry: network channel meters plus every
@@ -179,6 +186,7 @@ class Federation : public Directory {
   sim::Network network_;
 
   std::vector<std::unique_ptr<RoadsServer>> servers_;  // index == NodeId
+  std::vector<std::uint64_t> query_visits_;            // index == NodeId
   std::vector<std::unique_ptr<OwnerAgent>> owner_agents_;
   std::vector<QueryTarget*> targets_;  // index == NodeId
   std::optional<sim::NodeId> root_;

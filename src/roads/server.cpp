@@ -384,6 +384,7 @@ void RoadsServer::handle_child_summary(sim::NodeId child,
   if (!children_.has(child)) return;  // stale update from a removed child
   children_.update_stats(child, stats);
   children_.update_heartbeat(child, network_.simulator().now());
+  children_.update_summary(child, network_.simulator().now());
   child_summaries_[child] = branch;
   forward_child_summary_to_siblings(child, branch, keepalive);
   push_stats_up();

@@ -1,5 +1,6 @@
 #include "sim/fault.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace roads::sim {
@@ -67,6 +68,15 @@ std::string FaultPlan::describe() const {
   }
   out << '}';
   return out.str();
+}
+
+std::vector<Time> FaultPlan::disruption_starts() const {
+  std::vector<Time> out;
+  for (const auto& p : partitions) out.push_back(p.start);
+  for (const auto& c : crashes) out.push_back(c.crash_at);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace roads::sim

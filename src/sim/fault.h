@@ -75,6 +75,11 @@ struct FaultPlan {
   bool empty() const;
   /// Human-readable one-line summary for failure messages.
   std::string describe() const;
+  /// Start times of every scheduled disruption (partition starts and
+  /// crash times), ascending and deduplicated. The convergence
+  /// detector measures time-to-recover per entry: first convergence at
+  /// or after the start, minus the start.
+  std::vector<Time> disruption_starts() const;
 };
 
 }  // namespace roads::sim

@@ -38,7 +38,14 @@ void Simulator::note_depth() {
       max_depth_gauge_->set(static_cast<double>(live_));
     }
   }
+  if (live_ > window_max_depth_) window_max_depth_ = live_;
   if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(live_));
+}
+
+std::size_t Simulator::take_window_max_depth() {
+  const std::size_t high = window_max_depth_;
+  window_max_depth_ = live_;
+  return high;
 }
 
 // Hole-based sifts: the displaced element is kept in registers while

@@ -90,6 +90,12 @@ class Simulator {
 
   const Stats& stats() const { return stats_; }
 
+  /// Per-window queue-depth watermark: the high-water pending_events()
+  /// since the last call, reset to the current depth on read. Unlike
+  /// Stats::max_depth (a whole-run high-water mark), a periodic reader
+  /// (obs::Timeline) gets one watermark per sampling window.
+  std::size_t take_window_max_depth();
+
   /// Publishes sim.queue.{depth,max_depth} gauges and
   /// sim.queue.{scheduled,executed,cancelled,inline,spilled} counters
   /// into `registry`. Unbound simulators pay one branch per event.
@@ -141,6 +147,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  std::size_t window_max_depth_ = 0;
   std::size_t slot_count_ = 0;
   std::vector<HeapKey> heap_keys_;
   std::vector<HeapRef> heap_refs_;

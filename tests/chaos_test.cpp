@@ -10,6 +10,8 @@
 // Fault schedules replay bit-identically per seed (see ReplayDigest).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -18,7 +20,9 @@
 #include <vector>
 
 #include "exp/experiment.h"
+#include "exp/telemetry.h"
 #include "obs/export.h"
+#include "obs/timeline.h"
 #include "roads/federation.h"
 #include "sim/fault.h"
 #include "testing/invariants.h"
@@ -350,6 +354,121 @@ TEST(Chaos, CheckerRejectsCorruptedFederation) {
   fed.advance(sim::seconds(120));
   fed.stabilize(2);
   expect_converged_invariants(fed, 7);
+}
+
+// --- Telemetry under chaos -------------------------------------------
+//
+// The timeline's health probes watched through a disruption: replica
+// staleness must spike while a subtree is partitioned away (soft state
+// of the far side ages with nothing refreshing it), drop back under the
+// TTL once the cut heals, and the convergence detector must measure a
+// finite time-to-recover from the de-converge/re-converge pair.
+
+struct RecoveryObservation {
+  double spike_s = 0.0;  ///< max replica staleness inside the cut window
+  double tail_s = 0.0;   ///< replica staleness in the final window
+  double converged_at_s = -1.0;
+  double ttr_s = -1.0;  ///< re-convergence delay from partition start
+  std::string csv;
+};
+
+RecoveryObservation run_recovery_scenario(std::uint64_t seed) {
+  auto params = chaos_params(seed);
+  // Keepalive every round: steady-state replica ages cycle within one
+  // 10 s refresh period, so an outage-driven spike is unambiguous.
+  params.config.summary_keepalive_rounds = 1;
+  Federation fed(std::move(params));
+  fed.add_servers(16);
+  seed_identifiable(fed, 16);
+  fed.start();
+
+  exp::TelemetryOptions topts;
+  topts.timeline.window = sim::seconds(5);
+  // Tighter than the 35 s TTL: windows during the outage must go
+  // unhealthy so the detector records a de-converge + re-converge.
+  topts.staleness_bound = sim::seconds(20);
+  topts.audit_query_dimensions = 2;  // the chaos schema has 2 attributes
+  topts.audit_seed = seed ^ 0x0b5e;
+  auto timeline = exp::attach_timeline(fed, topts);
+  timeline->start(fed.simulator());
+  fed.stabilize();
+
+  const auto topo = fed.topology();
+  sim::NodeId victim = 0;
+  for (sim::NodeId i = 0; i < 16; ++i) {
+    if (i != topo.root() && !topo.children(i).empty()) {
+      victim = i;
+      break;
+    }
+  }
+
+  sim::FaultPlan plan;
+  sim::PartitionWindow window;
+  window.group = topo.subtree(victim);
+  window.start = fed.simulator().now() + sim::seconds(1);
+  // Longer than the TTL: cross-cut replicas age past any healthy bound
+  // before the sweep can clear them.
+  window.heal_at = window.start + sim::seconds(45);
+  plan.partitions.push_back(window);
+  fed.apply_fault_plan(plan);
+  fed.advance(sim::seconds(240));
+  fed.stabilize(3);
+
+  RecoveryObservation seen;
+  for (const auto& w : timeline->windows()) {
+    if (w.end > window.start && w.start < window.heal_at) {
+      seen.spike_s = std::max(
+          seen.spike_s, w.value("probe.staleness.replica.max_s"));
+    }
+  }
+  if (!timeline->windows().empty()) {
+    seen.tail_s =
+        timeline->windows().back().value("probe.staleness.replica.max_s");
+  }
+  if (const auto first = timeline->first_converged_at()) {
+    seen.converged_at_s = sim::to_seconds(*first);
+  }
+  if (const auto again = timeline->converged_after(window.start)) {
+    seen.ttr_s = sim::to_seconds(*again - window.start);
+  }
+  std::ostringstream csv;
+  timeline->write_csv(csv);
+  seen.csv = csv.str();
+  return seen;
+}
+
+// Scenario 5: staleness spike + measured recovery for every sweep seed.
+// The RECOVERY lines are greppable; CI folds them into the job summary.
+TEST(Chaos, TelemetryStalenessSpikeAndMeasuredRecovery) {
+  for (const auto seed : sweep_seeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed) +
+                 " — replay: CHAOS_SEED=" + std::to_string(seed) +
+                 " ./tests/chaos_test");
+    const auto seen = run_recovery_scenario(seed);
+    // During the cut the far side's replicas age well past twice the
+    // refresh period; afterwards the sweep + fresh pushes pull the
+    // series back under the TTL (and in fact under the health bound).
+    EXPECT_GT(seen.spike_s, 20.0);
+    EXPECT_LT(seen.tail_s, 35.0);
+    EXPECT_GE(seen.converged_at_s, 0.0) << "never converged pre-fault";
+    ASSERT_GE(seen.ttr_s, 0.0) << "never re-converged after the heal";
+    std::printf("RECOVERY seed=%llu ttr_s=%.1f converged_at_s=%.1f\n",
+                static_cast<unsigned long long>(seed), seen.ttr_s,
+                seen.converged_at_s);
+  }
+}
+
+// The detector is part of the deterministic replay surface: the same
+// seed must reproduce the same warm-up cutoff, the same time-to-recover,
+// and a byte-identical exported timeline.
+TEST(Chaos, TelemetryRecoveryIsDeterministic) {
+  const auto seed = sweep_seeds().front();
+  const auto first = run_recovery_scenario(seed);
+  const auto second = run_recovery_scenario(seed);
+  EXPECT_EQ(first.converged_at_s, second.converged_at_s);
+  EXPECT_EQ(first.ttr_s, second.ttr_s);
+  EXPECT_EQ(first.csv, second.csv);
+  EXPECT_FALSE(first.csv.empty());
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/probes.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -334,6 +336,226 @@ TEST(Export, PrometheusExposition) {
   EXPECT_NE(text.find("roads_overlay_put_us_count 3"), std::string::npos);
   EXPECT_EQ(obs::prometheus_name("roads", "net.query-bytes x"),
             "roads_net_query_bytes_x");
+}
+
+TEST(Histogram, EmptyAndSingleSampleQuantiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("h", {1.0, 10.0});
+  // No samples: quantiles are a defined 0, not UB on an empty reservoir.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  h.record(42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+}
+
+TEST(Export, PrometheusNameSanitizesCharsetAndLeadingDigit) {
+  // Invalid characters collapse to '_', valid ones ([a-zA-Z0-9_:])
+  // survive, and a leading digit gets a '_' prefix.
+  EXPECT_EQ(obs::prometheus_name("", "a:b_C9"), "a:b_C9");
+  EXPECT_EQ(obs::prometheus_name("", "weird name!{}"), "weird_name___");
+  EXPECT_EQ(obs::prometheus_name("", "3rd.percentile"), "_3rd_percentile");
+  EXPECT_EQ(obs::prometheus_name("roads", "9lives"), "roads_9lives");
+  // Sanitizing is idempotent: a already-clean name passes through.
+  const auto once = obs::prometheus_name("", "99.9%-tile");
+  EXPECT_EQ(obs::prometheus_name("", once), once);
+  // Round trip: a registry holding a hostile instrument name still
+  // produces exposition lines under the sanitized name.
+  obs::MetricsRegistry registry;
+  registry.counter("9lives again!").inc(2);
+  std::ostringstream os;
+  obs::write_prometheus(registry, os);
+  EXPECT_NE(os.str().find("# TYPE roads_9lives_again_ counter"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("roads_9lives_again_ 2"), std::string::npos);
+}
+
+TEST(Timeline, WindowedRatesTrackBurstyCounter) {
+  obs::MetricsRegistry registry;
+  // Increments before tracking starts must not pollute the first delta.
+  registry.counter("c").inc(7);
+  obs::TimelineConfig cfg;
+  cfg.window = sim::seconds(1);
+  obs::Timeline tl(registry, cfg);
+  tl.track_counter("c");
+  obs::Counter& c = registry.counter("c");
+
+  c.inc(100);
+  tl.tick(sim::seconds(1));  // burst window
+  tl.tick(sim::seconds(2));  // idle window
+  c.inc(50);
+  tl.tick(sim::seconds(4));  // late tick: 2 s span halves the rate
+
+  ASSERT_EQ(tl.windows().size(), 3u);
+  EXPECT_DOUBLE_EQ(tl.windows()[0].value("delta.c"), 100.0);
+  EXPECT_DOUBLE_EQ(tl.windows()[0].value("rate.c"), 100.0);
+  EXPECT_DOUBLE_EQ(tl.windows()[1].value("delta.c"), 0.0);
+  EXPECT_DOUBLE_EQ(tl.windows()[1].value("rate.c"), 0.0);
+  EXPECT_DOUBLE_EQ(tl.windows()[2].value("delta.c"), 50.0);
+  EXPECT_DOUBLE_EQ(tl.windows()[2].value("rate.c"), 25.0);
+  EXPECT_EQ(tl.windows()[2].start, sim::seconds(2));
+  EXPECT_EQ(tl.windows()[2].end, sim::seconds(4));
+}
+
+TEST(Timeline, RingEvictsOldestWindows) {
+  obs::MetricsRegistry registry;
+  obs::TimelineConfig cfg;
+  cfg.capacity = 4;
+  obs::Timeline tl(registry, cfg);
+  for (int i = 1; i <= 6; ++i) tl.tick(sim::seconds(i));
+  EXPECT_EQ(tl.windows().size(), 4u);
+  EXPECT_EQ(tl.evicted(), 2u);
+  EXPECT_EQ(tl.windows_closed(), 6u);
+  EXPECT_EQ(tl.windows().front().index, 2u);  // 0 and 1 evicted
+  EXPECT_EQ(tl.windows().back().index, 5u);
+}
+
+TEST(Timeline, WindowedHistogramQuantilesFromBucketDeltas) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("h", {10.0, 20.0, 40.0});
+  obs::TimelineConfig cfg;
+  obs::Timeline tl(registry, cfg);
+  tl.track_histogram("h");
+
+  for (int i = 0; i < 10; ++i) h.record(5.0);
+  tl.tick(sim::seconds(1));
+  for (int i = 0; i < 10; ++i) h.record(15.0);
+  h.record(100.0);  // overflow bucket
+  tl.tick(sim::seconds(2));
+  tl.tick(sim::seconds(3));  // empty window
+
+  const auto& w0 = tl.windows()[0];
+  EXPECT_DOUBLE_EQ(w0.value("h.wcount"), 10.0);
+  EXPECT_DOUBLE_EQ(w0.value("h.wmean"), 5.0);
+  // All 10 samples in (0, 10]: the median interpolates to mid-bucket.
+  EXPECT_DOUBLE_EQ(w0.value("h.wp50"), 5.0);
+
+  const auto& w1 = tl.windows()[1];
+  EXPECT_DOUBLE_EQ(w1.value("h.wcount"), 11.0);
+  EXPECT_NEAR(w1.value("h.wmean"), 250.0 / 11.0, 1e-9);
+  // Window-local quantiles: the first window's 10 samples are gone.
+  EXPECT_NEAR(w1.value("h.wp50"), 15.5, 1e-9);
+  // p99 lands in the unbounded overflow bucket -> clamps to the top
+  // finite bound.
+  EXPECT_DOUBLE_EQ(w1.value("h.wp99"), 40.0);
+
+  const auto& w2 = tl.windows()[2];
+  EXPECT_DOUBLE_EQ(w2.value("h.wcount"), 0.0);
+  EXPECT_DOUBLE_EQ(w2.value("h.wp90"), 0.0);
+}
+
+TEST(Timeline, ConvergenceStreaksDeconvergeAndRecover) {
+  obs::MetricsRegistry registry;
+  obs::TimelineConfig cfg;
+  cfg.convergence_windows = 2;
+  obs::Timeline tl(registry, cfg);
+  bool ok = true;
+  tl.add_probe("ok", [&ok](sim::Time) { return ok ? 1.0 : 0.0; });
+  tl.add_health_check("ok", [](const obs::TimelineWindow& w) {
+    return w.value("probe.ok") > 0.5;
+  });
+
+  tl.tick(sim::seconds(1));
+  EXPECT_FALSE(tl.converged());  // streak of 1 < W=2
+  tl.tick(sim::seconds(2));
+  EXPECT_TRUE(tl.converged());
+  ASSERT_EQ(tl.convergence_events().size(), 1u);
+  EXPECT_EQ(tl.convergence_events()[0].at, sim::seconds(2));
+
+  ok = false;  // disruption: unhealthy window exits convergence
+  tl.tick(sim::seconds(3));
+  EXPECT_FALSE(tl.converged());
+  ok = true;
+  tl.tick(sim::seconds(4));
+  EXPECT_FALSE(tl.converged());  // streak restarted
+  tl.tick(sim::seconds(5));
+  EXPECT_TRUE(tl.converged());  // re-convergence = recovery event
+  ASSERT_EQ(tl.convergence_events().size(), 2u);
+
+  EXPECT_EQ(tl.first_converged_at(), sim::seconds(2));
+  // Time-to-recover after the disruption at t=3s: reconverged at 5s.
+  EXPECT_EQ(tl.converged_after(sim::seconds(3)), sim::seconds(5));
+  EXPECT_EQ(tl.converged_after(sim::seconds(6)), std::nullopt);
+}
+
+TEST(Timeline, FlatRateGatesConvergenceEntryOnly) {
+  obs::MetricsRegistry registry;
+  obs::TimelineConfig cfg;
+  cfg.convergence_windows = 2;
+  obs::Timeline tl(registry, cfg);
+  tl.require_flat_rate("c", 0.5, 1.0);
+  obs::Counter& c = registry.counter("c");
+
+  c.inc(100);
+  tl.tick(sim::seconds(1));  // rate 100
+  c.inc(10);
+  tl.tick(sim::seconds(2));  // rate 10: spread 90 > 0.5 * mean 55
+  EXPECT_FALSE(tl.converged());
+  c.inc(10);
+  tl.tick(sim::seconds(3));  // rates [10, 10]: flat, streak is 3 >= 2
+  EXPECT_TRUE(tl.converged());
+  c.inc(500);
+  tl.tick(sim::seconds(4));  // rate blip while converged: entry-only gate
+  EXPECT_TRUE(tl.converged());
+  EXPECT_EQ(tl.convergence_events().size(), 1u);
+}
+
+TEST(Timeline, CsvAndJsonlCoverEveryWindow) {
+  obs::MetricsRegistry registry;
+  obs::TimelineConfig cfg;
+  obs::Timeline tl(registry, cfg);
+  tl.track_counter("c");
+  tl.add_node_probe("visits", 2, [](std::uint32_t node, sim::Time) {
+    return static_cast<double>(node + 1);
+  });
+  registry.counter("c").inc(3);
+  tl.tick(sim::seconds(1));
+  tl.tick(sim::seconds(2));
+
+  std::ostringstream csv;
+  tl.write_csv(csv);
+  EXPECT_NE(csv.str().find("window,start_s,end_s,healthy,delta.c,rate.c"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("0,0,1,1,3,3"), std::string::npos);
+
+  std::ostringstream jsonl;
+  tl.write_jsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"per_node\":{\"visits\":[1,2]}"),
+            std::string::npos);
+  // One JSON object per window.
+  std::size_t lines = 0;
+  for (const char ch : jsonl.str()) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Probes, GiniAndMaxOverMeanImbalance) {
+  EXPECT_DOUBLE_EQ(obs::gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::gini({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::gini({5.0, 5.0, 5.0, 5.0}), 0.0);
+  EXPECT_NEAR(obs::gini({0.0, 0.0, 0.0, 8.0}), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(obs::max_over_mean({2.0, 2.0, 2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(obs::max_over_mean({0.0, 0.0, 0.0, 8.0}), 4.0);
+}
+
+TEST(Probes, StalenessSummaryAndDivergenceTally) {
+  const auto stats = obs::summarize_ages(
+      {sim::seconds(1), sim::seconds(3), sim::seconds(8)});
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.max_age, sim::seconds(8));
+  EXPECT_DOUBLE_EQ(stats.max_age_s(), 8.0);
+  EXPECT_DOUBLE_EQ(stats.mean_age_s, 4.0);
+  EXPECT_EQ(obs::summarize_ages({}).count, 0u);
+
+  obs::DivergenceTally tally;
+  tally.add(true, true);    // agree
+  tally.add(true, false);   // false positive
+  tally.add(false, true);   // false negative
+  tally.add(false, false);  // agree
+  EXPECT_EQ(tally.pairs, 4u);
+  EXPECT_DOUBLE_EQ(tally.fp_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(tally.fn_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(obs::DivergenceTally{}.fp_rate(), 0.0);
 }
 
 }  // namespace
