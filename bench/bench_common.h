@@ -2,9 +2,14 @@
 // handling over exp::ExpConfig and the standard header each bench
 // prints. Every bench accepts:
 //   --runs=N --queries=N --nodes=N --records=N --seed=N --full --serial
+//   --threads=N
 // where --full switches to the paper's exact profile (10 runs, 500
 // queries) instead of the quicker default and --serial disables the
 // thread-pooled repetitions (results are identical either way).
+// --threads=N runs each ROADS repetition on the sharded parallel
+// engine with N shards (bit-identical metrics, see
+// sim/sharded_simulator.h); repetitions then go serial — the shards
+// own the cores.
 //
 // The --fault-* group injects message-level faults (sim/fault.h) into
 // every ROADS run so any figure can be re-measured degraded:
@@ -76,6 +81,12 @@ inline BenchProfile parse_profile(int argc, char** argv) {
   // Repetitions run on a thread pool by default; --serial restores the
   // one-at-a-time order (identical results, for timing or debugging).
   profile.base.parallel_runs = !flags.get_bool("serial", false);
+  // Sharded parallel engine inside each ROADS repetition; 1 = the
+  // sequential oracle. Metrics are bit-identical either way, but wall
+  // clocks differ, so write_report tags the profile with it and
+  // bench_compare treats differing-thread reports as profile mismatch.
+  profile.base.threads =
+      static_cast<std::size_t>(flags.get_int("threads", 1));
   // Degradation-under-fault columns: message-level faults only (loss,
   // duplication, reordering jitter) — schedules that break the tree
   // need the chaos tests' bespoke drivers, not a figure sweep.
@@ -106,12 +117,23 @@ inline BenchProfile parse_profile(int argc, char** argv) {
 }
 
 /// The node-count sweep of Figs. 3-5 (64..640 step 64 with --full,
-/// otherwise a 5-point subset covering the same span).
-inline std::vector<std::size_t> node_sweep(bool full) {
+/// otherwise a 5-point subset covering the same span). When --nodes
+/// asks for more than the paper's 640, the sweep keeps doubling past
+/// the range (1280, 2560, ...) up to and including that count — the
+/// scaling leg of the sharded-engine benches (fig3 at 10k+ nodes).
+inline std::vector<std::size_t> node_sweep(bool full,
+                                           std::size_t max_nodes = 0) {
+  std::vector<std::size_t> sweep;
   if (full) {
-    return {64, 128, 192, 256, 320, 384, 448, 512, 576, 640};
+    sweep = {64, 128, 192, 256, 320, 384, 448, 512, 576, 640};
+  } else {
+    sweep = {64, 160, 320, 448, 640};
   }
-  return {64, 160, 320, 448, 640};
+  if (max_nodes > 640) {
+    for (std::size_t n = 1280; n < max_nodes; n *= 2) sweep.push_back(n);
+    sweep.push_back(max_nodes);
+  }
+  return sweep;
 }
 
 inline void print_header(const char* title, const BenchProfile& profile) {
@@ -156,6 +178,7 @@ inline void write_report(const std::string& name, const BenchProfile& profile,
      << ", \"nodes\": " << profile.base.nodes
      << ", \"records_per_node\": " << profile.base.records_per_node
      << ", \"seed\": " << profile.base.seed
+     << ", \"threads\": " << profile.base.threads
      << ", \"fault_loss\": " << profile.base.fault_plan.loss_rate
      << ", \"fault_dup\": " << profile.base.fault_plan.duplicate_rate
      << ", \"fault_reorder\": " << profile.base.fault_plan.reorder_rate

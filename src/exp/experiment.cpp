@@ -1,6 +1,7 @@
 #include "exp/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -123,6 +124,12 @@ void write_run_observability(core::Federation& fed, const ExpConfig& config,
 }  // namespace
 
 RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
+  const auto run_start = std::chrono::steady_clock::now();
+  const auto wall_s = [](std::chrono::steady_clock::time_point from) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         from)
+        .count();
+  };
   const auto schema = record::Schema::uniform_numeric(config.attributes);
   const auto spec = spec_for(config);
   const auto generator = generator_for(config, schema, run_seed);
@@ -143,6 +150,7 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   params.config.join_policy = config.join_policy;
   params.config.summary_keepalive_rounds = config.summary_keepalive_rounds;
   params.config.incremental_refresh = config.incremental_refresh;
+  params.threads = config.threads;
   // A full query batch needs far more ring than the maintenance-window
   // default, so --trace-out bumps the bound unless the caller pinned it.
   if (config.trace_capacity > 0) {
@@ -172,7 +180,8 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   // spinning) and before stabilization, so the timeline captures the
   // formation-to-steady-state convergence the detector cuts off.
   std::unique_ptr<obs::Timeline> timeline;
-  if (config.probe_interval > 0 || !config.timeline_out.empty()) {
+  if ((config.probe_interval > 0 || !config.timeline_out.empty()) &&
+      config.threads <= 1) {
     TelemetryOptions topts;
     topts.timeline.window = config.probe_interval > 0 ? config.probe_interval
                                                       : config.summary_period;
@@ -182,7 +191,11 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
     timeline = attach_timeline(fed, topts);
     timeline->start(fed.simulator());
   }
+  sim::ShardedSimulator::ParallelStats par0;
+  if (fed.sharded() != nullptr) par0 = fed.sharded()->parallel_stats();
+  const auto stabilize_start = std::chrono::steady_clock::now();
   fed.stabilize();
+  const double stabilize_wall_s = wall_s(stabilize_start);
   // Faults start after clean formation: the paper's resilience story is
   // a formed hierarchy under churn/loss, not formation under fire.
   if (!config.fault_plan.empty()) {
@@ -205,7 +218,23 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   const std::size_t cycle =
       std::max<std::size_t>(1, config.summary_keepalive_rounds);
   fed.network().reset_meters();
+  const auto engine_start = std::chrono::steady_clock::now();
   fed.advance(cycle * config.summary_period);
+  // Engine-bound phase: stabilization plus this metered advance is
+  // where the sharded engine parallelizes (refresh waves dominate);
+  // joins and the query batch below run event-at-a-time under either
+  // engine.
+  metrics.engine_wall_s = stabilize_wall_s + wall_s(engine_start);
+  if (fed.sharded() != nullptr) {
+    // Work/span delta over the same phase, from per-thread CPU clocks:
+    // the host-independent twin of the wall measurement above.
+    const auto p1 = fed.sharded()->parallel_stats();
+    sim::ShardedSimulator::ParallelStats d;
+    d.window_work_us = p1.window_work_us - par0.window_work_us;
+    d.window_span_us = p1.window_span_us - par0.window_span_us;
+    d.serial_us = p1.serial_us - par0.serial_us;
+    metrics.engine_parallelism = d.parallelism();
+  }
   const auto& update_meter = fed.network().meter(sim::Channel::kUpdate);
   metrics.update_bytes_per_round =
       static_cast<double>(update_meter.bytes) / static_cast<double>(cycle);
@@ -287,6 +316,7 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
                           timeline.get());
   }
   write_run_observability(fed, config, run_seed, timeline.get());
+  metrics.total_wall_s = wall_s(run_start);
   return metrics;
 }
 
@@ -357,7 +387,9 @@ RunMetrics average_runs(
   // keeps the average bit-identical to the serial path regardless of
   // scheduling.
   std::vector<RunMetrics> results(runs);
-  if (config.parallel_runs && runs > 1) {
+  // Sharded repetitions own the cores already; running them
+  // concurrently would oversubscribe and skew the wall-time columns.
+  if (config.parallel_runs && runs > 1 && config.threads <= 1) {
     util::ThreadPool pool;
     pool.parallel_for(runs, [&](std::size_t i) {
       results[i] = system(config, config.seed + i);
@@ -369,6 +401,7 @@ RunMetrics average_runs(
   }
 
   RunMetrics sum;
+  sum.engine_parallelism = 0.0;  // defaults to 1.0; accumulate from zero
   std::vector<util::MetricSet> instruments;
   instruments.reserve(runs);
   for (auto& m : results) {
@@ -387,6 +420,9 @@ RunMetrics average_runs(
     sum.root_contact_fraction += m.root_contact_fraction;
     sum.converged_at_s += m.converged_at_s;
     sum.time_to_recover_s += m.time_to_recover_s;
+    sum.engine_wall_s += m.engine_wall_s;
+    sum.total_wall_s += m.total_wall_s;
+    sum.engine_parallelism += m.engine_parallelism;
   }
   const auto d = static_cast<double>(runs);
   sum.latency_avg_ms /= d;
@@ -403,6 +439,9 @@ RunMetrics average_runs(
   sum.root_contact_fraction /= d;
   sum.converged_at_s /= d;
   sum.time_to_recover_s /= d;
+  sum.engine_wall_s /= d;
+  sum.total_wall_s /= d;
+  sum.engine_parallelism /= d;
   sum.instruments = util::MetricSet::average(instruments);
   return sum;
 }

@@ -71,6 +71,13 @@ struct ExpConfig {
   /// so the average is bit-identical to the serial path). Benches
   /// accept --serial to turn this off.
   bool parallel_runs = true;
+  /// Engine shards / worker threads per ROADS repetition (see
+  /// FederationParams::threads). 1 = the sequential oracle engine;
+  /// N > 1 runs each repetition on the sharded parallel engine
+  /// (bit-identical results). Forces repetitions serial — the shards
+  /// own the cores — and skips the timeline sampler (its probes would
+  /// serialize every window). Ignored by the SWORD/central drivers.
+  std::size_t threads = 1;
   /// Fault schedule injected AFTER clean formation and stabilization
   /// (the paper measures a formed hierarchy under faults, not formation
   /// under faults). Empty = the fault-free paper setup. ROADS only;
@@ -136,6 +143,19 @@ struct RunMetrics {
   /// (re-)converged before the run ended.
   double converged_at_s = 0.0;
   double time_to_recover_s = 0.0;
+  /// Wall-clock seconds (not sim time) of the engine-bound phase —
+  /// stabilization plus the metered advance — and of the whole run.
+  /// The speedup column of the scaling benches is the ratio of
+  /// engine_wall_s between a 1-thread and an N-thread run; the query
+  /// batch is event-at-a-time in both and would dilute the measure.
+  double engine_wall_s = 0.0;
+  double total_wall_s = 0.0;
+  /// Work/span parallelism of the engine phase, measured with per-
+  /// thread CPU clocks (sim::ShardedSimulator::ParallelStats): the
+  /// speedup a host with >= threads idle cores realizes. 1.0 on the
+  /// sequential engine. Unlike engine_wall_s this is meaningful even
+  /// when the benchmark host is oversubscribed or single-core.
+  double engine_parallelism = 1.0;
   /// Snapshot of the run's instrument registry (net.* channel meters,
   /// roads.* protocol counters, overlay/central latency histograms),
   /// averaged element-wise across repetitions.

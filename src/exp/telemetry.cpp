@@ -129,8 +129,10 @@ std::unique_ptr<obs::Timeline> attach_timeline(
   });
 
   // --- Queue-depth watermark ------------------------------------------------
+  // Federation-level accessor so a sharded run reports the sum of every
+  // engine's watermark, not just the (mostly idle) coordinator heap.
   timeline->add_probe("queue.window_max_depth", [f](sim::Time) {
-    return static_cast<double>(f->simulator().take_window_max_depth());
+    return static_cast<double>(f->take_window_max_depth());
   });
 
   // --- Query-load imbalance -------------------------------------------------

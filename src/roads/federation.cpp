@@ -73,7 +73,9 @@ Federation::Federation(FederationParams params)
     : config_(params.config),
       schema_(std::move(params.schema)),
       rng_(params.seed),
-      trace_(params.trace_capacity > 0
+      // Sharded mode forces tracing off: the trace context is plain
+      // single-threaded state that delivery closures write.
+      trace_(params.trace_capacity > 0 && params.threads <= 1
                  ? std::make_unique<obs::TraceBuffer>(params.trace_capacity)
                  : nullptr),
       simulator_(),
@@ -81,6 +83,14 @@ Federation::Federation(FederationParams params)
       network_(simulator_, delay_space_, rng_.fork(0x2e70), &metrics_,
                trace_.get()) {
   if (trace_) trace_->bind_metrics(metrics_);
+  if (params.threads > 1) {
+    sharded_ =
+        std::make_unique<sim::ShardedSimulator>(simulator_, params.threads);
+    sharded_->set_lookahead(delay_space_.min_latency());
+    sharded_->set_tree_branching(config_.max_children);
+    sharded_->bind_metrics(metrics_);
+    network_.attach_sharded(sharded_.get());
+  }
 }
 
 Federation::~Federation() = default;
@@ -110,7 +120,7 @@ RoadsServer& Federation::add_server() {
   // joiner sees settled statistics — matching the paper's incremental
   // formation where joins are far slower than stats propagation.
   std::size_t guard = 0;
-  while (simulator_.run_steps(1) > 0) {
+  while (drive_steps(1) > 0) {
     if (++guard > 1'000'000) {
       throw std::runtime_error("Federation: join protocol did not settle");
     }
@@ -133,6 +143,11 @@ std::shared_ptr<ResourceOwner> Federation::add_owner(sim::NodeId attach_to,
   }
   sim::NodeId owner_node = attach_to;
   if (!colocated) owner_node = delay_space_.add_node();
+  if (sharded_ && owner_node != attach_to) {
+    // A remote owner rides its attachment server's shard: their
+    // query/reply chatter is the owner's only traffic.
+    sharded_->pin_node(owner_node, sharded_->shard_of(attach_to));
+  }
   auto owner = std::make_shared<ResourceOwner>(next_owner_id_++, owner_node,
                                                schema_);
   if (!colocated) {
@@ -150,7 +165,12 @@ std::shared_ptr<ResourceOwner> Federation::add_owner(sim::NodeId attach_to,
 void Federation::start() {
   if (started_) return;
   started_ = true;
-  for (auto& s : servers_) s->start_timers();
+  for (auto& s : servers_) {
+    // Pin each server's initial timers onto its own shard; the ticks
+    // re-arm through network().simulator() and stay there.
+    sim::ScopedNodePin pin(sharded_.get(), s->id());
+    s->start_timers();
+  }
 }
 
 void Federation::stabilize(std::size_t rounds) {
@@ -160,11 +180,32 @@ void Federation::stabilize(std::size_t rounds) {
       simulator_.now() +
       static_cast<sim::Time>(rounds) * config_.summary_refresh_period +
       sim::seconds(5);
-  simulator_.run_until(horizon);
+  drive_until(horizon);
 }
 
 void Federation::advance(sim::Time duration) {
-  simulator_.run_until(simulator_.now() + duration);
+  drive_until(simulator_.now() + duration);
+}
+
+std::size_t Federation::drive_steps(std::size_t limit) {
+  return sharded_ ? sharded_->run_steps(limit) : simulator_.run_steps(limit);
+}
+
+void Federation::drive_until(sim::Time deadline) {
+  if (sharded_) {
+    sharded_->run_until(deadline);
+  } else {
+    simulator_.run_until(deadline);
+  }
+}
+
+sim::Simulator::Stats Federation::engine_stats() const {
+  return sharded_ ? sharded_->stats() : simulator_.stats();
+}
+
+std::size_t Federation::take_window_max_depth() {
+  return sharded_ ? sharded_->take_window_max_depth()
+                  : simulator_.take_window_max_depth();
 }
 
 void Federation::set_refresh_paused(bool paused) {
@@ -174,6 +215,9 @@ void Federation::set_refresh_paused(bool paused) {
 void Federation::apply_fault_plan(const sim::FaultPlan& plan) {
   network_.set_node_transition_handler([this](sim::NodeId node, bool up) {
     if (node >= servers_.size()) return;  // owner node: link-level only
+    // Transitions execute on the global engine; pin so the restart's
+    // fresh timers and join messages land on the node's own shard.
+    sim::ScopedNodePin pin(sharded_.get(), node);
     RoadsServer& s = *servers_[node];
     if (!up) {
       if (s.alive()) s.fail();
@@ -216,7 +260,7 @@ QueryOutcome Federation::run_query_scoped(const record::Query& query,
   client->set_scope(scope_levels);
   client->start(start_server);
   std::size_t guard = 0;
-  while (!client->done() && simulator_.run_steps(1) > 0) {
+  while (!client->done() && drive_steps(1) > 0) {
     if (++guard > 50'000'000) {
       throw std::runtime_error("Federation: query did not complete");
     }

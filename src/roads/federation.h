@@ -34,6 +34,7 @@
 #include "roads/server.h"
 #include "sim/delay_space.h"
 #include "sim/network.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -47,6 +48,12 @@ struct FederationParams {
   /// Bound on the structured trace ring (message, maintenance and
   /// query-span events); 0 disables tracing entirely.
   std::size_t trace_capacity = 8192;
+  /// Engine shards (= worker threads) the simulation runs on. 1 is the
+  /// sequential engine; N > 1 shards the nodes across N engines driven
+  /// in parallel under conservative time windows — bit-identical
+  /// results (see sim/sharded_simulator.h), but tracing is forced off
+  /// because delivery contexts would race across shard threads.
+  std::size_t threads = 1;
 };
 
 /// Everything a caller wants to know about one resolved query.
@@ -156,6 +163,16 @@ class Federation : public Directory {
 
   sim::Simulator& simulator() { return simulator_; }
   sim::Network& network() { return network_; }
+  /// Non-null when FederationParams::threads > 1.
+  sim::ShardedSimulator* sharded() { return sharded_.get(); }
+  /// Aggregated engine statistics — identical to simulator().stats()
+  /// sequentially; in sharded mode, counts summed across every shard
+  /// and max_depth the federation-wide queue high-watermark
+  /// (sum-of-shards maxima).
+  sim::Simulator::Stats engine_stats() const;
+  /// Per-window queue-depth watermark across every engine (the
+  /// telemetry probes' view of take_window_max_depth).
+  std::size_t take_window_max_depth();
   /// Shared instrument registry: network channel meters plus every
   /// server/overlay instrument of this federation.
   obs::MetricsRegistry& metrics() { return metrics_; }
@@ -176,6 +193,11 @@ class Federation : public Directory {
   /// Adapter letting a remote ResourceOwner answer query messages.
   class OwnerAgent;
 
+  /// Route the drive loops through the sharded coordinator when one is
+  /// attached (events then live in N heaps, not simulator_'s alone).
+  std::size_t drive_steps(std::size_t limit);
+  void drive_until(sim::Time deadline);
+
   RoadsConfig config_;
   record::Schema schema_;
   util::Rng rng_;
@@ -184,6 +206,7 @@ class Federation : public Directory {
   sim::Simulator simulator_;
   sim::DelaySpace delay_space_;
   sim::Network network_;
+  std::unique_ptr<sim::ShardedSimulator> sharded_;  // threads > 1 only
 
   std::vector<std::unique_ptr<RoadsServer>> servers_;  // index == NodeId
   std::vector<std::uint64_t> query_visits_;            // index == NodeId

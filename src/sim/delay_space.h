@@ -41,6 +41,16 @@ class DelaySpace {
   /// One-way latency between two nodes; zero for a node to itself.
   Time latency(NodeId a, NodeId b) const;
 
+  /// Provable lower bound on latency between any two *distinct* nodes:
+  /// Euclidean distance is >= 0, so latency = base + scale * distance
+  /// >= base_latency regardless of where the embedding placed the
+  /// points. This is the conservative lookahead the sharded engine's
+  /// time windows rely on (sim/sharded_simulator.h): no cross-shard
+  /// message can arrive sooner than min_latency() after it was sent.
+  /// Self-latency is 0, but a node always talks to itself on its own
+  /// shard, so the bound only needs to hold across pairs.
+  Time min_latency() const { return params_.base_latency; }
+
   /// Appends one more node (servers joining an existing federation).
   NodeId add_node();
 

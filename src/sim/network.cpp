@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/sharded_simulator.h"
+
 namespace roads::sim {
 
 namespace {
@@ -50,6 +52,23 @@ Network::Network(Simulator& simulator, DelaySpace& delay_space, util::Rng rng,
   sim_.bind_metrics(*metrics_);
 }
 
+Simulator& Network::cur() {
+  return sharded_ != nullptr ? sharded_->current_engine() : sim_;
+}
+
+Simulator& Network::simulator() { return cur(); }
+
+void Network::attach_sharded(ShardedSimulator* sharded) {
+  sharded_ = sharded;
+  if (sharded_ != nullptr) {
+    if (trace_ != nullptr) {
+      throw std::logic_error("Network: tracing is incompatible with sharding");
+    }
+    sharded_->set_digest_sink(&digest_);
+    sharded_->set_coin_mode(plan_.any_message_faults());
+  }
+}
+
 bool Network::node_up(NodeId node) const {
   return node >= down_.size() || !down_[node];
 }
@@ -89,12 +108,20 @@ void Network::end_span(const obs::TraceContext& ctx) {
 
 void Network::digest_event(EventOutcome outcome, NodeId from, NodeId to,
                            std::uint64_t bytes, Channel channel) {
-  digest_.add(static_cast<std::uint64_t>(sim_.now()));
-  digest_.add(static_cast<std::uint64_t>(outcome));
-  digest_.add(static_cast<std::uint64_t>(from));
-  digest_.add(static_cast<std::uint64_t>(to));
-  digest_.add(bytes);
-  digest_.add(static_cast<std::uint64_t>(channel));
+  const std::array<std::uint64_t, 6> payload{
+      static_cast<std::uint64_t>(cur().now()),
+      static_cast<std::uint64_t>(outcome),
+      static_cast<std::uint64_t>(from),
+      static_cast<std::uint64_t>(to),
+      bytes,
+      static_cast<std::uint64_t>(channel)};
+  if (sharded_ != nullptr && sharded_->in_window()) {
+    // Mid-window folds buffer in the shard's log; the barrier merge
+    // replays them into digest_ at the exact sequential position.
+    sharded_->record_digest(payload);
+    return;
+  }
+  for (const std::uint64_t w : payload) digest_.add(w);
 }
 
 double Network::loss_probability(NodeId from, NodeId to) const {
@@ -131,6 +158,14 @@ void Network::set_partition_active(std::size_t index, bool active) {
 void Network::apply_fault_plan(const FaultPlan& plan) {
   ++plan_generation_;  // orphan previously scheduled windows
   plan_ = plan;
+  if (sharded_ != nullptr) {
+    // Loss/dup/reorder coins draw from rng_ at send time in global
+    // order — windows cannot reproduce that, so the coordinator
+    // degrades to exact micro-stepping while such a plan is active.
+    // Partition/crash windows alone keep full parallelism: they are
+    // global-engine events and bound every window.
+    sharded_->set_coin_mode(plan_.any_message_faults());
+  }
 
   node_loss_.clear();
   for (const auto& nf : plan_.node_loss) {
@@ -201,8 +236,7 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
                                 Channel channel, Time delay,
                                 obs::TraceContext delivery_ctx,
                                 DeliverFn deliver) {
-  sim_.schedule_after(
-      delay,
+  EventFn event(
       [this, from, to, bytes, channel, delivery_ctx,
        fn = std::move(deliver)]() mutable {
         // A receiver that died in flight (or got partitioned away while
@@ -237,6 +271,13 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
         ScopedTraceContext scope(*this, delivery_ctx);
         fn();
       });
+  if (sharded_ != nullptr) {
+    // Sharded mode: the delivery lands on the engine owning the
+    // receiver (cross-shard sends ride the window log to the barrier).
+    sharded_->schedule_on_node(to, cur().now() + delay, std::move(event));
+  } else {
+    sim_.schedule_after(delay, std::move(event));
+  }
 }
 
 void Network::send_bulk(NodeId from, NodeId to, std::uint64_t messages,

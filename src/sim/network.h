@@ -61,6 +61,8 @@
 
 namespace roads::sim {
 
+class ShardedSimulator;
+
 enum class Channel : std::uint8_t {
   kControl = 0,      // join / topology negotiation
   kUpdate = 1,       // record exports, summary aggregation & replication
@@ -102,8 +104,18 @@ class Network {
           obs::MetricsRegistry* metrics = nullptr,
           obs::TraceBuffer* trace = nullptr);
 
-  Simulator& simulator() { return sim_; }
+  /// The engine of the current execution context: the attached sharded
+  /// coordinator's current engine when sharding is on (so handlers'
+  /// now()/schedule_after land on their own shard), else the wrapped
+  /// sequential Simulator.
+  Simulator& simulator();
   const DelaySpace& delay_space() const { return space_; }
+
+  /// Routes scheduling, clock reads, delivery placement and in-window
+  /// digest folds through `sharded` (see sim/sharded_simulator.h).
+  /// Tracing must be off: delivery contexts would race across shard
+  /// threads. nullptr detaches.
+  void attach_sharded(ShardedSimulator* sharded);
 
   /// The registry backing the channel meters (owned or shared);
   /// subsystems riding this network register their instruments here.
@@ -117,7 +129,12 @@ class Network {
   /// outside any traced delivery/span). Prefer ScopedTraceContext /
   /// TraceSpan over calling set_trace_context directly.
   obs::TraceContext trace_context() const { return trace_ctx_; }
-  void set_trace_context(const obs::TraceContext& ctx) { trace_ctx_ = ctx; }
+  /// No-op when tracing is off: context installs happen inside delivery
+  /// closures, which run concurrently across shard threads in sharded
+  /// mode — with tracing disabled nothing may write this plain member.
+  void set_trace_context(const obs::TraceContext& ctx) {
+    if (trace_ != nullptr) trace_ctx_ = ctx;
+  }
 
   /// Opens an explicit span as a child of the current context (a fresh
   /// root when none is active), emits kSpanBegin and returns the
@@ -212,8 +229,11 @@ class Network {
                          Channel channel, Time delay,
                          obs::TraceContext delivery_ctx, DeliverFn deliver);
   void set_partition_active(std::size_t index, bool active);
+  /// Current-context engine (same as the public simulator()).
+  Simulator& cur();
 
   Simulator& sim_;
+  ShardedSimulator* sharded_ = nullptr;
   DelaySpace& space_;
   util::Rng rng_;
   FaultPlan plan_;

@@ -1,0 +1,428 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+#include "obs/metrics.h"
+
+namespace roads::sim {
+
+namespace {
+constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// CPU time of the calling thread: the work/span accounting must not be
+// distorted by time-slicing when the host grants fewer cores than
+// shards (or by unrelated load). Falls back to wall time where no
+// per-thread CPU clock exists.
+std::int64_t thread_cpu_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+           ts.tv_nsec / 1'000;
+  }
+#endif
+  return now_us();
+}
+}  // namespace
+
+thread_local ShardedSimulator::ExecContext ShardedSimulator::tls_{};
+
+ShardedSimulator::ShardedSimulator(Simulator& global, std::size_t shards)
+    : global_(global) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  logs_.resize(shards);
+  resolved_.resize(shards);
+  cursors_.resize(shards, 0);
+  busy_us_.resize(shards, 0);
+  busy_cpu_us_.resize(shards, 0);
+  global_.set_shared_seq(&next_seq_);
+  for (auto& s : shards_) s->set_shared_seq(&next_seq_);
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  global_.set_shared_seq(nullptr);
+}
+
+void ShardedSimulator::set_lookahead(Time lookahead) {
+  lookahead_ = std::max<Time>(lookahead, 1);
+}
+
+void ShardedSimulator::set_tree_branching(std::size_t k) {
+  branching_ = std::max<std::size_t>(k, 2);
+}
+
+void ShardedSimulator::pin_node(NodeId node, std::size_t shard) {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("ShardedSimulator: pin to unknown shard");
+  }
+  if (node >= pins_.size()) pins_.resize(node + 1, kUnpinned);
+  pins_[node] = static_cast<std::uint32_t>(shard);
+}
+
+std::size_t ShardedSimulator::shard_of(NodeId node) const {
+  if (node < pins_.size() && pins_[node] != kUnpinned) return pins_[node];
+  const std::size_t n_shards = shards_.size();
+  if (n_shards == 1) return 0;
+  const std::uint64_t k = branching_;
+  std::uint64_t n = node;
+  // Subtree partition over the implicit balanced k-ary tree the join
+  // policy approximates (parent(i) = (i-1)/k): whole depth-1 branches
+  // map to one shard each when shards <= k, so parent-child traffic —
+  // the protocols' dominant flow — stays shard-local; beyond k shards
+  // the depth-2 subtrees spread instead. The map is a locality
+  // heuristic only: ANY node->shard function is correct.
+  if (n_shards <= k) {
+    while (n > k) n = (n - 1) / k;
+    return n == 0 ? 0 : static_cast<std::size_t>((n - 1) % n_shards);
+  }
+  const std::uint64_t d2_first = k + 1;
+  const std::uint64_t d2_last = k + k * k;
+  if (n > d2_last) {
+    while (n > d2_last) n = (n - 1) / k;
+    return static_cast<std::size_t>((n - d2_first) % n_shards);
+  }
+  if (n >= d2_first) return static_cast<std::size_t>((n - d2_first) % n_shards);
+  if (n >= 1) return static_cast<std::size_t>((n - 1) % n_shards);
+  return 0;
+}
+
+Simulator& ShardedSimulator::current_engine() {
+  if (tls_.owner == this && tls_.engine != nullptr) return *tls_.engine;
+  return global_;
+}
+
+bool ShardedSimulator::in_window() const {
+  return tls_.owner == this && tls_.log != nullptr;
+}
+
+ShardedSimulator::ExecContext ShardedSimulator::push_node_context(NodeId node) {
+  const ExecContext prev = tls_;
+  const std::size_t shard = shard_of(node);
+  tls_ = ExecContext{this, shards_[shard].get(), shard, nullptr};
+  return prev;
+}
+
+void ShardedSimulator::restore_context(const ExecContext& prev) {
+  tls_ = prev;
+}
+
+void ShardedSimulator::schedule_on_node(NodeId node, Time when, EventFn fn) {
+  const std::size_t target = shard_of(node);
+  if (in_window()) {
+    if (target == tls_.shard) {
+      // Same shard: plain window-mode schedule (phase-1 or parked).
+      tls_.engine->schedule_at(when, std::move(fn));
+      return;
+    }
+    if (when < cur_window_end_) {
+      // Would violate the lookahead contract — a cross-shard arrival
+      // inside the very window that produced it cannot be ordered.
+      throw std::logic_error(
+          "ShardedSimulator: cross-shard delivery below lookahead");
+    }
+    auto& log = *tls_.log;
+    ShardWindowLog::Record rec;
+    rec.handler_time = tls_.engine->exec_when();
+    rec.handler_seq = tls_.engine->exec_seq();
+    rec.kind = ShardWindowLog::Kind::kCross;
+    rec.when = when;
+    rec.index = log.cross_fns.size();
+    rec.target_shard = static_cast<std::uint32_t>(target);
+    log.cross_fns.push_back(std::move(fn));
+    log.records.push_back(rec);
+    return;
+  }
+  // Outside windows every engine shares the seq counter, so a direct
+  // insert on the owning shard is already in global order.
+  shards_[target]->schedule_at(when, std::move(fn));
+}
+
+void ShardedSimulator::record_digest(
+    const std::array<std::uint64_t, 6>& payload) {
+  ShardWindowLog::Record rec;
+  rec.handler_time = tls_.engine->exec_when();
+  rec.handler_seq = tls_.engine->exec_seq();
+  rec.kind = ShardWindowLog::Kind::kDigest;
+  rec.payload = payload;
+  tls_.log->records.push_back(rec);
+}
+
+bool ShardedSimulator::global_min_top(Time& when, std::uint64_t& seq,
+                                      std::size_t& engine) {
+  bool found = false;
+  for (std::size_t i = 0; i < shards_.size() + 1; ++i) {
+    Time w;
+    std::uint64_t s;
+    if (!engine_at(i)->top_key(w, s)) continue;
+    if (!found || w < when || (w == when && s < seq)) {
+      when = w;
+      seq = s;
+      engine = i;
+      found = true;
+    }
+  }
+  return found;
+}
+
+// One sequential-engine pop_one, across engines: discard tombstones in
+// global order until a live event executes (true) or all heaps drain
+// (false). Clocks sync to the event time BEFORE it runs so any engine's
+// now() read from inside the handler (or from coordinator code after
+// it) matches the single-threaded clock.
+bool ShardedSimulator::micro_pop() {
+  for (;;) {
+    Time when;
+    std::uint64_t seq;
+    std::size_t index;
+    if (!global_min_top(when, seq, index)) return false;
+    Simulator* engine = engine_at(index);
+    global_.advance_clock(when);
+    for (auto& s : shards_) s->advance_clock(when);
+    const ExecContext prev = tls_;
+    tls_ = ExecContext{this, engine, index == 0 ? 0 : index - 1, nullptr};
+    const int r = engine->step_top();
+    tls_ = prev;
+    if (r == 1) return true;
+  }
+}
+
+void ShardedSimulator::run_shard_window(std::size_t shard, Time window_end) {
+  const std::int64_t t0 = now_us();
+  const std::int64_t c0 = thread_cpu_us();
+  const ExecContext prev = tls_;
+  tls_ = ExecContext{this, shards_[shard].get(), shard, &logs_[shard]};
+  shards_[shard]->run_window(window_end, &logs_[shard]);
+  tls_ = prev;
+  busy_us_[shard] = now_us() - t0;
+  busy_cpu_us_[shard] = thread_cpu_us() - c0;
+}
+
+std::size_t ShardedSimulator::run_parallel_window(Time window_end) {
+  active_.clear();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Time w;
+    std::uint64_t s;
+    if (shards_[i]->top_key(w, s) && w < window_end) active_.push_back(i);
+  }
+  if (active_.empty()) return 0;
+  cur_window_end_ = window_end;
+  if (windows_counter_ != nullptr) windows_counter_->inc();
+  ++par_.windows;
+  const std::size_t before = stats().executed;
+  if (active_.size() == 1) {
+    // One busy shard: run inline, skip the pool round-trip.
+    run_shard_window(active_[0], window_end);
+    inline_cpu_us_ += busy_cpu_us_[active_[0]];
+  } else {
+    ensure_pool();
+    const std::int64_t t0 = now_us();
+    pool_->parallel_for(active_.size(), [&](std::size_t k) {
+      run_shard_window(active_[k], window_end);
+    });
+    if (barrier_wait_counter_ != nullptr) {
+      const std::int64_t wall = now_us() - t0;
+      for (const std::size_t i : active_) {
+        const std::int64_t wait = wall - busy_us_[i];
+        if (wait > 0) {
+          barrier_wait_counter_->inc(static_cast<std::uint64_t>(wait));
+        }
+      }
+    }
+  }
+  std::int64_t work = 0, span = 0;
+  for (const std::size_t i : active_) {
+    work += busy_cpu_us_[i];
+    span = std::max(span, busy_cpu_us_[i]);
+  }
+  par_.window_work_us += static_cast<std::uint64_t>(work);
+  par_.window_span_us += static_cast<std::uint64_t>(span);
+  merge_window();
+  return stats().executed - before;
+}
+
+void ShardedSimulator::merge_window() {
+  for (const std::size_t i : active_) {
+    std::size_t schedules = 0;
+    for (const auto& r : logs_[i].records) {
+      if (r.kind == ShardWindowLog::Kind::kSchedule) ++schedules;
+    }
+    resolved_[i].assign(schedules, 0);
+    cursors_[i] = 0;
+  }
+  auto resolve = [this](std::size_t shard, std::uint64_t seq) {
+    return (seq & Simulator::kPhase1Bit) != 0
+               ? resolved_[shard][seq & ~Simulator::kPhase1Bit]
+               : seq;
+  };
+  for (;;) {
+    std::size_t best = kUnpinned;
+    Time best_time = 0;
+    std::uint64_t best_seq = 0;
+    for (const std::size_t i : active_) {
+      if (cursors_[i] >= logs_[i].records.size()) continue;
+      const auto& r = logs_[i].records[cursors_[i]];
+      // A creator record always precedes its creature in the same
+      // shard's log, so a head record's handler key is resolvable.
+      const std::uint64_t hseq = resolve(i, r.handler_seq);
+      if (best == kUnpinned || r.handler_time < best_time ||
+          (r.handler_time == best_time && hseq < best_seq)) {
+        best = i;
+        best_time = r.handler_time;
+        best_seq = hseq;
+      }
+    }
+    if (best == kUnpinned) break;
+    auto& log = logs_[best];
+    const auto& r = log.records[cursors_[best]++];
+    switch (r.kind) {
+      case ShardWindowLog::Kind::kSchedule: {
+        const std::uint64_t vseq = next_seq_++;
+        resolved_[best][r.index] = vseq;
+        if (r.parked) {
+          // false = cancelled while parked; the seq stays consumed,
+          // exactly as the sequential run would have spent it.
+          shards_[best]->reinsert_parked(r.slot, r.generation, r.when, vseq);
+        }
+        break;
+      }
+      case ShardWindowLog::Kind::kCross: {
+        const std::uint64_t vseq = next_seq_++;
+        shards_[r.target_shard]->insert_with_seq(
+            r.when, vseq, std::move(log.cross_fns[r.index]));
+        if (cross_sends_counter_ != nullptr) cross_sends_counter_->inc();
+        if (!shard_cross_counters_.empty()) {
+          shard_cross_counters_[best]->inc();
+        }
+        break;
+      }
+      case ShardWindowLog::Kind::kDigest: {
+        if (digest_sink_ != nullptr) {
+          for (const std::uint64_t w : r.payload) digest_sink_->add(w);
+        }
+        break;
+      }
+    }
+  }
+  for (const std::size_t i : active_) logs_[i].clear();
+}
+
+void ShardedSimulator::ensure_pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(shards_.size());
+  }
+}
+
+std::size_t ShardedSimulator::run_until(Time deadline) {
+  const std::size_t before = stats().executed;
+  // Coordinator CPU over the whole drive, minus window work that ran
+  // inline on this thread (counted under work/span instead), is the
+  // serial leg of the work/span decomposition: frontier scans, merges
+  // and micro-steps that no extra core can help with.
+  const std::int64_t c0 = thread_cpu_us();
+  const std::int64_t inline0 = inline_cpu_us_;
+  const ParallelStats snap = par_;
+  for (;;) {
+    Time t;
+    std::uint64_t s;
+    std::size_t index;
+    if (!global_min_top(t, s, index)) break;
+    if (t > deadline) break;
+    Time tg = kTimeMax;
+    std::uint64_t sg;
+    const bool has_global = global_.top_key(tg, sg);
+    if (coin_mode_ || (has_global && tg <= t)) {
+      // Per-message fault coins need send-time RNG draws in global
+      // order, and a due global event (fault transition) mutates state
+      // every shard reads — both degrade to exact micro-stepping.
+      micro_pop();
+      continue;
+    }
+    const Time window_end =
+        std::min(std::min(t + lookahead_, tg), deadline + 1);
+    if (run_parallel_window(window_end) == 0) {
+      // Only tombstones below the window bound: they were discarded,
+      // loop around for a fresh frontier.
+      continue;
+    }
+  }
+  global_.advance_clock(deadline);
+  for (auto& sh : shards_) sh->advance_clock(deadline);
+  const std::int64_t serial =
+      (thread_cpu_us() - c0) - (inline_cpu_us_ - inline0);
+  if (serial > 0) par_.serial_us += static_cast<std::uint64_t>(serial);
+  if (work_counter_ != nullptr) {
+    work_counter_->inc(par_.window_work_us - snap.window_work_us);
+    span_counter_->inc(par_.window_span_us - snap.window_span_us);
+    serial_counter_->inc(par_.serial_us - snap.serial_us);
+  }
+  return stats().executed - before;
+}
+
+std::size_t ShardedSimulator::run_steps(std::size_t limit) {
+  const std::int64_t c0 = thread_cpu_us();
+  std::size_t executed = 0;
+  while (executed < limit && micro_pop()) ++executed;
+  const std::int64_t serial = thread_cpu_us() - c0;
+  if (serial > 0) par_.serial_us += static_cast<std::uint64_t>(serial);
+  return executed;
+}
+
+std::size_t ShardedSimulator::pending_events() const {
+  std::size_t total = global_.pending_events();
+  for (const auto& s : shards_) total += s->pending_events();
+  return total;
+}
+
+Simulator::Stats ShardedSimulator::stats() const {
+  Simulator::Stats sum = global_.stats();
+  for (const auto& s : shards_) {
+    const auto& st = s->stats();
+    sum.scheduled += st.scheduled;
+    sum.executed += st.executed;
+    sum.cancelled += st.cancelled;
+    sum.inline_events += st.inline_events;
+    sum.spilled_events += st.spilled_events;
+    sum.max_depth += st.max_depth;
+  }
+  return sum;
+}
+
+std::size_t ShardedSimulator::take_window_max_depth() {
+  std::size_t total = global_.take_window_max_depth();
+  for (auto& s : shards_) total += s->take_window_max_depth();
+  return total;
+}
+
+void ShardedSimulator::bind_metrics(obs::MetricsRegistry& registry) {
+  windows_counter_ = &registry.counter("sim.shard.windows");
+  barrier_wait_counter_ = &registry.counter("sim.shard.barrier_wait_us");
+  cross_sends_counter_ = &registry.counter("sim.shard.cross_sends");
+  work_counter_ = &registry.counter("sim.shard.window_work_us");
+  span_counter_ = &registry.counter("sim.shard.window_span_us");
+  serial_counter_ = &registry.counter("sim.shard.serial_us");
+  shard_cross_counters_.clear();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard_cross_counters_.push_back(&registry.counter(
+        "sim.shard." + std::to_string(i) + ".cross_sends"));
+  }
+}
+
+}  // namespace roads::sim

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "sim/window_log.h"
 
 namespace roads::sim {
 
@@ -102,7 +103,33 @@ EventId Simulator::schedule_at(Time when, EventFn fn) {
   slot.fn = std::move(fn);
   slot.active = true;
   const std::uint32_t gen = slot.generation;
-  heap_push(HeapKey{when, next_seq_++}, HeapRef{slot_index, gen});
+  if (window_log_ != nullptr) {
+    // Parallel window: the global seq this event would have drawn
+    // depends on the cross-shard interleaving, so it is assigned at the
+    // barrier merge from the log record below. Until then the event is
+    // either heaped under a phase-1 key (target inside this window —
+    // only zero-/sub-lookahead local delays reach here) or parked with
+    // its slot held, so cancel() via the returned id works as usual.
+    const std::uint64_t local = window_local_seq_++;
+    const bool parked = when >= window_end_;
+    if (!parked) {
+      heap_push(HeapKey{when, kPhase1Bit | local}, HeapRef{slot_index, gen});
+    }
+    ShardWindowLog::Record rec;
+    rec.handler_time = exec_when_;
+    rec.handler_seq = exec_seq_;
+    rec.kind = ShardWindowLog::Kind::kSchedule;
+    rec.when = when;
+    rec.slot = slot_index;
+    rec.generation = gen;
+    rec.index = local;
+    rec.parked = parked;
+    window_log_->records.push_back(rec);
+  } else {
+    const std::uint64_t seq =
+        shared_seq_ != nullptr ? (*shared_seq_)++ : next_seq_++;
+    heap_push(HeapKey{when, seq}, HeapRef{slot_index, gen});
+  }
   ++live_;
   ++stats_.scheduled;
   if (stored_inline) {
@@ -141,6 +168,27 @@ void Simulator::cancel(EventId id) {
   // when it reaches the top (generation mismatch).
 }
 
+// Retire the id before invoking so a handler cancelling itself is
+// a no-op, but keep the slot OFF the free list until the closure
+// returns: chunk addresses are stable, so the closure runs in
+// place (no move) while reschedules grow the slab around it.
+void Simulator::execute_ref(HeapKey key, HeapRef ref) {
+  Slot& slot = slot_at(ref.slot);
+  slot.active = false;
+  ++slot.generation;
+  --live_;
+  now_ = key.when;
+  exec_when_ = key.when;
+  exec_seq_ = key.seq;
+  ++stats_.executed;
+  if (executed_counter_ != nullptr) executed_counter_->inc();
+  if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(live_));
+  slot.fn();
+  slot.fn = nullptr;
+  slot.next_free = free_head_;
+  free_head_ = ref.slot;
+}
+
 bool Simulator::pop_one() {
   while (!heap_keys_.empty()) {
     const HeapKey top = heap_keys_.front();
@@ -150,24 +198,68 @@ bool Simulator::pop_one() {
     if (!slot.active || slot.generation != top_ref.gen) {
       continue;  // tombstone
     }
-    // Retire the id before invoking so a handler cancelling itself is
-    // a no-op, but keep the slot OFF the free list until the closure
-    // returns: chunk addresses are stable, so the closure runs in
-    // place (no move) while reschedules grow the slab around it.
-    slot.active = false;
-    ++slot.generation;
-    --live_;
-    now_ = top.when;
-    ++stats_.executed;
-    if (executed_counter_ != nullptr) executed_counter_->inc();
-    if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(live_));
-    slot.fn();
-    slot.fn = nullptr;
-    slot.next_free = free_head_;
-    free_head_ = top_ref.slot;
+    execute_ref(top, top_ref);
     return true;
   }
   return false;
+}
+
+int Simulator::step_top() {
+  if (heap_keys_.empty()) return -1;
+  const HeapKey top = heap_keys_.front();
+  const HeapRef top_ref = heap_refs_.front();
+  heap_pop_top();
+  Slot& slot = slot_at(top_ref.slot);
+  if (!slot.active || slot.generation != top_ref.gen) return 0;  // tombstone
+  execute_ref(top, top_ref);
+  return 1;
+}
+
+std::size_t Simulator::run_window(Time window_end, ShardWindowLog* log) {
+  window_log_ = log;
+  window_end_ = window_end;
+  window_local_seq_ = 0;
+  std::size_t executed = 0;
+  // step_top (not pop_one) so a tombstone never drags execution past
+  // the window bound; the condition is re-checked after every pop.
+  while (!heap_keys_.empty() && heap_keys_.front().when < window_end) {
+    if (step_top() == 1) ++executed;
+  }
+  window_log_ = nullptr;
+  return executed;
+}
+
+void Simulator::insert_with_seq(Time when, std::uint64_t seq, EventFn fn) {
+  const bool stored_inline = fn.is_inline();
+  const std::uint32_t slot_index = acquire_slot();
+  Slot& slot = slot_at(slot_index);
+  slot.fn = std::move(fn);
+  slot.active = true;
+  heap_push(HeapKey{when, seq}, HeapRef{slot_index, slot.generation});
+  ++live_;
+  ++stats_.scheduled;
+  if (stored_inline) {
+    ++stats_.inline_events;
+  } else {
+    ++stats_.spilled_events;
+  }
+  if (scheduled_counter_ != nullptr) {
+    scheduled_counter_->inc();
+    (stored_inline ? inline_counter_ : spilled_counter_)->inc();
+  }
+  note_depth();
+}
+
+bool Simulator::reinsert_parked(std::uint32_t slot_index,
+                                std::uint32_t generation, Time when,
+                                std::uint64_t seq) {
+  if (slot_index >= slot_count_) return false;
+  Slot& slot = slot_at(slot_index);
+  // Cancelled while parked: the slot was freed (generation bumped) and
+  // live_/stats_ already adjusted by cancel(); only the seq is spent.
+  if (!slot.active || slot.generation != generation) return false;
+  heap_push(HeapKey{when, seq}, HeapRef{slot_index, generation});
+  return true;
 }
 
 std::size_t Simulator::run() {

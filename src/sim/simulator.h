@@ -33,6 +33,8 @@ class MetricsRegistry;
 
 namespace roads::sim {
 
+struct ShardWindowLog;
+
 /// Packed (generation << 32 | slot). Generations start at 1, so a
 /// valid id is never 0 and a stale id can never match a reused slot.
 using EventId = std::uint64_t;
@@ -101,6 +103,75 @@ class Simulator {
   /// into `registry`. Unbound simulators pay one branch per event.
   void bind_metrics(obs::MetricsRegistry& registry);
 
+  // --- Sharded-engine hooks (sim::ShardedSimulator) -----------------------
+  //
+  // A sharded run gives every shard its own Simulator and reproduces the
+  // sequential engine's global (time, seq) order across them. Two seq
+  // regimes exist: outside parallel windows every engine draws from one
+  // shared counter (set_shared_seq), so cross-engine heap tops compare
+  // like entries of a single merged heap; inside a window, seqs cannot
+  // be drawn (they depend on the global interleaving), so schedule_at
+  // appends to the ShardWindowLog instead and the barrier merge assigns
+  // them. None of this costs the plain sequential engine more than one
+  // predictable branch per schedule/pop.
+
+  /// Tag bit for events scheduled *during* a parallel window: their heap
+  /// seq is kPhase1Bit | window-local serial until the barrier resolves
+  /// a global number. Plain integer comparison keeps them after every
+  /// pre-window event at the same instant — exactly the sequential
+  /// order, since pre-window schedules consumed smaller global seqs.
+  static constexpr std::uint64_t kPhase1Bit = std::uint64_t{1} << 63;
+
+  /// Draw event seqs from `counter` (nullptr restores the private
+  /// counter). All engines of one sharded run share a single counter.
+  void set_shared_seq(std::uint64_t* counter) { shared_seq_ = counter; }
+
+  /// Runs every event with time < `window_end`, logging schedules into
+  /// `log` (see window_log.h). In-window schedules targeting times
+  /// before `window_end` enter the heap as phase-1; later targets are
+  /// parked — the slot is held (the returned EventId stays cancellable)
+  /// but heap insertion waits for the barrier's seq assignment.
+  std::size_t run_window(Time window_end, ShardWindowLog* log);
+
+  /// Barrier-time insertion of a cross-shard delivery with its merged
+  /// global seq. Accounts like schedule_at (the sequential engine
+  /// counted the delivery when the sender scheduled it).
+  void insert_with_seq(Time when, std::uint64_t seq, EventFn fn);
+
+  /// Barrier-time heap insertion of a parked event (slot already holds
+  /// the closure). Returns false if the event was cancelled in-window
+  /// (generation mismatch) — the seq is still consumed, as it would
+  /// have been sequentially.
+  bool reinsert_parked(std::uint32_t slot_index, std::uint32_t generation,
+                       Time when, std::uint64_t seq);
+
+  /// Raw heap top — tombstones included — for cross-engine merging.
+  bool top_key(Time& when, std::uint64_t& seq) const {
+    if (heap_keys_.empty()) return false;
+    when = heap_keys_.front().when;
+    seq = heap_keys_.front().seq;
+    return true;
+  }
+
+  /// Pops exactly the top heap entry: 1 = executed a live event, 0 =
+  /// discarded a tombstone, -1 = heap empty. Unlike run_steps(1) this
+  /// never skips ahead past a tombstone — the sharded coordinator must
+  /// re-compare engines after every pop to preserve the global order.
+  int step_top();
+
+  /// Moves the clock forward to `t` if it lags (never backwards). The
+  /// coordinator keeps engine clocks in sync so now() reads anywhere
+  /// match the sequential run.
+  void advance_clock(Time t) {
+    if (now_ < t) now_ = t;
+  }
+
+  /// Identity of the handler currently executing (valid inside an event
+  /// closure): its execution time and heap seq. Window-mode bookkeeping
+  /// tags log records with this.
+  Time exec_when() const { return exec_when_; }
+  std::uint64_t exec_seq() const { return exec_seq_; }
+
  private:
   // Heap entries carry the ordering keys directly so sifting never
   // chases the slot indirection; 4-ary halves the depth vs binary.
@@ -134,6 +205,7 @@ class Simulator {
   }
 
   bool pop_one();
+  void execute_ref(HeapKey key, HeapRef ref);
   void heap_push(HeapKey key, HeapRef ref);
   void heap_pop_top();
   std::uint32_t acquire_slot();
@@ -146,6 +218,12 @@ class Simulator {
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t* shared_seq_ = nullptr;   // sharded runs: one global counter
+  ShardWindowLog* window_log_ = nullptr;  // non-null while inside run_window
+  Time window_end_ = 0;
+  std::uint64_t window_local_seq_ = 0;
+  Time exec_when_ = 0;
+  std::uint64_t exec_seq_ = 0;
   std::size_t live_ = 0;
   std::size_t window_max_depth_ = 0;
   std::size_t slot_count_ = 0;

@@ -237,8 +237,13 @@ TEST(Chaos, CoordinatedInteriorCrashRestartRecovers) {
 // The determinism guarantee the whole harness rests on: the same seed
 // replays the same fault schedule decision for decision, which the
 // network's running event digest makes checkable bit-for-bit.
-std::uint64_t fault_replay_digest(std::uint64_t seed) {
-  Federation fed(chaos_params(seed));
+// `threads` > 1 routes the run through the sharded parallel engine
+// (sim/sharded_simulator.h), which must fold the identical digest.
+std::uint64_t fault_replay_digest(std::uint64_t seed,
+                                  std::size_t threads = 1) {
+  auto params = chaos_params(seed);
+  params.threads = threads;
+  Federation fed(std::move(params));
   fed.add_servers(12);
   seed_identifiable(fed, 12);
   fed.start();
@@ -282,6 +287,70 @@ TEST(Chaos, ReplayDigestsMatchPreSlabEngineGoldens) {
   }
 }
 
+// PR 7's correctness gate at federation scale, coin-mode leg: the
+// fault_replay_digest plan carries loss/dup/reorder coins, so the
+// sharded engine degrades to exact micro-stepping — and must still
+// reproduce the pre-slab goldens for every seed, through a full join /
+// stabilize / crash-restart / 90-second run.
+TEST(Chaos, ShardedReplayMatchesPreSlabGoldens) {
+  constexpr std::uint64_t kGoldens[16] = {
+      0xe5f31f052b32e72cull, 0xf013b34fbb93c45aull, 0x387577e53635e548ull,
+      0x0d186b3b4fabe062ull, 0x3c3d30a984ad31eaull, 0xa60f8860cd41640bull,
+      0x3e72995e1d8471dfull, 0xf73f14fb63a4e407ull, 0x4b79b0b89349cfd8ull,
+      0x4d65408605d4222dull, 0x4e6ea180b41339dfull, 0x47e088488639d693ull,
+      0x940a2e6e346f33beull, 0x2a74ab7910d77eeaull, 0xc8442dd92104ea4dull,
+      0xbb748389fb725c95ull};
+  for (std::uint64_t seed = 2000; seed < 2016; ++seed) {
+    EXPECT_EQ(fault_replay_digest(seed, 2), kGoldens[seed - 2000])
+        << "2-shard federation replay diverged at seed " << seed;
+  }
+  // A deeper shard count over a subset keeps the sweep affordable while
+  // still covering >1 worker per core class.
+  for (std::uint64_t seed = 2000; seed < 2004; ++seed) {
+    EXPECT_EQ(fault_replay_digest(seed, 8), kGoldens[seed - 2000])
+        << "8-shard federation replay diverged at seed " << seed;
+  }
+}
+
+// Parallel-window leg: partitions and crashes only — no per-message
+// coins, so the windows genuinely run the shards concurrently and the
+// barrier merge carries the full protocol traffic (summary pushes,
+// heartbeats, rejoins) across shard boundaries.
+std::uint64_t partition_replay_digest(std::uint64_t seed,
+                                      std::size_t threads) {
+  auto params = chaos_params(seed);
+  params.threads = threads;
+  Federation fed(std::move(params));
+  fed.add_servers(12);
+  seed_identifiable(fed, 12);
+  fed.start();
+  fed.stabilize();
+  sim::FaultPlan plan;
+  const auto now = fed.simulator().now();
+  sim::PartitionWindow window;
+  window.group = {1, 4, 5};
+  window.start = now + sim::seconds(5);
+  window.heal_at = now + sim::seconds(40);
+  plan.partitions.push_back(window);
+  plan.crashes.push_back({3, now + sim::seconds(10), now + sim::seconds(30)});
+  fed.apply_fault_plan(plan);
+  fed.advance(sim::seconds(90));
+  return fed.network().event_digest();
+}
+
+TEST(Chaos, ShardedPartitionCrashReplayIsBitIdentical) {
+  for (std::uint64_t seed = 2000; seed < 2016; ++seed) {
+    const auto sequential = partition_replay_digest(seed, 1);
+    EXPECT_EQ(partition_replay_digest(seed, 2), sequential)
+        << "2-shard partition/crash replay diverged at seed " << seed;
+  }
+  for (std::uint64_t seed = 2000; seed < 2004; ++seed) {
+    EXPECT_EQ(partition_replay_digest(seed, 8),
+              partition_replay_digest(seed, 1))
+        << "8-shard partition/crash replay diverged at seed " << seed;
+  }
+}
+
 // Same guarantee one level up: the experiment driver's headline metrics
 // (latency, traffic, matches, storage) recorded on the pre-slab engine,
 // compared exactly — doubles included — because the event order feeding
@@ -314,6 +383,39 @@ TEST(Chaos, ExperimentMetricsMatchPreSlabEngineGoldens) {
   EXPECT_DOUBLE_EQ(m6.matches_avg, 65.439999999999998);
   EXPECT_DOUBLE_EQ(m6.queries_completed, 25.0);
   EXPECT_DOUBLE_EQ(m6.max_storage_bytes, 14352.0);
+}
+
+// And through the sharded engine: a fault-free experiment run is pure
+// parallel-window territory (no coins, no global fault events), and
+// every headline double must still match the sequential goldens
+// exactly — the strongest statement that the windows reorder nothing.
+TEST(Chaos, ShardedExperimentMetricsMatchGoldensExactly) {
+  exp::ExpConfig cfg;
+  cfg.nodes = 24;
+  cfg.records_per_node = 40;
+  cfg.attributes = 4;
+  cfg.query_dimensions = 2;
+  cfg.queries = 25;
+  cfg.runs = 1;
+  cfg.max_children = 3;
+  cfg.histogram_buckets = 64;
+  cfg.threads = 4;
+
+  const auto m5 = exp::run_roads_once(cfg, 5);
+  EXPECT_DOUBLE_EQ(m5.latency_avg_ms, 625.96352000000002);
+  EXPECT_DOUBLE_EQ(m5.latency_p90_ms, 723.39300000000003);
+  EXPECT_DOUBLE_EQ(m5.query_bytes_avg, 1367.8000000000002);
+  EXPECT_DOUBLE_EQ(m5.update_bytes_per_round, 83360.0);
+  EXPECT_DOUBLE_EQ(m5.matches_avg, 54.280000000000001);
+  EXPECT_DOUBLE_EQ(m5.queries_completed, 25.0);
+  EXPECT_DOUBLE_EQ(m5.max_storage_bytes, 14352.0);
+
+  const auto m6 = exp::run_roads_once(cfg, 6);
+  EXPECT_DOUBLE_EQ(m6.latency_avg_ms, 564.94468000000006);
+  EXPECT_DOUBLE_EQ(m6.latency_p90_ms, 667.06500000000005);
+  EXPECT_DOUBLE_EQ(m6.query_bytes_avg, 1514.9999999999998);
+  EXPECT_DOUBLE_EQ(m6.matches_avg, 65.439999999999998);
+  EXPECT_DOUBLE_EQ(m6.queries_completed, 25.0);
 }
 
 // Negative test: the checker must actually reject a broken federation.

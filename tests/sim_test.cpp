@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "sim/delay_space.h"
 #include "sim/fault.h"
 #include "sim/network.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -534,6 +536,161 @@ TEST(Fault, DigestsMatchPreSlabEngineGoldens) {
         << "replay digest diverged from the pre-slab engine at seed "
         << seed;
   }
+}
+
+// --- Sharded parallel engine ---
+
+// The conservative lookahead the sharded engine relies on: no sampled
+// pair of distinct nodes may sit below DelaySpace::min_latency(), no
+// matter where the embedding placed them — including nodes appended
+// after construction.
+TEST(DelaySpace, MinLatencyLowerBoundsEveryDistinctPair) {
+  DelaySpace space(48, util::Rng(123));
+  const Time floor = space.min_latency();
+  EXPECT_GT(floor, 0);
+  space.add_node();
+  space.add_node();
+  const auto n = static_cast<NodeId>(space.node_count());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) {
+        EXPECT_EQ(space.latency(a, b), 0);
+      } else {
+        EXPECT_GE(space.latency(a, b), floor)
+            << "pair (" << a << ", " << b << ") undercuts the lookahead";
+      }
+    }
+  }
+}
+
+// The fault schedule of run_fault_schedule, driven through either
+// engine. `shards` == 0 is the sequential oracle; `message_coins`
+// toggles the per-message loss/dup/reorder coins (with them the
+// sharded engine must degrade to exact micro-stepping; without them
+// the partition/crash windows leave the parallel window path live).
+std::uint64_t run_fault_schedule_engine(std::uint64_t net_seed,
+                                        std::size_t shards,
+                                        bool message_coins) {
+  Simulator sim;
+  DelaySpace space(10, util::Rng(7));
+  Network net(sim, space, util::Rng(net_seed));
+  std::unique_ptr<ShardedSimulator> sharded;
+  if (shards > 0) {
+    sharded = std::make_unique<ShardedSimulator>(sim, shards);
+    sharded->set_lookahead(space.min_latency());
+    net.attach_sharded(sharded.get());
+  }
+  FaultPlan plan;
+  if (message_coins) {
+    plan.loss_rate = 0.3;
+    plan.duplicate_rate = 0.2;
+    plan.reorder_rate = 0.5;
+    plan.max_jitter = 5 * kMillisecond;
+  }
+  PartitionWindow w;
+  w.group = {1};
+  w.start = 50 * kMillisecond;
+  w.heal_at = 150 * kMillisecond;
+  plan.partitions.push_back(w);
+  CrashWindow c;
+  c.node = 2;
+  c.crash_at = 60 * kMillisecond;
+  c.restart_at = 120 * kMillisecond;
+  plan.crashes.push_back(c);
+  net.apply_fault_plan(plan);
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_at(i * kMillisecond, [&net, i] {
+      net.send(static_cast<NodeId>(i % 5), static_cast<NodeId>((i + 1) % 5),
+               10 + static_cast<std::uint64_t>(i), Channel::kQuery, [] {});
+    });
+  }
+  if (shards > 0) {
+    sharded->run_until(seconds(2));
+    EXPECT_EQ(sharded->pending_events(), 0u);
+  } else {
+    sim.run();
+  }
+  return net.event_digest();
+}
+
+// The tentpole's correctness gate, coin-mode leg: with per-message
+// fault coins in play the sharded engine micro-steps in exact global
+// order, so 2 and 8 shards must fold the identical digest the
+// sequential engine does — for all 16 golden seeds. (The sequential
+// runs here equal run_fault_schedule's, which the goldens test above
+// pins to the pre-slab engine, so transitively the sharded engine
+// matches those constants too.)
+TEST(Sharded, CoinModeDigestsMatchSequentialAcross16Seeds) {
+  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+    const auto sequential = run_fault_schedule_engine(seed, 0, true);
+    EXPECT_EQ(sequential, run_fault_schedule(seed));
+    EXPECT_EQ(run_fault_schedule_engine(seed, 2, true), sequential)
+        << "2-shard coin-mode digest diverged at seed " << seed;
+    EXPECT_EQ(run_fault_schedule_engine(seed, 8, true), sequential)
+        << "8-shard coin-mode digest diverged at seed " << seed;
+  }
+}
+
+// Parallel-window leg: partitions and crashes only (no message coins),
+// so windows genuinely run shards concurrently — cross-shard sends
+// buffer through the window logs and the barrier merge must reproduce
+// the sequential (time, seq) order bit for bit.
+TEST(Sharded, ParallelWindowDigestsMatchSequentialAcross16Seeds) {
+  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+    const auto sequential = run_fault_schedule_engine(seed, 0, false);
+    EXPECT_EQ(run_fault_schedule_engine(seed, 2, false), sequential)
+        << "2-shard window digest diverged at seed " << seed;
+    EXPECT_EQ(run_fault_schedule_engine(seed, 8, false), sequential)
+        << "8-shard window digest diverged at seed " << seed;
+  }
+}
+
+// Satellite 2: aggregated statistics. Counts sum across every engine
+// and max_depth / take_window_max_depth report the sum of per-engine
+// high-water marks, so the telemetry queue probes stay meaningful when
+// events live in N heaps.
+TEST(Sharded, StatsAndWatermarksAggregateAcrossShards) {
+  Simulator sim;
+  ShardedSimulator sharded(sim, 4);
+  // Default branching 8, 4 shards: children 1..4 of the implicit root
+  // land on shards 0..3.
+  ASSERT_NE(sharded.shard_of(1), sharded.shard_of(2));
+  sharded.pin_node(40, 3);
+  EXPECT_EQ(sharded.shard_of(40), 3u);
+
+  int ran = 0;
+  for (int i = 0; i < 3; ++i) {
+    sharded.schedule_on_node(1, 10 + i, [&ran] { ++ran; });
+  }
+  for (int i = 0; i < 2; ++i) {
+    sharded.schedule_on_node(2, 20 + i, [&ran] { ++ran; });
+  }
+  EXPECT_EQ(sharded.pending_events(), 5u);
+  EXPECT_EQ(sharded.stats().scheduled, 5u);
+  // Shard of node 1 holds 3 events, shard of node 2 holds 2: the
+  // federation-wide watermark is the sum of the per-engine maxima.
+  EXPECT_EQ(sharded.stats().max_depth, 5u);
+  EXPECT_EQ(sharded.run_until(100), 5u);
+  EXPECT_EQ(ran, 5);
+  EXPECT_EQ(sharded.stats().executed, 5u);
+  EXPECT_EQ(sharded.take_window_max_depth(), 5u);
+  EXPECT_EQ(sharded.take_window_max_depth(), 0u);  // taken = reset
+  EXPECT_EQ(sharded.pending_events(), 0u);
+}
+
+// run_steps drives in exact global (time, seq) order across engines —
+// the join/query drive loops depend on it.
+TEST(Sharded, RunStepsInterleavesEnginesInGlobalOrder) {
+  Simulator sim;
+  ShardedSimulator sharded(sim, 2);
+  std::vector<int> order;
+  sharded.schedule_on_node(1, 30, [&] { order.push_back(3); });
+  sharded.schedule_on_node(2, 10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sharded.run_steps(2), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sharded.run_steps(10), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 // --- Slotted engine: id reuse, stats, metrics ---
