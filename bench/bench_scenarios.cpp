@@ -1,0 +1,117 @@
+// Scenario sweep bench: every shipped scenario JSON (scenarios/) runs
+// through the scenario engine and lands one table row of RunMetrics-
+// style outcomes — queries completed, deterministic sim-time latency,
+// staleness peak, false positives, time-to-recover, and invariant
+// violations. The per-phase PHASE/RECOVERY/SCENARIO lines the runner
+// prints are greppable by CI (the scenarios job folds RECOVERY lines
+// into the step summary).
+//
+// Flag mapping (shared bench flags, see bench_common.h):
+//   --seed=N         offset added to each scenario file's own seed
+//                    (default 1 = the shipped seeds verbatim), so a
+//                    sweep can widen coverage without editing files
+//   --threads=N      run each scenario on the N-shard parallel engine;
+//                    digests and metrics are bit-identical vs N=1 (the
+//                    golden determinism gate in tests/scenario_test)
+//   --check-invariants  exit non-zero if any phase sweep reports a
+//                    violation (CI gate; off by default so local runs
+//                    can study a failing scenario's table row)
+//   --timeline-out=PATH  write each scenario's telemetry timeline as
+//                    PATH_<name>.csv + .jsonl
+//   --baseline=PATH  previous BENCH_scenarios.json; the "latency ms"
+//                    column is sim-time deterministic, so the gate is
+//                    exact up to the threshold
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+
+#ifndef ROADS_SCENARIO_DIR
+#error "ROADS_SCENARIO_DIR must point at the shipped scenarios/ directory"
+#endif
+
+namespace {
+
+using namespace roads;
+
+std::vector<std::string> shipped_scenarios() {
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ROADS_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto profile = bench::parse_profile(argc, argv);
+  bench::print_header(
+      "bench_scenarios — scripted churn, flash crowds, adversarial sweeps",
+      profile);
+
+  util::Table table({"scenario", "phases", "queries", "completed",
+                     "latency ms", "stale peak s", "false pos", "ttr s",
+                     "violations", "sim s", "wall s"});
+
+  bool violated = false;
+  for (const auto& path : shipped_scenarios()) {
+    auto spec = scenario::ScenarioSpec::from_file(path);
+    spec.seed += profile.base.seed - 1;  // default --seed=1: file seeds
+    scenario::ScenarioRunOptions options;
+    options.threads = profile.base.threads;
+    if (!profile.base.timeline_out.empty()) {
+      options.timeline_out = profile.base.timeline_out + "_" + spec.name;
+    }
+    const auto outcome = scenario::run_scenario(spec, options);
+    std::fputs(outcome.summary().c_str(), stdout);
+
+    std::size_t issued = 0;
+    std::size_t completed = 0;
+    double latency_weight = 0.0;
+    double latency_sum = 0.0;
+    double stale_peak = 0.0;
+    double false_pos = 0.0;
+    double ttr = -1.0;
+    std::size_t violations = 0;
+    for (const auto& phase : outcome.phases) {
+      issued += phase.queries_issued;
+      completed += phase.queries_completed;
+      latency_sum += phase.latency_avg_ms *
+                     static_cast<double>(phase.queries_completed);
+      latency_weight += static_cast<double>(phase.queries_completed);
+      stale_peak = std::max(stale_peak, phase.staleness_peak_s);
+      false_pos += phase.false_positives;
+      ttr = std::max(ttr, phase.time_to_recover_s);
+      violations += phase.violations.size();
+    }
+    violated = violated || violations > 0;
+    table.add_row({spec.name, std::to_string(outcome.phases.size()),
+                   std::to_string(issued), std::to_string(completed),
+                   util::Table::num(
+                       latency_weight > 0 ? latency_sum / latency_weight : 0),
+                   util::Table::num(stale_peak),
+                   util::Table::num(false_pos, 0), util::Table::num(ttr, 1),
+                   std::to_string(violations),
+                   util::Table::num(outcome.total_sim_s, 1),
+                   util::Table::num(outcome.wall_s, 3)});
+  }
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  const int gate = bench::finish_report("scenarios", profile, table);
+  if (profile.base.verify_invariants && violated) {
+    std::fprintf(stderr, "bench_scenarios: invariant violations (see "
+                         "VIOLATION lines above)\n");
+    return 1;
+  }
+  return gate;
+}

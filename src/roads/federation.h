@@ -163,6 +163,11 @@ class Federation : public Directory {
 
   sim::Simulator& simulator() { return simulator_; }
   sim::Network& network() { return network_; }
+  /// Mutable delay space: the scenario engine layers slow/asymmetric
+  /// link overrides onto it (sim::DelaySpace::set_link_extra) — extras
+  /// only ever add latency, so the sharded engine's min_latency()
+  /// lookahead stays conservative.
+  sim::DelaySpace& delay_space() { return delay_space_; }
   /// Non-null when FederationParams::threads > 1.
   sim::ShardedSimulator* sharded() { return sharded_.get(); }
   /// Aggregated engine statistics — identical to simulator().stats()

@@ -198,8 +198,13 @@ void RoadsServer::restart(sim::NodeId seed) {
   }
   trace_event(obs::TraceKind::kRejoin, seed);
   rejoins_.inc();
+  // A restart while the seed is unreachable (crashed, or across an
+  // active partition) must not strand us as a permanent lonely root:
+  // keep the seed as a recovery contact so the maintenance timer keeps
+  // retrying until the overlay re-merges.
+  recovery_candidates_.push_back(seed);
   start_join(seed, [this](bool ok) {
-    if (!ok) become_root();  // own partition until someone finds us
+    if (!ok) become_root();  // recovery_candidates_ keeps us retrying
   });
 }
 

@@ -1,0 +1,500 @@
+#include "scenario/spec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace roads::scenario {
+
+namespace {
+
+using util::JsonObject;
+using util::JsonValue;
+
+[[noreturn]] void fail_at(const std::string& where, const std::string& what) {
+  throw std::runtime_error("scenario: " + where + ": " + what);
+}
+
+/// Rejects keys outside `allowed` so a typo ("crash_fractionn") fails
+/// loudly, naming the key and its position instead of silently running
+/// a weaker scenario.
+void check_keys(const JsonObject& obj, const std::string& where,
+                std::initializer_list<const char*> allowed) {
+  const std::set<std::string> ok(allowed.begin(), allowed.end());
+  for (const auto& [key, value] : obj) {
+    if (!ok.count(key)) {
+      fail_at(where, "unknown key \"" + key + "\"");
+    }
+  }
+}
+
+const JsonObject& as_object(const JsonValue& v, const std::string& where) {
+  if (!v.is_object()) fail_at(where, "expected an object");
+  return v.as_object();
+}
+
+double num(const JsonObject& obj, const std::string& where,
+           const std::string& key, double fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  if (!it->second.is_number()) {
+    fail_at(where, "key \"" + key + "\" must be a number");
+  }
+  return it->second.as_number();
+}
+
+std::size_t count(const JsonObject& obj, const std::string& where,
+                  const std::string& key, std::size_t fallback) {
+  const double v = num(obj, where, key, static_cast<double>(fallback));
+  if (v < 0 || v != std::floor(v)) {
+    fail_at(where, "key \"" + key + "\" must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+bool flag(const JsonObject& obj, const std::string& where,
+          const std::string& key, bool fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  if (!it->second.is_bool()) {
+    fail_at(where, "key \"" + key + "\" must be a boolean");
+  }
+  return it->second.as_bool();
+}
+
+std::string text(const JsonObject& obj, const std::string& where,
+                 const std::string& key, const std::string& fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  if (!it->second.is_string()) {
+    fail_at(where, "key \"" + key + "\" must be a string");
+  }
+  return it->second.as_string();
+}
+
+double positive(double v, const std::string& where, const char* key) {
+  if (!(v > 0)) {
+    fail_at(where, std::string("key \"") + key + "\" must be > 0");
+  }
+  return v;
+}
+
+double rate(double v, const std::string& where, const char* key) {
+  if (v < 0 || v > 1) {
+    fail_at(where, std::string("key \"") + key + "\" must be in [0, 1]");
+  }
+  return v;
+}
+
+ChurnSpec parse_churn(const JsonValue& v, const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where,
+             {"fraction", "start_s", "spread_s", "down_s", "rejoin"});
+  ChurnSpec out;
+  out.fraction = rate(num(obj, where, "fraction", out.fraction), where,
+                      "fraction");
+  out.start_s = num(obj, where, "start_s", out.start_s);
+  out.spread_s = num(obj, where, "spread_s", out.spread_s);
+  out.down_s = num(obj, where, "down_s", out.down_s);
+  out.rejoin = flag(obj, where, "rejoin", out.rejoin);
+  return out;
+}
+
+FlashCrowdSpec parse_flash_crowd(const JsonValue& v,
+                                 const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where, {"attribute", "center", "width", "weight", "queries",
+                          "dimensions", "range_length"});
+  FlashCrowdSpec out;
+  out.attribute = count(obj, where, "attribute", out.attribute);
+  out.center = rate(num(obj, where, "center", out.center), where, "center");
+  out.width = num(obj, where, "width", out.width);
+  out.weight = rate(num(obj, where, "weight", out.weight), where, "weight");
+  out.queries = count(obj, where, "queries", out.queries);
+  out.dimensions = count(obj, where, "dimensions", out.dimensions);
+  out.range_length = num(obj, where, "range_length", out.range_length);
+  return out;
+}
+
+FlapSpec parse_flapping(const JsonValue& v, const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where, {"flaps", "period_s", "down_s"});
+  FlapSpec out;
+  out.flaps = count(obj, where, "flaps", out.flaps);
+  out.period_s = positive(num(obj, where, "period_s", out.period_s), where,
+                          "period_s");
+  out.down_s = positive(num(obj, where, "down_s", out.down_s), where,
+                        "down_s");
+  if (out.down_s >= out.period_s) {
+    fail_at(where, "key \"down_s\" must be shorter than \"period_s\"");
+  }
+  return out;
+}
+
+SlowLinksSpec parse_slow_links(const JsonValue& v, const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where, {"links", "extra_ms", "asymmetric"});
+  SlowLinksSpec out;
+  out.links = count(obj, where, "links", out.links);
+  out.extra_ms = positive(num(obj, where, "extra_ms", out.extra_ms), where,
+                          "extra_ms");
+  out.asymmetric = flag(obj, where, "asymmetric", out.asymmetric);
+  return out;
+}
+
+PartitionSpec parse_partition(const JsonValue& v, const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where, {"start_s", "heal_after_s"});
+  PartitionSpec out;
+  out.start_s = num(obj, where, "start_s", out.start_s);
+  out.heal_after_s = positive(
+      num(obj, where, "heal_after_s", out.heal_after_s), where,
+      "heal_after_s");
+  return out;
+}
+
+MessageFaultSpec parse_message_faults(const JsonValue& v,
+                                      const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where, {"loss", "duplicate", "reorder", "max_jitter_ms"});
+  MessageFaultSpec out;
+  out.loss = rate(num(obj, where, "loss", out.loss), where, "loss");
+  out.duplicate =
+      rate(num(obj, where, "duplicate", out.duplicate), where, "duplicate");
+  out.reorder =
+      rate(num(obj, where, "reorder", out.reorder), where, "reorder");
+  out.max_jitter_ms = num(obj, where, "max_jitter_ms", out.max_jitter_ms);
+  if (out.reorder > 0 && !(out.max_jitter_ms > 0)) {
+    fail_at(where, "key \"max_jitter_ms\" must be > 0 when reorder is set");
+  }
+  return out;
+}
+
+StalenessAttackSpec parse_staleness_attack(const JsonValue& v,
+                                           const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where, {"fraction", "waves", "queries"});
+  StalenessAttackSpec out;
+  out.fraction =
+      rate(num(obj, where, "fraction", out.fraction), where, "fraction");
+  out.waves = count(obj, where, "waves", out.waves);
+  out.queries = count(obj, where, "queries", out.queries);
+  return out;
+}
+
+QueryLoadSpec parse_queries(const JsonValue& v, const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where, {"count", "dimensions", "range_length"});
+  QueryLoadSpec out;
+  out.count = count(obj, where, "count", out.count);
+  out.dimensions = count(obj, where, "dimensions", out.dimensions);
+  out.range_length = num(obj, where, "range_length", out.range_length);
+  return out;
+}
+
+PhaseSpec parse_phase(const JsonValue& v, std::size_t index) {
+  std::string where = "phases[" + std::to_string(index) + "]";
+  const auto& obj = as_object(v, where);
+  PhaseSpec out;
+  out.name = text(obj, where, "name", "");
+  if (out.name.empty()) fail_at(where, "key \"name\" is required");
+  where += " ('" + out.name + "')";
+  check_keys(obj, where,
+             {"name", "duration_s", "churn", "flash_crowd", "flapping",
+              "slow_links", "partition", "message_faults", "staleness_attack",
+              "queries", "expect_single_root", "check_soundness"});
+  out.duration_s = positive(num(obj, where, "duration_s", out.duration_s),
+                            where, "duration_s");
+  if (const auto* b = obj.count("churn") ? &obj.at("churn") : nullptr) {
+    out.churn = parse_churn(*b, where + " churn");
+  }
+  if (obj.count("flash_crowd")) {
+    out.flash_crowd =
+        parse_flash_crowd(obj.at("flash_crowd"), where + " flash_crowd");
+  }
+  if (obj.count("flapping")) {
+    out.flapping = parse_flapping(obj.at("flapping"), where + " flapping");
+  }
+  if (obj.count("slow_links")) {
+    out.slow_links =
+        parse_slow_links(obj.at("slow_links"), where + " slow_links");
+  }
+  if (obj.count("partition")) {
+    out.partition =
+        parse_partition(obj.at("partition"), where + " partition");
+  }
+  if (obj.count("message_faults")) {
+    out.message_faults = parse_message_faults(obj.at("message_faults"),
+                                              where + " message_faults");
+  }
+  if (obj.count("staleness_attack")) {
+    out.staleness_attack = parse_staleness_attack(
+        obj.at("staleness_attack"), where + " staleness_attack");
+  }
+  if (obj.count("queries")) {
+    out.queries = parse_queries(obj.at("queries"), where + " queries");
+  }
+  out.expect_single_root =
+      flag(obj, where, "expect_single_root", out.expect_single_root);
+  out.check_soundness =
+      flag(obj, where, "check_soundness", out.check_soundness);
+  return out;
+}
+
+/// Formats a double so that parse(format(v)) == v: integers print
+/// without a fraction, everything else at max_digits10.
+std::string fmt_number(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Tiny canonical-JSON emitter: fields in a fixed order, 2-space
+/// indent, every field explicit (defaults included) so the round-trip
+/// is byte-identical.
+class Emitter {
+ public:
+  explicit Emitter(std::ostringstream& os) : os_(os) {}
+
+  void open(const char* key) {
+    comma();
+    indent();
+    if (key != nullptr) os_ << quote(key) << ": ";
+    os_ << "{\n";
+    first_ = true;
+    ++depth_;
+  }
+  void close() {
+    --depth_;
+    os_ << "\n";
+    indent();
+    os_ << "}";
+    first_ = false;
+  }
+  void field(const char* key, double v) { scalar(key, fmt_number(v)); }
+  void field(const char* key, std::uint64_t v) {
+    scalar(key, std::to_string(v));
+  }
+  void field(const char* key, bool v) { scalar(key, v ? "true" : "false"); }
+  void field(const char* key, const std::string& v) { scalar(key, quote(v)); }
+  void open_array(const char* key) {
+    comma();
+    indent();
+    os_ << quote(key) << ": [\n";
+    first_ = true;
+    ++depth_;
+  }
+  void close_array() {
+    --depth_;
+    os_ << "\n";
+    indent();
+    os_ << "]";
+    first_ = false;
+  }
+
+ private:
+  void comma() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+  }
+  void indent() {
+    for (int i = 0; i < depth_; ++i) os_ << "  ";
+  }
+  void scalar(const char* key, const std::string& v) {
+    comma();
+    indent();
+    os_ << quote(key) << ": " << v;
+  }
+
+  std::ostringstream& os_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::from_json(const JsonValue& doc) {
+  const auto& obj = as_object(doc, "top level");
+  ScenarioSpec out;
+  out.name = text(obj, "top level", "name", "");
+  if (out.name.empty()) fail_at("top level", "key \"name\" is required");
+  const std::string where = "scenario '" + out.name + "'";
+  check_keys(obj, where,
+             {"name", "description", "nodes", "records_per_node",
+              "attributes", "max_children", "seed", "refresh_period_s",
+              "heartbeat_s", "probe_window_s", "phases"});
+  out.description = text(obj, where, "description", "");
+  out.nodes = count(obj, where, "nodes", out.nodes);
+  if (out.nodes < 2) fail_at(where, "key \"nodes\" must be >= 2");
+  out.records_per_node = count(obj, where, "records_per_node",
+                               out.records_per_node);
+  out.attributes = count(obj, where, "attributes", out.attributes);
+  if (out.attributes == 0) fail_at(where, "key \"attributes\" must be >= 1");
+  out.max_children = count(obj, where, "max_children", out.max_children);
+  if (out.max_children == 0) {
+    fail_at(where, "key \"max_children\" must be >= 1");
+  }
+  out.seed = count(obj, where, "seed", static_cast<std::size_t>(out.seed));
+  out.refresh_period_s = positive(
+      num(obj, where, "refresh_period_s", out.refresh_period_s), where,
+      "refresh_period_s");
+  out.heartbeat_s = positive(num(obj, where, "heartbeat_s", out.heartbeat_s),
+                             where, "heartbeat_s");
+  out.probe_window_s = positive(
+      num(obj, where, "probe_window_s", out.probe_window_s), where,
+      "probe_window_s");
+
+  const auto phases_it = obj.find("phases");
+  if (phases_it == obj.end() || !phases_it->second.is_array()) {
+    fail_at(where, "key \"phases\" must be an array");
+  }
+  const auto& phases = phases_it->second.as_array();
+  if (phases.empty()) fail_at(where, "key \"phases\" must not be empty");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    out.phases.push_back(parse_phase(phases[i], i));
+  }
+
+  // Blocks that reference an attribute must stay inside the schema.
+  for (std::size_t i = 0; i < out.phases.size(); ++i) {
+    const auto& phase = out.phases[i];
+    if (phase.flash_crowd && phase.flash_crowd->attribute >= out.attributes) {
+      fail_at("phases[" + std::to_string(i) + "] ('" + phase.name +
+                  "') flash_crowd",
+              "key \"attribute\" is outside the schema (attributes = " +
+                  std::to_string(out.attributes) + ")");
+    }
+  }
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::from_json_text(const std::string& json_text) {
+  return from_json(util::parse_json(json_text));
+}
+
+ScenarioSpec ScenarioSpec::from_file(const std::string& path) {
+  return from_json(util::parse_json_file(path));
+}
+
+std::string ScenarioSpec::to_json() const {
+  std::ostringstream os;
+  Emitter e(os);
+  e.open(nullptr);
+  e.field("name", name);
+  e.field("description", description);
+  e.field("nodes", nodes);
+  e.field("records_per_node", records_per_node);
+  e.field("attributes", attributes);
+  e.field("max_children", max_children);
+  e.field("seed", seed);
+  e.field("refresh_period_s", refresh_period_s);
+  e.field("heartbeat_s", heartbeat_s);
+  e.field("probe_window_s", probe_window_s);
+  e.open_array("phases");
+  for (const auto& phase : phases) {
+    e.open(nullptr);
+    e.field("name", phase.name);
+    e.field("duration_s", phase.duration_s);
+    if (phase.churn) {
+      e.open("churn");
+      e.field("fraction", phase.churn->fraction);
+      e.field("start_s", phase.churn->start_s);
+      e.field("spread_s", phase.churn->spread_s);
+      e.field("down_s", phase.churn->down_s);
+      e.field("rejoin", phase.churn->rejoin);
+      e.close();
+    }
+    if (phase.flash_crowd) {
+      e.open("flash_crowd");
+      e.field("attribute", phase.flash_crowd->attribute);
+      e.field("center", phase.flash_crowd->center);
+      e.field("width", phase.flash_crowd->width);
+      e.field("weight", phase.flash_crowd->weight);
+      e.field("queries", phase.flash_crowd->queries);
+      e.field("dimensions", phase.flash_crowd->dimensions);
+      e.field("range_length", phase.flash_crowd->range_length);
+      e.close();
+    }
+    if (phase.flapping) {
+      e.open("flapping");
+      e.field("flaps", phase.flapping->flaps);
+      e.field("period_s", phase.flapping->period_s);
+      e.field("down_s", phase.flapping->down_s);
+      e.close();
+    }
+    if (phase.slow_links) {
+      e.open("slow_links");
+      e.field("links", phase.slow_links->links);
+      e.field("extra_ms", phase.slow_links->extra_ms);
+      e.field("asymmetric", phase.slow_links->asymmetric);
+      e.close();
+    }
+    if (phase.partition) {
+      e.open("partition");
+      e.field("start_s", phase.partition->start_s);
+      e.field("heal_after_s", phase.partition->heal_after_s);
+      e.close();
+    }
+    if (phase.message_faults) {
+      e.open("message_faults");
+      e.field("loss", phase.message_faults->loss);
+      e.field("duplicate", phase.message_faults->duplicate);
+      e.field("reorder", phase.message_faults->reorder);
+      e.field("max_jitter_ms", phase.message_faults->max_jitter_ms);
+      e.close();
+    }
+    if (phase.staleness_attack) {
+      e.open("staleness_attack");
+      e.field("fraction", phase.staleness_attack->fraction);
+      e.field("waves", phase.staleness_attack->waves);
+      e.field("queries", phase.staleness_attack->queries);
+      e.close();
+    }
+    if (phase.queries) {
+      e.open("queries");
+      e.field("count", phase.queries->count);
+      e.field("dimensions", phase.queries->dimensions);
+      e.field("range_length", phase.queries->range_length);
+      e.close();
+    }
+    e.field("expect_single_root", phase.expect_single_root);
+    e.field("check_soundness", phase.check_soundness);
+    e.close();
+  }
+  e.close_array();
+  e.close();
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace roads::scenario

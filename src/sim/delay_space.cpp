@@ -35,8 +35,26 @@ Time DelaySpace::latency(NodeId a, NodeId b) const {
     sum += diff * diff;
   }
   const double distance = std::sqrt(sum);
-  return params_.base_latency +
-         static_cast<Time>(distance * static_cast<double>(params_.scale));
+  Time latency = params_.base_latency +
+                 static_cast<Time>(distance * static_cast<double>(params_.scale));
+  if (!link_extra_.empty()) {
+    const auto it = link_extra_.find((static_cast<std::uint64_t>(a) << 32) |
+                                     static_cast<std::uint64_t>(b));
+    if (it != link_extra_.end()) latency += it->second;
+  }
+  return latency;
 }
+
+void DelaySpace::set_link_extra(NodeId from, NodeId to, Time extra) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  if (extra <= 0) {
+    link_extra_.erase(key);
+  } else {
+    link_extra_[key] = extra;
+  }
+}
+
+void DelaySpace::clear_link_extras() { link_extra_.clear(); }
 
 }  // namespace roads::sim

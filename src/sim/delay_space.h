@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -54,6 +55,17 @@ class DelaySpace {
   /// Appends one more node (servers joining an existing federation).
   NodeId add_node();
 
+  /// Layers extra one-way latency onto the directed link from -> to
+  /// (scenario engine: slow and asymmetric links — set one direction
+  /// only for asymmetry). Extras are additive and clamped at >= 0, so
+  /// min_latency() stays a valid conservative lookahead for the
+  /// sharded engine: overrides can only slow a link down. Setting an
+  /// extra of 0 removes the override.
+  void set_link_extra(NodeId from, NodeId to, Time extra);
+  /// Drops every link override (scenario phase boundaries heal links).
+  void clear_link_extras();
+  std::size_t link_extra_count() const { return link_extra_.size(); }
+
   const std::vector<std::array<double, 5>>& coordinates() const {
     return coords_;
   }
@@ -62,6 +74,9 @@ class DelaySpace {
   DelaySpaceParams params_;
   util::Rng rng_;
   std::vector<std::array<double, 5>> coords_;
+  /// Directed extra latency, keyed (from << 32) | to; empty in every
+  /// non-scenario run so latency() pays one branch, not a lookup.
+  std::unordered_map<std::uint64_t, Time> link_extra_;
 };
 
 }  // namespace roads::sim

@@ -29,8 +29,21 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("json: " + what + " at offset " +
-                             std::to_string(pos_));
+    // Line/column are derived lazily from the byte offset: errors are
+    // terminal, so the scan costs nothing on the happy path.
+    std::size_t line = 1;
+    std::size_t line_start = 0;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
+    }
+    const std::size_t column = pos_ - line_start + 1;
+    throw std::runtime_error("json: " + what + " at line " +
+                             std::to_string(line) + " column " +
+                             std::to_string(column) + " (offset " +
+                             std::to_string(pos_) + ")");
   }
 
   void skip_ws() {

@@ -1,6 +1,7 @@
 // Minimal JSON reader for the repo's own machine-readable outputs
-// (BENCH_*.json reports, Chrome trace dumps). Recursive-descent, whole
-// document in memory, throws std::runtime_error with an offset on
+// (BENCH_*.json reports, Chrome trace dumps, scenario specs).
+// Recursive-descent, whole document in memory, throws
+// std::runtime_error naming the line, column and byte offset on
 // malformed input. Deliberately small: no streaming, no writer (the
 // exporters format by hand), and numbers are always doubles — exactly
 // what the bench reporter emits.
@@ -63,8 +64,8 @@ class JsonValue {
 };
 
 /// Parses a complete JSON document (one top-level value, trailing
-/// whitespace allowed). Throws std::runtime_error with the byte offset
-/// of the first error.
+/// whitespace allowed). Throws std::runtime_error naming the line,
+/// column and byte offset of the first error.
 JsonValue parse_json(const std::string& text);
 
 /// Reads and parses a JSON file; throws std::runtime_error when the

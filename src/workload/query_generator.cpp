@@ -38,12 +38,12 @@ QueryGenerator::QueryGenerator(record::Schema schema, WorkloadSpec spec,
   }
 }
 
-record::Query QueryGenerator::query_with_length(
-    const std::vector<double>& centers, std::size_t dimensions,
+record::Query QueryGenerator::query_over_attributes(
+    const std::vector<std::size_t>& attrs, const std::vector<double>& centers,
     double range_length) const {
   record::Query q;
-  for (std::size_t d = 0; d < dimensions && d < order_.size(); ++d) {
-    const std::size_t attr = order_[d];
+  for (std::size_t d = 0; d < attrs.size(); ++d) {
+    const std::size_t attr = attrs[d];
     const auto& def = schema_.at(attr);
     const double width = def.domain_max - def.domain_min;
     const double len = std::clamp(range_length, 0.0, 1.0) * width;
@@ -56,6 +56,24 @@ record::Query QueryGenerator::query_with_length(
   return q;
 }
 
+record::Query QueryGenerator::query_with_length(
+    const std::vector<double>& centers, std::size_t dimensions,
+    double range_length) const {
+  std::vector<std::size_t> attrs(
+      order_.begin(),
+      order_.begin() +
+          static_cast<std::ptrdiff_t>(std::min(dimensions, order_.size())));
+  return query_over_attributes(attrs, centers, range_length);
+}
+
+void QueryGenerator::set_hotspot(std::optional<HotspotSpec> hotspot) {
+  if (hotspot && hotspot->attribute >= schema_.size()) {
+    throw std::invalid_argument(
+        "QueryGenerator: hotspot attribute outside the schema");
+  }
+  hotspot_ = std::move(hotspot);
+}
+
 record::Query QueryGenerator::generate(std::size_t dimensions,
                                        double range_length) {
   if (dimensions > order_.size()) {
@@ -63,7 +81,27 @@ record::Query QueryGenerator::generate(std::size_t dimensions,
   }
   std::vector<double> centers(dimensions);
   for (auto& c : centers) c = rng_.uniform01();
-  return query_with_length(centers, dimensions, range_length);
+  if (!hotspot_) return query_with_length(centers, dimensions, range_length);
+
+  // Flash-crowd steering: a weighted coin decides whether this query
+  // joins the crowd; steered queries pin the hotspot attribute's center
+  // inside the hot range. Both draws happen on every call so the
+  // skewed stream stays reproducible regardless of coin outcomes.
+  const bool steered = rng_.uniform01() < hotspot_->weight;
+  const double hot_center = std::clamp(
+      hotspot_->center + (rng_.uniform01() - 0.5) * hotspot_->width, 0.0, 1.0);
+  if (!steered || dimensions == 0) {
+    return query_with_length(centers, dimensions, range_length);
+  }
+  std::vector<std::size_t> attrs(
+      order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(dimensions));
+  std::size_t slot = 0;  // replace the first dimension unless already queried
+  for (std::size_t d = 0; d < attrs.size(); ++d) {
+    if (attrs[d] == hotspot_->attribute) slot = d;
+  }
+  attrs[slot] = hotspot_->attribute;
+  centers[slot] = hot_center;
+  return query_over_attributes(attrs, centers, range_length);
 }
 
 std::vector<record::Query> QueryGenerator::generate_batch(

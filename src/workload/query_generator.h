@@ -18,6 +18,20 @@
 
 namespace roads::workload {
 
+/// Flash-crowd skew override (scenario engine): while installed, each
+/// generated query is steered onto one attribute's hot range with
+/// probability `weight` — the hotspot attribute joins the queried
+/// dimensions (replacing the first canonical dimension if it was not
+/// already queried) and its range center is drawn uniformly from
+/// [center - width/2, center + width/2] instead of the whole domain.
+/// Centers are in normalized [0, 1] domain coordinates.
+struct HotspotSpec {
+  std::size_t attribute = 0;
+  double center = 0.5;
+  double width = 0.1;
+  double weight = 1.0;
+};
+
 class QueryGenerator {
  public:
   QueryGenerator(record::Schema schema, WorkloadSpec spec, std::uint64_t seed);
@@ -29,8 +43,16 @@ class QueryGenerator {
   const std::vector<std::size_t>& dimension_order() const { return order_; }
 
   /// One query with `dimensions` predicates, each a range of length
-  /// `range_length` placed uniformly at random.
+  /// `range_length` placed uniformly at random (subject to the
+  /// installed hotspot override, if any).
   record::Query generate(std::size_t dimensions, double range_length = 0.25);
+
+  /// Installs (or clears, with nullopt) the flash-crowd skew override.
+  /// The hotspot attribute must be a valid schema index. Installing a
+  /// hotspot changes the RNG draw count per generate() call, so the
+  /// unskewed stream is only reproducible while no hotspot is set.
+  void set_hotspot(std::optional<HotspotSpec> hotspot);
+  const std::optional<HotspotSpec>& hotspot() const { return hotspot_; }
 
   /// A batch of queries (the paper uses 500 per run).
   std::vector<record::Query> generate_batch(std::size_t count,
@@ -53,11 +75,15 @@ class QueryGenerator {
   record::Query query_with_length(const std::vector<double>& centers,
                                   std::size_t dimensions,
                                   double range_length) const;
+  record::Query query_over_attributes(const std::vector<std::size_t>& attrs,
+                                      const std::vector<double>& centers,
+                                      double range_length) const;
 
   record::Schema schema_;
   WorkloadSpec spec_;
   util::Rng rng_;
   std::vector<std::size_t> order_;
+  std::optional<HotspotSpec> hotspot_;
 };
 
 }  // namespace roads::workload

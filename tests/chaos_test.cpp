@@ -27,6 +27,8 @@
 #include "sim/fault.h"
 #include "testing/invariants.h"
 
+#include "seed_sweep.h"
+
 namespace roads {
 namespace {
 
@@ -35,16 +37,7 @@ using core::Federation;
 using core::FederationParams;
 
 std::vector<std::uint64_t> sweep_seeds() {
-  if (const char* pin = std::getenv("CHAOS_SEED")) {
-    return {std::strtoull(pin, nullptr, 10)};
-  }
-  std::size_t count = 32;
-  if (const char* n = std::getenv("CHAOS_SEEDS")) {
-    count = std::strtoul(n, nullptr, 10);
-  }
-  std::vector<std::uint64_t> seeds;
-  for (std::size_t i = 0; i < count; ++i) seeds.push_back(1000 + i);
-  return seeds;
+  return testing::sweep_seeds("CHAOS", 32, 1000);
 }
 
 FederationParams chaos_params(std::uint64_t seed) {
@@ -192,6 +185,63 @@ TEST(Chaos, SubtreePartitionHealsToSingleRoot) {
   }
 }
 
+// Scenario 2b (regression): a node that restarts while its rejoin seed
+// sits across an active partition must not become a permanent lonely
+// root. The restart handler seeds the join from the lowest-id alive
+// peer; with the partition still up that join fails, and only the
+// recovery-candidate retry on the maintenance timer can re-merge the
+// node once the partition heals.
+TEST(Chaos, RestartDuringPartitionRemergesAfterHeal) {
+  for (const auto seed : sweep_seeds()) {
+    Federation fed(chaos_params(seed));
+    fed.add_servers(16);
+    seed_identifiable(fed, 16);
+    fed.start();
+    fed.stabilize();
+
+    // An interior subtree that excludes node 0: the restart seed is the
+    // lowest-id alive peer, so node 0 must stay on the majority side
+    // for the mid-partition join to fail.
+    const auto topo = fed.topology();
+    sim::NodeId victim = 0;
+    std::vector<sim::NodeId> group;
+    for (sim::NodeId i = 1; i < 16; ++i) {
+      if (i == topo.root() || topo.children(i).empty()) continue;
+      auto subtree = topo.subtree(i);
+      if (std::find(subtree.begin(), subtree.end(), sim::NodeId{0}) ==
+          subtree.end()) {
+        victim = i;
+        group = std::move(subtree);
+        break;
+      }
+    }
+    if (group.empty()) continue;  // no suitable subtree at this seed
+
+    sim::FaultPlan plan;
+    sim::PartitionWindow window;
+    window.group = group;
+    window.start = fed.simulator().now() + sim::seconds(1);
+    window.heal_at = window.start + sim::seconds(60);
+    plan.partitions.push_back(window);
+    // Crash a member of the partitioned subtree and restart it while
+    // the cut is still up: its join toward node 0 cannot get through.
+    sim::CrashWindow crash;
+    crash.node = group.back();
+    crash.crash_at = window.start + sim::seconds(5);
+    crash.restart_at = window.start + sim::seconds(20);
+    plan.crashes.push_back(crash);
+    SCOPED_TRACE(replay_hint(seed, plan));
+
+    fed.apply_fault_plan(plan);
+    fed.advance(sim::seconds(150));  // heal at +61s, then re-merge retries
+    fed.stabilize(3);
+    ASSERT_EQ(root_count(fed), 1u);
+    const auto healed = fed.topology();
+    EXPECT_EQ(healed.subtree(healed.root()).size(), 16u);
+    expect_converged_invariants(fed, seed);
+  }
+}
+
 // Scenario 3: coordinated crash of an interior node together with one
 // of its children, restart both 30 seconds later. Orphaned descendants
 // rejoin via their root paths; the restarted pair rejoins from scratch.
@@ -271,15 +321,17 @@ TEST(Chaos, ReplayDigestIsBitIdentical) {
 // must replay bit-identically on the slotted engine for all 16 seeds.
 // These constants pin the protocol-visible execution order end to end;
 // they only change if replay semantics change, never for a pure
-// performance change.
+// performance change. (Seeds 2011 and 2015 were re-recorded when
+// RoadsServer::restart started keeping its seed as a recovery contact
+// — a deliberate protocol fix; see RestartDuringPartitionRemergesAfterHeal.)
 TEST(Chaos, ReplayDigestsMatchPreSlabEngineGoldens) {
   constexpr std::uint64_t kGoldens[16] = {
       0xe5f31f052b32e72cull, 0xf013b34fbb93c45aull, 0x387577e53635e548ull,
       0x0d186b3b4fabe062ull, 0x3c3d30a984ad31eaull, 0xa60f8860cd41640bull,
       0x3e72995e1d8471dfull, 0xf73f14fb63a4e407ull, 0x4b79b0b89349cfd8ull,
-      0x4d65408605d4222dull, 0x4e6ea180b41339dfull, 0x47e088488639d693ull,
+      0x4d65408605d4222dull, 0x4e6ea180b41339dfull, 0x689dd5bdc7ebc6e6ull,
       0x940a2e6e346f33beull, 0x2a74ab7910d77eeaull, 0xc8442dd92104ea4dull,
-      0xbb748389fb725c95ull};
+      0x000bf957b3d32940ull};
   for (std::uint64_t seed = 2000; seed < 2016; ++seed) {
     EXPECT_EQ(fault_replay_digest(seed), kGoldens[seed - 2000])
         << "federation replay diverged from the pre-slab engine at seed "
@@ -297,9 +349,9 @@ TEST(Chaos, ShardedReplayMatchesPreSlabGoldens) {
       0xe5f31f052b32e72cull, 0xf013b34fbb93c45aull, 0x387577e53635e548ull,
       0x0d186b3b4fabe062ull, 0x3c3d30a984ad31eaull, 0xa60f8860cd41640bull,
       0x3e72995e1d8471dfull, 0xf73f14fb63a4e407ull, 0x4b79b0b89349cfd8ull,
-      0x4d65408605d4222dull, 0x4e6ea180b41339dfull, 0x47e088488639d693ull,
+      0x4d65408605d4222dull, 0x4e6ea180b41339dfull, 0x689dd5bdc7ebc6e6ull,
       0x940a2e6e346f33beull, 0x2a74ab7910d77eeaull, 0xc8442dd92104ea4dull,
-      0xbb748389fb725c95ull};
+      0x000bf957b3d32940ull};
   for (std::uint64_t seed = 2000; seed < 2016; ++seed) {
     EXPECT_EQ(fault_replay_digest(seed, 2), kGoldens[seed - 2000])
         << "2-shard federation replay diverged at seed " << seed;

@@ -1,0 +1,42 @@
+// Shared seed-sweep helper for the chaos, sim, and scenario suites.
+//
+// Every sweeping suite reads the same pair of environment knobs,
+// prefixed per suite so they can be tuned independently in CI:
+//
+//   <PREFIX>_SEED=<seed>    pin the sweep to one seed (reproduce a
+//                           single failing run)
+//   <PREFIX>_SEEDS=<count>  widen or narrow the sweep (CI's extended
+//                           chaos job uses 128)
+//
+// Seeds are consecutive starting at `base` so a failure report like
+// "seed=1007" is directly pinnable. Golden-pinned loops (fixed seed
+// arrays whose expected digests are checked in) must NOT use this
+// helper — goldens stay fixed regardless of the environment.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace roads::testing {
+
+inline std::vector<std::uint64_t> sweep_seeds(const std::string& prefix,
+                                              std::size_t default_count,
+                                              std::uint64_t base) {
+  const std::string pin_var = prefix + "_SEED";
+  if (const char* pin = std::getenv(pin_var.c_str())) {
+    return {std::strtoull(pin, nullptr, 10)};
+  }
+  std::size_t count = default_count;
+  const std::string count_var = prefix + "_SEEDS";
+  if (const char* n = std::getenv(count_var.c_str())) {
+    count = std::strtoul(n, nullptr, 10);
+  }
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(base + i);
+  return seeds;
+}
+
+}  // namespace roads::testing

@@ -17,6 +17,8 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 
+#include "seed_sweep.h"
+
 namespace roads::sim {
 namespace {
 
@@ -185,6 +187,32 @@ TEST(DelaySpace, LatenciesHaveInternetScale) {
   const double mean_ms = sum / pairs / 1000.0;
   EXPECT_GT(mean_ms, 50.0);
   EXPECT_LT(mean_ms, 160.0);
+}
+
+TEST(DelaySpace, LinkExtrasAreDirectedAndHealable) {
+  DelaySpace space(8, util::Rng(7));
+  const Time base01 = space.latency(0, 1);
+  const Time base10 = space.latency(1, 0);
+  space.set_link_extra(0, 1, 40 * kMillisecond);
+  // Asymmetric: only the overridden direction slows down.
+  EXPECT_EQ(space.latency(0, 1), base01 + 40 * kMillisecond);
+  EXPECT_EQ(space.latency(1, 0), base10);
+  EXPECT_EQ(space.link_extra_count(), 1u);
+  // Extras never lower a link, so min_latency() stays a valid
+  // conservative lookahead for the sharded engine.
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = 0; j < 8; ++j) {
+      if (i != j) EXPECT_GE(space.latency(i, j), space.min_latency());
+    }
+  }
+  // Setting an extra of 0 removes that override; clear heals all.
+  space.set_link_extra(0, 1, 0);
+  EXPECT_EQ(space.latency(0, 1), base01);
+  space.set_link_extra(2, 3, 5 * kMillisecond);
+  space.set_link_extra(3, 2, 90 * kMillisecond);
+  space.clear_link_extras();
+  EXPECT_EQ(space.link_extra_count(), 0u);
+  EXPECT_EQ(space.latency(2, 3), space.latency(3, 2));
 }
 
 TEST(DelaySpace, AddNodeExtends) {
@@ -621,7 +649,7 @@ std::uint64_t run_fault_schedule_engine(std::uint64_t net_seed,
 // pins to the pre-slab engine, so transitively the sharded engine
 // matches those constants too.)
 TEST(Sharded, CoinModeDigestsMatchSequentialAcross16Seeds) {
-  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+  for (const std::uint64_t seed : testing::sweep_seeds("SIM", 16, 100)) {
     const auto sequential = run_fault_schedule_engine(seed, 0, true);
     EXPECT_EQ(sequential, run_fault_schedule(seed));
     EXPECT_EQ(run_fault_schedule_engine(seed, 2, true), sequential)
@@ -636,7 +664,7 @@ TEST(Sharded, CoinModeDigestsMatchSequentialAcross16Seeds) {
 // buffer through the window logs and the barrier merge must reproduce
 // the sequential (time, seq) order bit for bit.
 TEST(Sharded, ParallelWindowDigestsMatchSequentialAcross16Seeds) {
-  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+  for (const std::uint64_t seed : testing::sweep_seeds("SIM", 16, 100)) {
     const auto sequential = run_fault_schedule_engine(seed, 0, false);
     EXPECT_EQ(run_fault_schedule_engine(seed, 2, false), sequential)
         << "2-shard window digest diverged at seed " << seed;

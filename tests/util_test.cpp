@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/log.h"
 #include "util/unique_function.h"
 #include "util/rng.h"
@@ -520,6 +521,43 @@ TEST(UniqueFunction, HoldsMoveOnlyCaptures) {
   UniqueFunction<int()> fn([p = std::move(owned)] { return *p; });
   UniqueFunction<int()> moved(std::move(fn));
   EXPECT_EQ(moved(), 17);
+}
+
+// --- Json parse errors (regression: line/column, not just offset) ---
+
+std::string parse_failure_message(const std::string& text) {
+  try {
+    parse_json(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Json, ParseErrorsReportLineAndColumn) {
+  // The bad token sits on line 3: "q" starts an invalid literal at
+  // column 12 (1-based), byte offset 29 into the document.
+  const std::string doc = "{\n  \"a\": 1,\n  \"fail\":  quux\n}\n";
+  const auto msg = parse_failure_message(doc);
+  ASSERT_FALSE(msg.empty()) << "malformed document parsed successfully";
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 12"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("offset 23"), std::string::npos) << msg;
+}
+
+TEST(Json, ParseErrorsOnFirstLineCountFromColumnOne) {
+  const auto msg = parse_failure_message("[1, 2,,]");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 7"), std::string::npos) << msg;
+}
+
+TEST(Json, TrailingGarbageNamesItsPosition) {
+  const auto msg = parse_failure_message("{}\n\nxyz");
+  ASSERT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("trailing"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 1"), std::string::npos) << msg;
 }
 
 TEST(UniqueFunction, PassesArgumentsAndReturnsValues) {

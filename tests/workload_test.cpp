@@ -233,6 +233,62 @@ TEST(QueryGenerator, BatchDeterministicPerSeed) {
   }
 }
 
+TEST(QueryGenerator, HotspotSteersQueriesOntoHotRange) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = WorkloadSpec::paper_default(16, 10);
+  QueryGenerator gen(schema, spec, 7);
+  const HotspotSpec hot{.attribute = 3, .center = 0.8, .width = 0.1,
+                        .weight = 1.0};
+  gen.set_hotspot(hot);
+  ASSERT_TRUE(gen.hotspot().has_value());
+  for (int i = 0; i < 200; ++i) {
+    const auto q = gen.generate(6, 0.25);
+    ASSERT_EQ(q.dimensions(), 6u);
+    bool found = false;
+    for (const auto& p : q.predicates()) {
+      if (p.attribute != hot.attribute) continue;
+      found = true;
+      // The range center lies within the hot band (clamped against the
+      // domain edges by query construction, so check containment in
+      // [center - (width + length)/2, center + (width + length)/2]).
+      const double mid = (p.lo + p.hi) / 2.0;
+      EXPECT_GE(mid, hot.center - (hot.width + 0.25) / 2.0 - 1e-9);
+      EXPECT_LE(mid, hot.center + (hot.width + 0.25) / 2.0 + 1e-9);
+    }
+    EXPECT_TRUE(found) << "steered query missing the hotspot attribute";
+  }
+}
+
+TEST(QueryGenerator, HotspotWeightZeroPreservesQueryShape) {
+  const auto schema = record::Schema::uniform_numeric(16);
+  const auto spec = WorkloadSpec::paper_default(16, 10);
+  QueryGenerator skewed(schema, spec, 11);
+  skewed.set_hotspot(HotspotSpec{.attribute = 2, .weight = 0.0});
+  QueryGenerator plain(schema, spec, 11);
+  // Weight 0 never steers: every query keeps the canonical attribute
+  // set (the extra coin/center draws shift the stream, so values need
+  // not match — only the queried attributes).
+  for (int i = 0; i < 50; ++i) {
+    const auto qs = skewed.generate(6, 0.25);
+    const auto qp = plain.generate(6, 0.25);
+    ASSERT_EQ(qs.dimensions(), qp.dimensions());
+    for (std::size_t d = 0; d < qs.dimensions(); ++d) {
+      EXPECT_EQ(qs.predicates()[d].attribute, qp.predicates()[d].attribute);
+    }
+  }
+}
+
+TEST(QueryGenerator, HotspotRejectsUnknownAttribute) {
+  const auto schema = record::Schema::uniform_numeric(4);
+  const auto spec = WorkloadSpec::paper_default(4, 10);
+  QueryGenerator gen(schema, spec, 1);
+  EXPECT_THROW(gen.set_hotspot(HotspotSpec{.attribute = 4}),
+               std::invalid_argument);
+  gen.set_hotspot(HotspotSpec{.attribute = 1});
+  gen.set_hotspot(std::nullopt);
+  EXPECT_FALSE(gen.hotspot().has_value());
+}
+
 TEST(QueryGenerator, TooManyDimensionsThrows) {
   const auto schema = record::Schema::uniform_numeric(4);
   const auto spec = WorkloadSpec::paper_default(4, 10);
