@@ -33,6 +33,10 @@
 //                       latency quantiles, staleness/divergence probes)
 //   --probe-interval=S  timeline sampling interval in seconds of sim
 //                       time (0 = one window per summary period)
+//   --profile-out=PATH  run the seed repetition with handler profiling
+//                       on and write PATH (PROFILE json) plus
+//                       PATH.collapsed / PATH.speedscope.json flame
+//                       graphs; works at any --threads count
 #pragma once
 
 #include <cstdio>
@@ -104,6 +108,7 @@ inline BenchProfile parse_profile(int argc, char** argv) {
   profile.base.timeline_out = flags.get_string("timeline-out", "");
   profile.base.probe_interval =
       sim::seconds(flags.get_int("probe-interval", 0));
+  profile.base.profile_out = flags.get_string("profile-out", "");
   profile.base.trace_capacity = static_cast<std::size_t>(
       flags.get_int("trace-capacity",
                     static_cast<std::int64_t>(profile.base.trace_capacity)));

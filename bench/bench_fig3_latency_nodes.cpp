@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
       ref.trace_out.clear();
       ref.metrics_out.clear();
       ref.timeline_out.clear();
+      ref.profile_out.clear();
       const auto sequential = exp::average_runs(ref, exp::run_roads_once);
       speedup =
           sequential.engine_wall_s / std::max(roads.engine_wall_s, 1e-9);

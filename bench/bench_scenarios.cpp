@@ -72,6 +72,11 @@ int main(int argc, char** argv) {
     if (!profile.base.timeline_out.empty()) {
       options.timeline_out = profile.base.timeline_out + "_" + spec.name;
     }
+    if (!profile.base.profile_out.empty()) {
+      // One per-phase profile document per scenario; the PROFILE lines
+      // in the summary give CI a greppable top-k view.
+      options.profile_out = profile.base.profile_out + "_" + spec.name;
+    }
     const auto outcome = scenario::run_scenario(spec, options);
     std::fputs(outcome.summary().c_str(), stdout);
 

@@ -10,6 +10,7 @@
 
 #include "exp/telemetry.h"
 #include "obs/export.h"
+#include "obs/profile.h"
 #include "obs/timeline.h"
 #include "record/schema.h"
 #include "roads/federation.h"
@@ -68,7 +69,12 @@ void verify_run_invariants(core::Federation& fed, const ExpConfig& config,
           "FLIGHT_invariants_seed" + std::to_string(run_seed) + ".json";
       std::ofstream os(path);
       if (os) {
-        obs::write_flight_record(*trace, os, msg, run_seed, timeline);
+        // A profiled run adds its hot-handler table: where the CPU
+        // went in the window leading up to the violation.
+        std::optional<obs::Profile> profile;
+        if (fed.profiler() != nullptr) profile = fed.profiler()->profile();
+        obs::write_flight_record(*trace, os, msg, run_seed, timeline, 64,
+                                 profile ? &*profile : nullptr);
         msg += " [flight record: " + path + "]";
       }
     }
@@ -119,6 +125,28 @@ void write_run_observability(core::Federation& fed, const ExpConfig& config,
       std::cerr << "warning: cannot write " << jsonl_path << "\n";
     }
   }
+  if (!config.profile_out.empty() && fed.profiler() != nullptr) {
+    const auto profile = fed.profiler()->profile();
+    std::ofstream os(config.profile_out);
+    if (os) {
+      obs::write_profile_json(profile, os, "roads", run_seed, config.threads);
+      std::cerr << "wrote " << config.profile_out << "\n";
+    } else {
+      std::cerr << "warning: cannot write " << config.profile_out << "\n";
+    }
+    std::ofstream collapsed(config.profile_out + ".collapsed");
+    if (collapsed) {
+      obs::write_collapsed(profile, collapsed);
+      std::cerr << "wrote " << config.profile_out << ".collapsed\n";
+    }
+    std::ofstream speedscope(config.profile_out + ".speedscope.json");
+    if (speedscope) {
+      obs::write_speedscope(profile, speedscope, "roads");
+      std::cerr << "wrote " << config.profile_out << ".speedscope.json\n";
+    }
+    std::cerr << obs::profile_top_line(profile, "roads", 5) << "\n";
+    std::cerr << obs::profile_top_table(profile, 5);
+  }
 }
 
 }  // namespace
@@ -151,6 +179,9 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   params.config.summary_keepalive_rounds = config.summary_keepalive_rounds;
   params.config.incremental_refresh = config.incremental_refresh;
   params.threads = config.threads;
+  // Profiling is digest-neutral but not free (~a tick read per event),
+  // so only the designated repetition pays for it.
+  params.profile = !config.profile_out.empty() && run_seed == config.seed;
   // A full query batch needs far more ring than the maintenance-window
   // default, so --trace-out bumps the bound unless the caller pinned it.
   if (config.trace_capacity > 0) {
@@ -180,8 +211,7 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   // spinning) and before stabilization, so the timeline captures the
   // formation-to-steady-state convergence the detector cuts off.
   std::unique_ptr<obs::Timeline> timeline;
-  if ((config.probe_interval > 0 || !config.timeline_out.empty()) &&
-      config.threads <= 1) {
+  if (config.probe_interval > 0 || !config.timeline_out.empty()) {
     TelemetryOptions topts;
     topts.timeline.window = config.probe_interval > 0 ? config.probe_interval
                                                       : config.summary_period;
@@ -189,7 +219,14 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
     topts.audit_range_length = config.query_range_length;
     topts.audit_seed = run_seed ^ 0x0b5e;
     timeline = attach_timeline(fed, topts);
-    timeline->start(fed.simulator());
+    if (fed.sharded() != nullptr) {
+      // Sampler ticks are global (coordinator) events under sharding:
+      // they bound the parallel windows, so probes read protocol state
+      // only between windows, never concurrently with shard threads.
+      timeline->start(*fed.sharded());
+    } else {
+      timeline->start(fed.simulator());
+    }
   }
   sim::ShardedSimulator::ParallelStats par0;
   if (fed.sharded() != nullptr) par0 = fed.sharded()->parallel_stats();

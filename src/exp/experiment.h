@@ -75,8 +75,10 @@ struct ExpConfig {
   /// FederationParams::threads). 1 = the sequential oracle engine;
   /// N > 1 runs each repetition on the sharded parallel engine
   /// (bit-identical results). Forces repetitions serial — the shards
-  /// own the cores — and skips the timeline sampler (its probes would
-  /// serialize every window). Ignored by the SWORD/central drivers.
+  /// own the cores. The timeline sampler still works: its tick is a
+  /// global (coordinator) event, so probes run between shard windows,
+  /// never concurrently with them. Ignored by the SWORD/central
+  /// drivers.
   std::size_t threads = 1;
   /// Fault schedule injected AFTER clean formation and stabilization
   /// (the paper measures a formed hierarchy under faults, not formation
@@ -112,6 +114,13 @@ struct ExpConfig {
   /// <timeline_out>.jsonl (one window per line, per-node series
   /// included).
   std::string timeline_out;
+  /// When set, the repetition with run_seed == seed runs with handler
+  /// profiling on (FederationParams::profile — works at any thread
+  /// count, never perturbs digests) and writes the profile here as
+  /// JSON, plus flame-graph siblings <profile_out>.collapsed
+  /// (flamegraph.pl input) and <profile_out>.speedscope.json (load at
+  /// speedscope.app). The top hot-handler line goes to stderr.
+  std::string profile_out;
 };
 
 /// The §V metrics from one run of one system.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "obs/probes.h"
@@ -48,6 +49,19 @@ std::unique_ptr<obs::Timeline> attach_timeline(
   timeline->track_counter("roads.query.completed");
   timeline->track_gauge("sim.queue.depth");
   timeline->track_histogram("roads.query.latency_ms");
+
+  // --- Shard utilization ----------------------------------------------------
+  // Sharded runs meter per-shard busy/idle/barrier-wait wall time at
+  // every window barrier (sim/sharded_simulator.h bind_metrics); the
+  // per-window deltas make utilization skew visible over time.
+  if (auto* sharded = fed.sharded()) {
+    for (std::size_t i = 0; i < sharded->shard_count(); ++i) {
+      const std::string prefix = "sim.shard." + std::to_string(i);
+      timeline->track_counter(prefix + ".busy_us");
+      timeline->track_counter(prefix + ".idle_us");
+      timeline->track_counter(prefix + ".barrier_wait_us");
+    }
+  }
 
   // --- Staleness probes -----------------------------------------------------
   // Ages of soft state held ABOUT other servers: replicas received over

@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/profile.h"
 #include "obs/timeline.h"
 
 namespace roads::obs {
@@ -176,7 +177,7 @@ void write_chrome_trace(const TraceBuffer& trace, std::ostream& os) {
 void write_flight_record(const TraceBuffer& trace, std::ostream& os,
                          const std::string& reason, std::uint64_t seed,
                          const Timeline* timeline,
-                         std::size_t timeline_windows) {
+                         std::size_t timeline_windows, const Profile* profile) {
   const auto events = trace.events();
   emit_chrome_events(SpanTree::build(events), os);
   os << ",\n\"reason\":\"" << json_escape(reason) << "\",\"seed\":" << seed
@@ -185,6 +186,18 @@ void write_flight_record(const TraceBuffer& trace, std::ostream& os,
   if (timeline != nullptr) {
     os << ",\n\"timeline_windows\":";
     timeline->write_json_windows(os, timeline_windows);
+  }
+  if (profile != nullptr) {
+    os << ",\n\"hot_handlers\":[";
+    const std::size_t k = std::min<std::size_t>(profile->categories.size(), 5);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& e = profile->categories[i];
+      if (i != 0) os << ",";
+      os << "{\"category\":\"" << json_escape(e.name) << "\",\"self_us\":"
+         << json_number(e.self_us) << ",\"events\":" << e.events
+         << ",\"share\":" << json_number(e.share) << "}";
+    }
+    os << "]";
   }
   os << "}\n";
 }
@@ -204,21 +217,51 @@ std::string prometheus_name(const std::string& prefix,
   return out;
 }
 
+namespace {
+
+// HELP text escaping per the exposition format: backslash and newline
+// only (double quotes are legal in an unquoted help string).
+std::string prometheus_help_text(const MetricsRegistry& registry,
+                                 const std::string& name) {
+  std::string text = registry.help(name);
+  if (text.empty()) text = name;  // dotted name as a minimal description
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 void write_prometheus(const MetricsRegistry& registry, std::ostream& os,
                       const std::string& prefix) {
   for (const auto& [name, c] : registry.counters()) {
     const auto pname = prometheus_name(prefix, name);
-    os << "# TYPE " << pname << " counter\n"
+    os << "# HELP " << pname << " " << prometheus_help_text(registry, name)
+       << "\n"
+       << "# TYPE " << pname << " counter\n"
        << pname << " " << c->value() << "\n";
   }
   for (const auto& [name, g] : registry.gauges()) {
     const auto pname = prometheus_name(prefix, name);
-    os << "# TYPE " << pname << " gauge\n"
+    os << "# HELP " << pname << " " << prometheus_help_text(registry, name)
+       << "\n"
+       << "# TYPE " << pname << " gauge\n"
        << pname << " " << json_number(g->value()) << "\n";
   }
   for (const auto& [name, h] : registry.histograms()) {
     const auto pname = prometheus_name(prefix, name);
-    os << "# TYPE " << pname << " histogram\n";
+    os << "# HELP " << pname << " " << prometheus_help_text(registry, name)
+       << "\n"
+       << "# TYPE " << pname << " histogram\n";
     const auto& bounds = h->bounds();
     const auto buckets = h->bucket_counts();
     std::uint64_t cumulative = 0;

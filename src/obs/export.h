@@ -42,6 +42,7 @@ void write_chrome_trace(const SpanTree& tree, std::ostream& os);
 void write_chrome_trace(const TraceBuffer& trace, std::ostream& os);
 
 class Timeline;
+struct Profile;
 
 /// Flight-recorder dump for a failing run: the last-N buffered events
 /// as a Chrome trace (extra top-level keys are ignored by viewers)
@@ -49,18 +50,22 @@ class Timeline;
 /// history the bounded buffer had already evicted. When a Timeline is
 /// attached, its last `timeline_windows` windows ride along under a
 /// "timeline_windows" key, so the dump shows how staleness/divergence
-/// evolved right before the failure.
+/// evolved right before the failure. A Profile (obs/profile.h) adds a
+/// "hot_handlers" key with the top categories by self-time — where the
+/// run was spending CPU when it died.
 void write_flight_record(const TraceBuffer& trace, std::ostream& os,
                          const std::string& reason, std::uint64_t seed,
                          const Timeline* timeline = nullptr,
-                         std::size_t timeline_windows = 64);
+                         std::size_t timeline_windows = 64,
+                         const Profile* profile = nullptr);
 
-/// Prometheus text exposition (a # TYPE comment per metric family +
-/// samples). Metric names are sanitized to the Prometheus charset
-/// (anything outside [a-zA-Z0-9_:] becomes '_', a leading digit gets a
-/// '_' prefix) and prefixed, e.g. "net.query.bytes" ->
-/// "roads_net_query_bytes". Histograms emit cumulative
-/// _bucket{le="..."} series plus _sum and _count.
+/// Prometheus text exposition (# HELP + # TYPE comments per metric
+/// family + samples; help text comes from MetricsRegistry::set_help,
+/// falling back to the dotted metric name). Metric names are sanitized
+/// to the Prometheus charset (anything outside [a-zA-Z0-9_:] becomes
+/// '_', a leading digit gets a '_' prefix) and prefixed, e.g.
+/// "net.query.bytes" -> "roads_net_query_bytes". Histograms emit
+/// cumulative _bucket{le="..."} series plus _sum and _count.
 void write_prometheus(const MetricsRegistry& registry, std::ostream& os,
                       const std::string& prefix = "roads");
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <stdexcept>
 
 namespace roads::obs {
@@ -59,6 +60,27 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return buckets_;
 }
 
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  if (!(start > 0.0)) {
+    throw std::invalid_argument("exponential_buckets: start must be > 0");
+  }
+  if (!(factor > 1.0)) {
+    throw std::invalid_argument("exponential_buckets: factor must be > 1");
+  }
+  if (count == 0) {
+    throw std::invalid_argument("exponential_buckets: count must be >= 1");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
 std::vector<double> default_latency_buckets() {
   return {0.5,    1.0,    2.5,     5.0,     10.0,    25.0,     50.0,
           100.0,  250.0,  500.0,   1000.0,  2500.0,  5000.0,   10000.0,
@@ -85,6 +107,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
+}
+
+void MetricsRegistry::set_help(const std::string& name, std::string text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_[name] = std::move(text);
+}
+
+std::string MetricsRegistry::help(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = help_.find(name);
+  return it != help_.end() ? it->second : std::string{};
 }
 
 util::MetricSet MetricsRegistry::snapshot() const {
@@ -143,6 +176,21 @@ double ScopedTimer::wall_clock_us() {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+double ScopedTimer::thread_cpu_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e6 +
+           static_cast<double>(ts.tv_nsec) * 1e-3;
+  }
+#endif
+  return wall_clock_us();
+}
+
+ScopedTimer::ClockFn ScopedTimer::thread_cpu_clock() {
+  return &ScopedTimer::thread_cpu_us;
 }
 
 ScopedTimer::ScopedTimer(Histogram& hist)

@@ -120,6 +120,12 @@ class Histogram {
 /// range pass their own bounds instead.
 std::vector<double> default_latency_buckets();
 
+/// Geometric bucket bounds: {start, start*factor, ..., start*factor^
+/// (count-1)} — the Prometheus ExponentialBuckets shape. Throws
+/// std::invalid_argument unless start > 0, factor > 1 and count >= 1.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count);
+
 /// Named instrument registry. get-or-create accessors are idempotent:
 /// every server in a federation asking for "roads.query.hops" shares
 /// one counter. References stay valid for the registry's lifetime.
@@ -135,6 +141,13 @@ class MetricsRegistry {
   /// existing instrument regardless of the bounds they pass.
   Histogram& histogram(const std::string& name,
                        std::vector<double> bounds = default_latency_buckets());
+
+  /// Attaches a one-line description exported as the Prometheus
+  /// `# HELP` text (see obs::write_prometheus). Last writer wins;
+  /// instruments without help text export their dotted name.
+  void set_help(const std::string& name, std::string text);
+  /// Stored help text; empty when none was set.
+  std::string help(const std::string& name) const;
 
   /// Flattens every instrument into scalar metrics: counters and gauges
   /// keep their name, histograms expand to <name>.count/.mean/.p50/
@@ -155,6 +168,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 /// RAII span timer: records elapsed time into a histogram on
@@ -174,6 +188,15 @@ class ScopedTimer {
 
   /// Wall clock in microseconds since an arbitrary epoch.
   static double wall_clock_us();
+
+  /// Calling thread's consumed CPU time in microseconds
+  /// (CLOCK_THREAD_CPUTIME_ID; falls back to the wall clock on
+  /// platforms without it). Unlike wall_clock_us this excludes time
+  /// the thread spent preempted or blocked — the right clock for
+  /// measuring the profiler's own flush cost.
+  static double thread_cpu_us();
+  /// thread_cpu_us as a ready-made ClockFn.
+  static ClockFn thread_cpu_clock();
 
  private:
   Histogram& hist_;

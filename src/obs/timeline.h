@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sim/time.h"
 
 namespace roads::obs {
@@ -222,6 +223,9 @@ class Timeline {
 
   template <class Sim>
   void arm_tick(Sim& sim) {
+    // Sampler ticks profile under telemetry, not whatever handler
+    // happened to arm them.
+    ScopedProfCategory prof_tag(ProfCategory::kTelemetry);
     sim.schedule_after(config_.window, [this, sim_ptr = &sim, flag = armed_] {
       if (!*flag) return;
       tick(sim_ptr->now());

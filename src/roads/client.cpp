@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.h"
+
 namespace roads::core {
 
 RoadsClient::RoadsClient(sim::Network& network, Directory& directory,
@@ -55,6 +57,9 @@ void RoadsClient::start(sim::NodeId start_server) {
 void RoadsClient::visit(sim::NodeId target, QueryMode mode) {
   if (!visited_.insert(target).second) return;  // already contacted
   ++outstanding_replies_;
+  // Covers the reply-timeout timer too: start() issues the first visit
+  // outside any handler, where there is no category to inherit.
+  obs::ScopedProfCategory prof_tag(obs::ProfCategory::kQueryForward);
   auto self = shared_from_this();
   network_.send(location_, target, msg::query(query_), sim::Channel::kQuery,
                 [this, self, target, mode] {

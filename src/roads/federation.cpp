@@ -91,6 +91,14 @@ Federation::Federation(FederationParams params)
     sharded_->bind_metrics(metrics_);
     network_.attach_sharded(sharded_.get());
   }
+  if (params.profile) {
+    profiler_ = std::make_unique<obs::Profiler>();
+    if (sharded_) {
+      sharded_->attach_profiler(profiler_.get());
+    } else {
+      simulator_.set_profile_sink(&profiler_->sink(0));
+    }
+  }
 }
 
 Federation::~Federation() = default;

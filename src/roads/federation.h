@@ -23,6 +23,7 @@
 
 #include "hierarchy/topology.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/span_tree.h"
 #include "obs/trace.h"
 #include "record/query.h"
@@ -54,6 +55,11 @@ struct FederationParams {
   /// results (see sim/sharded_simulator.h), but tracing is forced off
   /// because delivery contexts would race across shard threads.
   std::size_t threads = 1;
+  /// Enables continuous handler-level profiling (obs/profile.h): every
+  /// engine attributes per-event self-time to handler categories.
+  /// Works at any thread count (unlike tracing) and never perturbs
+  /// event order or digests.
+  bool profile = false;
 };
 
 /// Everything a caller wants to know about one resolved query.
@@ -185,6 +191,8 @@ class Federation : public Directory {
   /// Structured event trace; nullptr when trace_capacity was 0.
   obs::TraceBuffer* trace() { return trace_.get(); }
   const obs::TraceBuffer* trace() const { return trace_.get(); }
+  /// Handler-level profiler; nullptr unless FederationParams::profile.
+  obs::Profiler* profiler() { return profiler_.get(); }
   const record::Schema& schema() const { return schema_; }
   const RoadsConfig& config() const { return config_; }
   RoadsConfig& mutable_config() { return config_; }
@@ -208,6 +216,7 @@ class Federation : public Directory {
   util::Rng rng_;
   obs::MetricsRegistry metrics_;           // must outlive network_
   std::unique_ptr<obs::TraceBuffer> trace_;  // likewise
+  std::unique_ptr<obs::Profiler> profiler_;  // engines hold sink pointers
   sim::Simulator simulator_;
   sim::DelaySpace delay_space_;
   sim::Network network_;

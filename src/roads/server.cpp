@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.h"
 #include "util/log.h"
 
 namespace roads::core {
@@ -102,8 +103,13 @@ void RoadsServer::start_timers() {
               config_.summary_refresh_period, [tick] { (*tick)(); });
         }
       };
-  sim.schedule_after(first_refresh,
-                     [tick = std::move(schedule_refresh)] { (*tick)(); });
+  {
+    // Tick bodies profile as refresh-timer work; their re-arms inherit
+    // the category from the executing handler automatically.
+    obs::ScopedProfCategory prof_tag(obs::ProfCategory::kTimerRefresh);
+    sim.schedule_after(first_refresh,
+                       [tick = std::move(schedule_refresh)] { (*tick)(); });
+  }
 
   if (!config_.maintenance_enabled) return;
 
@@ -124,6 +130,7 @@ void RoadsServer::start_timers() {
                                           [tick] { (*tick)(); });
     }
   };
+  obs::ScopedProfCategory prof_tag(obs::ProfCategory::kTimerMaintenance);
   sim.schedule_after(first_hb, [tick = std::move(schedule_hb)] { (*tick)(); });
 
   auto schedule_check = std::make_shared<util::UniqueFunction<void()>>();
@@ -143,6 +150,7 @@ void RoadsServer::start_timers() {
 void RoadsServer::leave() {
   if (!alive_) return;
   sim::TraceSpan trace_root(network_, id_, "leave");
+  obs::ScopedProfCategory prof_tag(obs::ProfCategory::kMaintenance);
   if (parent_) {
     send_to_server(*parent_, msg::leave_notice(), sim::Channel::kMaintenance,
                    [child = id_](RoadsServer& p) {
@@ -401,6 +409,8 @@ void RoadsServer::forward_child_summary_to_siblings(sim::NodeId child,
   if (!summary || !config_.overlay_enabled) return;
   const overlay::ReplicaSpec spec{child, overlay::SummaryKind::kBranch,
                                   overlay::ReplicaRole::kSibling, 1};
+  // Replica traffic splits off the generic kUpdate channel default.
+  obs::ScopedProfCategory prof_tag(obs::ProfCategory::kReplicaCascade);
   const auto digest = summary->digest();
   for (const auto sibling : children_.ids()) {
     if (sibling == child) continue;
@@ -434,6 +444,7 @@ void RoadsServer::push_replica_to_children(const overlay::ReplicaSpec& spec,
                                            const SummaryPtr& summary,
                                            bool keepalive) {
   if (!summary) return;
+  obs::ScopedProfCategory prof_tag(obs::ProfCategory::kReplicaCascade);
   const auto digest = summary->digest();
   for (const auto child : children_.ids()) {
     if (!note_push(child, spec.origin, static_cast<std::uint8_t>(spec.kind),
@@ -497,6 +508,7 @@ void RoadsServer::send_join_request(sim::NodeId target) {
   // like an unwilling branch. The epoch guard keeps a timeout armed
   // before a crash from firing into the restarted server's join state
   // (request_seq restarts from zero, so seq alone could collide).
+  obs::ScopedProfCategory prof_tag(obs::ProfCategory::kJoin);
   network_.simulator().schedule_after(
       kJoinTimeout, [this, target, seq, epoch = life_epoch_] {
     if (!alive_ || life_epoch_ != epoch || !join_.active ||

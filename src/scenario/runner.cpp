@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "exp/telemetry.h"
+#include "obs/profile.h"
 #include "obs/timeline.h"
 #include "record/query.h"
 #include "record/schema.h"
@@ -163,6 +164,7 @@ std::string ScenarioOutcome::summary() const {
                     phase.time_to_recover_s, phase.converged_at_s);
       os << line;
     }
+    if (!phase.profile_line.empty()) os << phase.profile_line << "\n";
   }
   char tail[256];
   std::size_t total_violations = 0;
@@ -197,6 +199,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
   params.config.heartbeat_miss_limit = 3;
   params.config.summary_keepalive_rounds = 1;
   params.threads = options.threads;
+  params.profile = !options.profile_out.empty();
   core::Federation fed(std::move(params));
   fed.add_servers(spec.nodes);
 
@@ -227,6 +230,16 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
   fed.stabilize();
   sim::Time now = fed.simulator().now();
   timeline->tick(now);
+
+  // Per-phase profile slices (profiled runs only). Formation and
+  // stabilization get their own slice so phase 0 starts from a zeroed
+  // ledger; each later slice is cut at the phase boundary BEFORE the
+  // invariant sweep, so soundness-probe queries never pollute a
+  // phase's attribution (sweep work lands in the next slice).
+  std::vector<std::pair<std::string, obs::Profile>> profile_slices;
+  if (fed.profiler() != nullptr) {
+    profile_slices.emplace_back("formation", fed.profiler()->take_profile());
+  }
 
   auto& fp_counter = fed.metrics().counter("roads.query.false_positives");
   util::Rng rng(spec.seed ^ 0x5ce0a110ull);
@@ -480,6 +493,11 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
     if (plan_installed) fed.apply_fault_plan(sim::FaultPlan{});
     if (links_slowed) fed.delay_space().clear_link_extras();
     timeline->tick(now);
+    if (fed.profiler() != nullptr) {
+      profile_slices.emplace_back(phase.name, fed.profiler()->take_profile());
+      result.profile_line = obs::profile_top_line(
+          profile_slices.back().second, spec.name + "/" + phase.name, 3);
+    }
 
     result.end_s = sim::to_seconds(now);
     result.latency_avg_ms =
@@ -530,6 +548,27 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
     if (csv) timeline->write_csv(csv);
     std::ofstream jsonl(options.timeline_out + ".jsonl");
     if (jsonl) timeline->write_jsonl(jsonl);
+  }
+  if (!options.profile_out.empty() && !profile_slices.empty()) {
+    std::ofstream os(options.profile_out);
+    if (os) {
+      os << "{\"scenario\":\"" << spec.name << "\",\"seed\":" << spec.seed
+         << ",\"threads\":" << options.threads << ",\"phases\":[\n";
+      for (std::size_t i = 0; i < profile_slices.size(); ++i) {
+        if (i > 0) os << ",\n";
+        os << "{\"phase\":\"" << profile_slices[i].first << "\",\"profile\":";
+        std::ostringstream inner;
+        obs::write_profile_json(profile_slices[i].second, inner,
+                                spec.name + "/" + profile_slices[i].first,
+                                spec.seed, options.threads);
+        // write_profile_json terminates its document with a newline;
+        // strip it so the slice embeds cleanly.
+        auto doc = inner.str();
+        while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+        os << doc << "}";
+      }
+      os << "\n]}\n";
+    }
   }
   return outcome;
 }

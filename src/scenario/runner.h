@@ -41,6 +41,13 @@ struct ScenarioRunOptions {
   /// When non-empty, the run's timeline is written to
   /// <timeline_out>.csv and <timeline_out>.jsonl.
   std::string timeline_out;
+  /// When non-empty, the federation runs with handler profiling on
+  /// (FederationParams::profile — digest-neutral, so the determinism
+  /// gate still holds) and one profile slice is cut per phase
+  /// (Profiler::take_profile at the phase boundary). The slices land
+  /// here as one JSON document, and each PhaseOutcome carries a
+  /// greppable PROFILE line in the summary.
+  std::string profile_out;
 };
 
 /// Per-phase slice of the run's RunMetrics-style measures.
@@ -67,6 +74,9 @@ struct PhaseOutcome {
   /// the sweep was disabled).
   std::vector<std::string> violations;
   std::size_t invariant_checks = 0;
+  /// Hot-handler one-liner for this phase's profile slice (profiled
+  /// runs only). Wall-clock shaped, so metrics_fingerprint excludes it.
+  std::string profile_line;
 };
 
 struct ScenarioOutcome {

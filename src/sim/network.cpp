@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/profile.h"
 #include "sim/sharded_simulator.h"
 
 namespace roads::sim {
@@ -11,6 +12,27 @@ namespace {
 std::uint64_t link_key(NodeId from, NodeId to) {
   return (static_cast<std::uint64_t>(from) << 32) |
          static_cast<std::uint64_t>(to);
+}
+
+// Default profiling category per traffic channel: a send whose call
+// site carries no explicit ScopedProfCategory tag is attributed by
+// what the channel transports. Protocol sites that need finer splits
+// (replica cascades vs parent pushes on kUpdate, results vs forwards)
+// tag explicitly and win over this default.
+obs::ProfCategory channel_category(Channel channel) {
+  switch (channel) {
+    case Channel::kControl:
+      return obs::ProfCategory::kJoin;
+    case Channel::kUpdate:
+      return obs::ProfCategory::kSummaryPush;
+    case Channel::kQuery:
+      return obs::ProfCategory::kQueryForward;
+    case Channel::kMaintenance:
+      return obs::ProfCategory::kHeartbeat;
+    case Channel::kResult:
+      return obs::ProfCategory::kQueryResult;
+  }
+  return obs::ProfCategory::kOther;
 }
 }  // namespace
 
@@ -62,11 +84,22 @@ void Network::attach_sharded(ShardedSimulator* sharded) {
   sharded_ = sharded;
   if (sharded_ != nullptr) {
     if (trace_ != nullptr) {
-      throw std::logic_error("Network: tracing is incompatible with sharding");
+      throw std::logic_error(
+          "Network: tracing is incompatible with sharding (threads > 1); "
+          "disable the trace buffer or run single-threaded");
     }
     sharded_->set_digest_sink(&digest_);
     sharded_->set_coin_mode(plan_.any_message_faults());
   }
+}
+
+void Network::set_trace(obs::TraceBuffer* trace) {
+  if (trace != nullptr && sharded_ != nullptr) {
+    throw std::logic_error(
+        "Network: tracing is incompatible with sharding (threads > 1); "
+        "detach the sharded coordinator before enabling the trace buffer");
+  }
+  trace_ = trace;
 }
 
 bool Network::node_up(NodeId node) const {
@@ -181,6 +214,9 @@ void Network::apply_fault_plan(const FaultPlan& plan) {
   partitions_.resize(plan_.partitions.size());
   const Time now = sim_.now();
   const std::uint64_t gen = plan_generation_;
+  // Partition/crash window events are fault-plan machinery, not
+  // protocol traffic — profile them under their own category.
+  obs::ScopedProfCategory prof_tag(obs::ProfCategory::kFault);
   for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
     const auto& w = plan_.partitions[i];
     auto& ap = partitions_[i];
@@ -271,6 +307,9 @@ void Network::schedule_delivery(NodeId from, NodeId to, std::uint64_t bytes,
         ScopedTraceContext scope(*this, delivery_ctx);
         fn();
       });
+  // Channel default wins only when the send site set no explicit tag;
+  // the slot byte is read by schedule_at/schedule_on_node below.
+  obs::ScopedProfDefault prof_default(channel_category(channel));
   if (sharded_ != nullptr) {
     // Sharded mode: the delivery lands on the engine owning the
     // receiver (cross-shard sends ride the window log to the barrier).

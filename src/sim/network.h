@@ -123,7 +123,11 @@ class Network {
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
   obs::TraceBuffer* trace() { return trace_; }
-  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+  /// Throws std::logic_error when a sharded coordinator is attached:
+  /// delivery closures would install trace contexts concurrently across
+  /// shard threads (the same contract attach_sharded enforces from the
+  /// other side). Use handler profiling (obs/profile.h) under sharding.
+  void set_trace(obs::TraceBuffer* trace);
 
   /// The causal context of the handler currently executing (inactive
   /// outside any traced delivery/span). Prefer ScopedTraceContext /

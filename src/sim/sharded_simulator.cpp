@@ -11,6 +11,7 @@
 #endif
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace roads::sim {
 
@@ -146,6 +147,9 @@ void ShardedSimulator::schedule_on_node(NodeId node, Time when, EventFn fn) {
     rec.when = when;
     rec.index = log.cross_fns.size();
     rec.target_shard = static_cast<std::uint32_t>(target);
+    // Sender-side profiling tag, carried across the barrier so the
+    // delivery is attributed like a same-shard one.
+    rec.category = profiler_ != nullptr ? obs::prof_current_category() : 0;
     log.cross_fns.push_back(std::move(fn));
     log.records.push_back(rec);
     return;
@@ -227,23 +231,68 @@ std::size_t ShardedSimulator::run_parallel_window(Time window_end) {
   if (windows_counter_ != nullptr) windows_counter_->inc();
   ++par_.windows;
   const std::size_t before = stats().executed;
+  // Utilization accounting baselines: each shard engine accumulates
+  // its in-loop tick time into its ProfSink; the per-window busy is
+  // the delta across this window, and wall - busy is barrier wait.
+  std::uint64_t ticks0 = 0;
+  if (profiler_ != nullptr) {
+    for (const std::size_t i : active_) {
+      work_ticks_snap_[i] = shards_[i]->profile_sink()->work_ticks;
+    }
+    ticks0 = obs::prof_ticks();
+  }
+  std::int64_t wall_us = 0;
   if (active_.size() == 1) {
     // One busy shard: run inline, skip the pool round-trip.
     run_shard_window(active_[0], window_end);
     inline_cpu_us_ += busy_cpu_us_[active_[0]];
+    wall_us = busy_us_[active_[0]];
   } else {
     ensure_pool();
     const std::int64_t t0 = now_us();
     pool_->parallel_for(active_.size(), [&](std::size_t k) {
       run_shard_window(active_[k], window_end);
     });
+    wall_us = now_us() - t0;
     if (barrier_wait_counter_ != nullptr) {
-      const std::int64_t wall = now_us() - t0;
       for (const std::size_t i : active_) {
-        const std::int64_t wait = wall - busy_us_[i];
+        const std::int64_t wait = wall_us - busy_us_[i];
         if (wait > 0) {
           barrier_wait_counter_->inc(static_cast<std::uint64_t>(wait));
         }
+      }
+    }
+  }
+  if (profiler_ != nullptr || !shard_busy_counters_.empty()) {
+    std::fill(shard_active_.begin(), shard_active_.end(), std::uint8_t{0});
+    for (const std::size_t i : active_) shard_active_[i] = 1;
+  }
+  if (profiler_ != nullptr) {
+    const std::uint64_t wall_ticks = obs::prof_ticks() - ticks0;
+    profiler_->note_window();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shard_active_[i] != 0) {
+        const std::uint64_t busy =
+            shards_[i]->profile_sink()->work_ticks - work_ticks_snap_[i];
+        profiler_->note_shard_window(
+            i, busy, wall_ticks > busy ? wall_ticks - busy : 0);
+      } else {
+        profiler_->note_shard_idle(i, wall_ticks);
+      }
+    }
+  }
+  if (!shard_busy_counters_.empty()) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shard_active_[i] != 0) {
+        if (busy_us_[i] > 0) {
+          shard_busy_counters_[i]->inc(static_cast<std::uint64_t>(busy_us_[i]));
+        }
+        const std::int64_t wait = wall_us - busy_us_[i];
+        if (wait > 0) {
+          shard_wait_counters_[i]->inc(static_cast<std::uint64_t>(wait));
+        }
+      } else if (wall_us > 0) {
+        shard_idle_counters_[i]->inc(static_cast<std::uint64_t>(wall_us));
       }
     }
   }
@@ -306,7 +355,7 @@ void ShardedSimulator::merge_window() {
       case ShardWindowLog::Kind::kCross: {
         const std::uint64_t vseq = next_seq_++;
         shards_[r.target_shard]->insert_with_seq(
-            r.when, vseq, std::move(log.cross_fns[r.index]));
+            r.when, vseq, std::move(log.cross_fns[r.index]), r.category);
         if (cross_sends_counter_ != nullptr) cross_sends_counter_->inc();
         if (!shard_cross_counters_.empty()) {
           shard_cross_counters_[best]->inc();
@@ -418,10 +467,51 @@ void ShardedSimulator::bind_metrics(obs::MetricsRegistry& registry) {
   work_counter_ = &registry.counter("sim.shard.window_work_us");
   span_counter_ = &registry.counter("sim.shard.window_span_us");
   serial_counter_ = &registry.counter("sim.shard.serial_us");
+  registry.set_help("sim.shard.windows", "Parallel windows executed");
+  registry.set_help("sim.shard.barrier_wait_us",
+                    "Wall time shards spent waiting at window barriers");
+  registry.set_help("sim.shard.cross_sends",
+                    "Cross-shard deliveries exchanged at barriers");
   shard_cross_counters_.clear();
+  shard_busy_counters_.clear();
+  shard_idle_counters_.clear();
+  shard_wait_counters_.clear();
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    shard_cross_counters_.push_back(&registry.counter(
-        "sim.shard." + std::to_string(i) + ".cross_sends"));
+    const std::string prefix = "sim.shard." + std::to_string(i);
+    shard_cross_counters_.push_back(&registry.counter(prefix + ".cross_sends"));
+    shard_busy_counters_.push_back(&registry.counter(prefix + ".busy_us"));
+    shard_idle_counters_.push_back(&registry.counter(prefix + ".idle_us"));
+    shard_wait_counters_.push_back(
+        &registry.counter(prefix + ".barrier_wait_us"));
+    registry.set_help(prefix + ".busy_us",
+                      "Wall time this shard spent executing window events");
+    registry.set_help(prefix + ".idle_us",
+                      "Wall time of windows this shard had no events in");
+    registry.set_help(prefix + ".barrier_wait_us",
+                      "Wall time this shard waited on slower window peers");
+  }
+  if (shard_active_.size() != shards_.size()) {
+    shard_active_.assign(shards_.size(), 0);
+  }
+}
+
+void ShardedSimulator::attach_profiler(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler == nullptr) {
+    global_.set_profile_sink(nullptr);
+    for (auto& s : shards_) s->set_profile_sink(nullptr);
+    return;
+  }
+  // Engine i writes sink i exclusively: the global engine runs on the
+  // coordinator thread, each shard engine on at most one pool thread
+  // per window — no sink is ever shared across concurrent writers.
+  global_.set_profile_sink(&profiler->sink(0));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->set_profile_sink(&profiler->sink(i + 1));
+  }
+  work_ticks_snap_.assign(shards_.size(), 0);
+  if (shard_active_.size() != shards_.size()) {
+    shard_active_.assign(shards_.size(), 0);
   }
 }
 

@@ -74,6 +74,7 @@
 namespace roads::obs {
 class Counter;
 class MetricsRegistry;
+class Profiler;
 }  // namespace roads::obs
 
 namespace roads::sim {
@@ -122,6 +123,19 @@ class ShardedSimulator {
 
   // --- Drive (mirrors Simulator) -----------------------------------------
 
+  /// Coordinator clock (kept in sync with every shard between
+  /// windows). Together with schedule_after/pending_events this lets
+  /// the obs::Timeline sampler drive a sharded run: its tick events
+  /// live on the global engine, where they bound windows like any
+  /// other global event — probes then run at the barrier, outside any
+  /// shard thread.
+  Time now() const { return global_.now(); }
+
+  /// Schedules on the global (coordinator) engine.
+  EventId schedule_after(Time delay, EventFn fn) {
+    return global_.schedule_after(delay, std::move(fn));
+  }
+
   /// Runs every event with time <= deadline across all engines —
   /// parallel windows where the lookahead allows, exact micro-stepping
   /// where it does not — then advances every clock to `deadline`.
@@ -144,8 +158,18 @@ class ShardedSimulator {
   /// probe meaningful when events live in N heaps.
   std::size_t take_window_max_depth();
 
-  /// Publishes sim.shard.{windows,barrier_wait_us,cross_sends}.
+  /// Publishes sim.shard.{windows,barrier_wait_us,cross_sends} plus
+  /// per-shard sim.shard.<i>.{cross_sends,busy_us,idle_us,
+  /// barrier_wait_us} — the utilization series the Timeline tracks.
   void bind_metrics(obs::MetricsRegistry& registry);
+
+  /// Attaches handler-level profiling (obs/profile.h): every engine
+  /// gets its own ProfSink (global = 0, shard i = i+1) and the
+  /// coordinator feeds the profiler a per-window busy/barrier-wait/
+  /// idle breakdown per shard, measured with the profiler's tick
+  /// clock. nullptr detaches. Profiling never perturbs event order —
+  /// digests stay bit-identical (profile_test).
+  void attach_profiler(obs::Profiler* profiler);
 
   /// Work/span decomposition of the run so far, measured with per-
   /// thread CPU clocks so it is meaningful regardless of how many
@@ -239,6 +263,9 @@ class ShardedSimulator {
   std::vector<std::size_t> active_;
   std::vector<std::int64_t> busy_us_;
   std::vector<std::int64_t> busy_cpu_us_;
+  obs::Profiler* profiler_ = nullptr;
+  std::vector<std::uint64_t> work_ticks_snap_;  // per-shard, per window
+  std::vector<std::uint8_t> shard_active_;      // scratch flags per window
   ParallelStats par_;
   std::int64_t inline_cpu_us_ = 0;  // window CPU spent on the coordinator
   Time cur_window_end_ = 0;
@@ -251,6 +278,9 @@ class ShardedSimulator {
   obs::Counter* span_counter_ = nullptr;
   obs::Counter* serial_counter_ = nullptr;
   std::vector<obs::Counter*> shard_cross_counters_;
+  std::vector<obs::Counter*> shard_busy_counters_;
+  std::vector<obs::Counter*> shard_idle_counters_;
+  std::vector<obs::Counter*> shard_wait_counters_;
 };
 
 /// RAII node pin: no-op when `sharded` is nullptr, so call sites work

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sim/window_log.h"
 
 namespace roads::sim {
@@ -102,6 +103,9 @@ EventId Simulator::schedule_at(Time when, EventFn fn) {
   Slot& slot = slot_at(slot_index);
   slot.fn = std::move(fn);
   slot.active = true;
+  // Category resolution (profiled runs only): the explicit scope tag
+  // if one is active, else inherit from the executing handler.
+  slot.category = prof_ != nullptr ? obs::prof_current_category() : 0;
   const std::uint32_t gen = slot.generation;
   if (window_log_ != nullptr) {
     // Parallel window: the global seq this event would have drawn
@@ -183,10 +187,44 @@ void Simulator::execute_ref(HeapKey key, HeapRef ref) {
   ++stats_.executed;
   if (executed_counter_ != nullptr) executed_counter_->inc();
   if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(live_));
+  if (prof_ != nullptr) {
+    // Exact event count; ticks are stride-sampled (see ProfSink): the
+    // clock is read on the first event after loop entry and every
+    // kSampleStride-th event after that, and the elapsed block is
+    // charged to the category observed when the block opened. The
+    // drive loops close the final block (prof_close), so attribution
+    // still covers ~all of the loop's work.
+    prof_->count_event(slot.category);
+    if (!prof_->pending) {
+      prof_->pending_t0 = obs::prof_ticks();
+      prof_->pending_cat = slot.category;
+      prof_->pending = true;
+    } else if ((++prof_->sample_ctr & (obs::ProfSink::kSampleStride - 1)) ==
+               0) {
+      const std::uint64_t t = obs::prof_ticks();
+      prof_->add_ticks(prof_->pending_cat, t - prof_->pending_t0);
+      prof_->pending_cat = slot.category;
+      prof_->pending_t0 = t;
+    }
+    // Untagged schedules made by the closure inherit its category. The
+    // drive loops clear the tag on exit; between events inside a loop
+    // nothing schedules, so per-event clearing would be wasted stores.
+    obs::detail::t_exec_category = slot.category;
+  }
   slot.fn();
   slot.fn = nullptr;
   slot.next_free = free_head_;
   free_head_ = ref.slot;
+}
+
+void Simulator::prof_close(std::uint64_t loop_t0) {
+  const std::uint64_t t = obs::prof_ticks();
+  if (prof_->pending) {
+    prof_->add_ticks(prof_->pending_cat, t - prof_->pending_t0);
+    prof_->pending = false;
+  }
+  prof_->work_ticks += t - loop_t0;
+  obs::detail::t_exec_category = 0;
 }
 
 bool Simulator::pop_one() {
@@ -212,6 +250,17 @@ int Simulator::step_top() {
   Slot& slot = slot_at(top_ref.slot);
   if (!slot.active || slot.generation != top_ref.gen) return 0;  // tombstone
   execute_ref(top, top_ref);
+  if (prof_ != nullptr && window_log_ == nullptr) {
+    // Micro-stepping (the sharded coordinator popping one event at a
+    // time): close the measurement per event so coordinator work
+    // between steps is never charged to a handler. Inside run_window
+    // the loop keeps the measurement pending instead.
+    const std::uint64_t t = obs::prof_ticks();
+    prof_->add_ticks(prof_->pending_cat, t - prof_->pending_t0);
+    prof_->work_ticks += t - prof_->pending_t0;
+    prof_->pending = false;
+    obs::detail::t_exec_category = 0;
+  }
   return 1;
 }
 
@@ -219,22 +268,26 @@ std::size_t Simulator::run_window(Time window_end, ShardWindowLog* log) {
   window_log_ = log;
   window_end_ = window_end;
   window_local_seq_ = 0;
+  const std::uint64_t t0 = prof_ != nullptr ? obs::prof_ticks() : 0;
   std::size_t executed = 0;
   // step_top (not pop_one) so a tombstone never drags execution past
   // the window bound; the condition is re-checked after every pop.
   while (!heap_keys_.empty() && heap_keys_.front().when < window_end) {
     if (step_top() == 1) ++executed;
   }
+  if (prof_ != nullptr) prof_close(t0);
   window_log_ = nullptr;
   return executed;
 }
 
-void Simulator::insert_with_seq(Time when, std::uint64_t seq, EventFn fn) {
+void Simulator::insert_with_seq(Time when, std::uint64_t seq, EventFn fn,
+                                std::uint8_t category) {
   const bool stored_inline = fn.is_inline();
   const std::uint32_t slot_index = acquire_slot();
   Slot& slot = slot_at(slot_index);
   slot.fn = std::move(fn);
   slot.active = true;
+  slot.category = category;
   heap_push(HeapKey{when, seq}, HeapRef{slot_index, slot.generation});
   ++live_;
   ++stats_.scheduled;
@@ -263,12 +316,15 @@ bool Simulator::reinsert_parked(std::uint32_t slot_index,
 }
 
 std::size_t Simulator::run() {
+  const std::uint64_t t0 = prof_ != nullptr ? obs::prof_ticks() : 0;
   std::size_t executed = 0;
   while (pop_one()) ++executed;
+  if (prof_ != nullptr) prof_close(t0);
   return executed;
 }
 
 std::size_t Simulator::run_until(Time deadline) {
+  const std::uint64_t t0 = prof_ != nullptr ? obs::prof_ticks() : 0;
   std::size_t executed = 0;
   // Deliberately checks the raw heap top — tombstones included — to
   // match the pre-slab engine's loop condition exactly, keeping replay
@@ -277,16 +333,24 @@ std::size_t Simulator::run_until(Time deadline) {
     if (pop_one()) ++executed;
   }
   if (now_ < deadline) now_ = deadline;
+  if (prof_ != nullptr) prof_close(t0);
   return executed;
 }
 
 std::size_t Simulator::run_steps(std::size_t limit) {
+  const std::uint64_t t0 = prof_ != nullptr ? obs::prof_ticks() : 0;
   std::size_t executed = 0;
   while (executed < limit && pop_one()) ++executed;
+  if (prof_ != nullptr) prof_close(t0);
   return executed;
 }
 
 void Simulator::bind_metrics(obs::MetricsRegistry& registry) {
+  registry.set_help("sim.queue.depth", "Events pending in the engine heap");
+  registry.set_help("sim.queue.max_depth", "High-water pending-event count");
+  registry.set_help("sim.queue.scheduled", "Events scheduled since start");
+  registry.set_help("sim.queue.executed", "Events executed since start");
+  registry.set_help("sim.queue.cancelled", "Events cancelled before running");
   depth_gauge_ = &registry.gauge("sim.queue.depth");
   max_depth_gauge_ = &registry.gauge("sim.queue.max_depth");
   scheduled_counter_ = &registry.counter("sim.queue.scheduled");

@@ -29,6 +29,7 @@ namespace roads::obs {
 class Counter;
 class Gauge;
 class MetricsRegistry;
+struct ProfSink;
 }  // namespace roads::obs
 
 namespace roads::sim {
@@ -103,6 +104,16 @@ class Simulator {
   /// into `registry`. Unbound simulators pay one branch per event.
   void bind_metrics(obs::MetricsRegistry& registry);
 
+  /// Attaches a profiling sink (see obs/profile.h): every schedule tags
+  /// the event's slot with the current thread-local category, and the
+  /// drive loops time each handler with one tick read per event,
+  /// accumulating self-time per category into `sink`. The sink must be
+  /// written by this engine's driving thread only (the sharded
+  /// coordinator hands each shard engine its own). nullptr detaches;
+  /// without a sink the engine pays one predictable branch per event.
+  void set_profile_sink(obs::ProfSink* sink) { prof_ = sink; }
+  obs::ProfSink* profile_sink() const { return prof_; }
+
   // --- Sharded-engine hooks (sim::ShardedSimulator) -----------------------
   //
   // A sharded run gives every shard its own Simulator and reproduces the
@@ -135,8 +146,10 @@ class Simulator {
 
   /// Barrier-time insertion of a cross-shard delivery with its merged
   /// global seq. Accounts like schedule_at (the sequential engine
-  /// counted the delivery when the sender scheduled it).
-  void insert_with_seq(Time when, std::uint64_t seq, EventFn fn);
+  /// counted the delivery when the sender scheduled it). `category` is
+  /// the sender-side profiling tag carried across the barrier.
+  void insert_with_seq(Time when, std::uint64_t seq, EventFn fn,
+                       std::uint8_t category = 0);
 
   /// Barrier-time heap insertion of a parked event (slot already holds
   /// the closure). Returns false if the event was cancelled in-window
@@ -191,6 +204,7 @@ class Simulator {
     std::uint32_t generation = 1;
     std::uint32_t next_free = kNoSlot;
     bool active = false;
+    std::uint8_t category = 0;  // profiling tag (rides existing padding)
   };
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   // Fixed-size chunks keep slot addresses stable as the slab grows —
@@ -206,6 +220,10 @@ class Simulator {
 
   bool pop_one();
   void execute_ref(HeapKey key, HeapRef ref);
+  /// Closes the profiler's pending self-time measurement (the last
+  /// handler's interval ends where the drive loop does) and folds the
+  /// loop's wall ticks into the sink's work accounting.
+  void prof_close(std::uint64_t loop_t0);
   void heap_push(HeapKey key, HeapRef ref);
   void heap_pop_top();
   std::uint32_t acquire_slot();
@@ -232,6 +250,8 @@ class Simulator {
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t free_head_ = kNoSlot;
   Stats stats_;
+
+  obs::ProfSink* prof_ = nullptr;  // non-null: handler profiling on
 
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Gauge* max_depth_gauge_ = nullptr;

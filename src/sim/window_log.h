@@ -50,6 +50,7 @@ struct ShardWindowLog {
     std::uint64_t index = 0;      // kSchedule: local serial; kCross: fn index
     std::uint32_t target_shard = 0;  // kCross
     bool parked = false;             // kSchedule
+    std::uint8_t category = 0;       // kCross: sender-side profiling tag
     std::array<std::uint64_t, 6> payload{};  // kDigest
   };
 

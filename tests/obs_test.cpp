@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -556,6 +558,105 @@ TEST(Probes, StalenessSummaryAndDivergenceTally) {
   EXPECT_DOUBLE_EQ(tally.fp_rate(), 0.25);
   EXPECT_DOUBLE_EQ(tally.fn_rate(), 0.25);
   EXPECT_DOUBLE_EQ(obs::DivergenceTally{}.fp_rate(), 0.0);
+}
+
+// --- Prometheus HELP lines (profiling PR satellite) ---
+
+TEST(Export, PrometheusHelpLinesUseRegisteredTextOrDottedName) {
+  obs::MetricsRegistry registry;
+  registry.counter("net.query.messages").inc(1);
+  registry.set_help("net.query.messages",
+                    "Query messages sent across the federation");
+  registry.gauge("hierarchy.height").set(2.0);  // no help set
+  registry.histogram("overlay.put_us", {1.0}).record(0.5);
+  registry.set_help("overlay.put_us", "line one\nwith \\ backslash");
+  std::ostringstream os;
+  obs::write_prometheus(registry, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP roads_net_query_messages Query messages sent "
+                      "across the federation"),
+            std::string::npos)
+      << text;
+  // No help registered: the dotted instrument name is the fallback.
+  EXPECT_NE(text.find("# HELP roads_hierarchy_height hierarchy.height"),
+            std::string::npos)
+      << text;
+  // Exposition-format escaping: newline and backslash only.
+  EXPECT_NE(text.find("# HELP roads_overlay_put_us line one\\nwith "
+                      "\\\\ backslash"),
+            std::string::npos)
+      << text;
+  // Every # TYPE is preceded by its # HELP line.
+  std::istringstream lines(text);
+  std::string line;
+  std::string prev;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_EQ(prev.rfind("# HELP ", 0), 0u) << "TYPE without HELP: " << line;
+    }
+    prev = line;
+  }
+  // Last writer wins.
+  registry.set_help("net.query.messages", "rewritten");
+  EXPECT_EQ(registry.help("net.query.messages"), "rewritten");
+  EXPECT_EQ(registry.help("never.registered"), "");
+}
+
+// --- Exponential buckets (profiling PR satellite) ---
+
+TEST(Histogram, ExponentialBucketsShapeAndValidation) {
+  const auto bounds = obs::exponential_buckets(0.5, 2.0, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.5);
+  EXPECT_DOUBLE_EQ(bounds[1], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[4], 8.0);
+  // Strictly increasing (the Histogram constructor's requirement).
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_EQ(obs::exponential_buckets(1e-3, 10.0, 1).size(), 1u);
+  EXPECT_THROW(obs::exponential_buckets(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::exponential_buckets(-1.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::exponential_buckets(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::exponential_buckets(1.0, 0.5, 4), std::invalid_argument);
+  EXPECT_THROW(obs::exponential_buckets(1.0, 2.0, 0), std::invalid_argument);
+  // A registry histogram accepts the shape directly.
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("flush_us", obs::exponential_buckets(0.5, 2.0, 8));
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// --- Thread-CPU clock (profiling PR satellite) ---
+
+TEST(ScopedTimer, ThreadCpuClockMonotoneAndRecordsNonNegative) {
+  const auto clock = obs::ScopedTimer::thread_cpu_clock();
+  const double t0 = clock();
+  // Burn a little CPU so the thread clock must advance.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const double t1 = clock();
+  EXPECT_GE(t1, t0);
+  EXPECT_GT(t1, 0.0);
+
+  obs::Histogram h(obs::exponential_buckets(0.5, 2.0, 14));
+  {
+    obs::ScopedTimer timer(h, obs::ScopedTimer::thread_cpu_clock());
+    for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i) * 1e-9;
+  }
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.0);
+  // Blocking (sleep) must not count as thread CPU the way wall time
+  // does: a sleeping scope records (almost) nothing.
+  obs::Histogram sleeping(obs::exponential_buckets(0.5, 2.0, 20));
+  {
+    obs::ScopedTimer timer(sleeping, obs::ScopedTimer::thread_cpu_clock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(sleeping.count(), 1u);
+  EXPECT_LT(sleeping.max(), 15000.0);  // far below the 20ms wall time
 }
 
 }  // namespace

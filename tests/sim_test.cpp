@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/delay_space.h"
 #include "sim/fault.h"
 #include "sim/network.h"
@@ -858,6 +859,33 @@ TEST(Network, SendPathCreatesNoNewInstruments) {
   EXPECT_EQ(f.net.metrics().counters().size(), counters);
   EXPECT_EQ(f.net.metrics().gauges().size(), gauges);
   EXPECT_EQ(f.net.metrics().histograms().size(), histograms);
+}
+
+// Satellite (profiling PR): span tracing is single-threaded state, so
+// enabling it alongside the sharded coordinator must fail loudly at
+// configuration time from either direction — not corrupt trace state
+// at the first cross-thread delivery.
+TEST(Network, TraceAndShardingGuardEachOtherAtAttachTime) {
+  obs::TraceBuffer trace(64);
+  {
+    // Trace first, shard second: attach_sharded throws.
+    NetFixture f;
+    ShardedSimulator sharded(f.sim, 2);
+    f.net.set_trace(&trace);
+    EXPECT_THROW(f.net.attach_sharded(&sharded), std::logic_error);
+  }
+  {
+    // Shard first, trace second: set_trace throws; clearing the trace
+    // pointer stays legal, and detaching the coordinator re-enables
+    // tracing.
+    NetFixture f;
+    ShardedSimulator sharded(f.sim, 2);
+    f.net.attach_sharded(&sharded);
+    EXPECT_THROW(f.net.set_trace(&trace), std::logic_error);
+    EXPECT_NO_THROW(f.net.set_trace(nullptr));
+    f.net.attach_sharded(nullptr);
+    EXPECT_NO_THROW(f.net.set_trace(&trace));
+  }
 }
 
 }  // namespace
