@@ -1,0 +1,132 @@
+// Open-loop load sweep: offered QPS vs tail latency and goodput, ROADS
+// vs the central baseline, with the digest-keyed result cache and the
+// admission controller ablated.
+//
+// Each offered-rate point replays one pre-drawn schedule (Poisson
+// arrivals, Zipf(1.0)-skewed query population) through four serving
+// configurations:
+//   on      cache + admission (concurrency limit, bounded queue)
+//   off     admission only (cache disabled) — the cache ablation
+//   noq     cache on, queue effectively unbounded — the admission
+//           ablation: past the knee the backlog and p99 grow without
+//           bound while the bounded-queue rows shed and stay flat
+//   central the baseline's single serial queue (analytic)
+//
+// The summary lines report sustainable throughput — the best goodput
+// among rows whose p99 stays within a fixed budget (2x the unloaded
+// cache-off p99) — and the cache-on/cache-off ratio, the tentpole
+// acceptance number. Every row also prints a greppable "LOAD ..." line
+// for the CI step summary.
+//
+// Flags are the standard set (bench_common.h); --queries sizes the
+// arrival batch per point, --nodes the federation (the quick profile
+// shrinks the untouched 320-node default to 64 — open loop drives
+// every arrival through a live engine, and the sweep has 8 points x 3
+// federations). --threads=N runs the ROADS side on the sharded engine;
+// fingerprints are bit-identical across thread counts.
+#include <cmath>
+
+#include "bench_common.h"
+#include "exp/load.h"
+
+int main(int argc, char** argv) {
+  using namespace roads;
+  auto profile = bench::parse_profile(argc, argv);
+  bench::print_header(
+      "Open-loop load — offered QPS vs p99 and goodput (cache/admission "
+      "ablation)",
+      profile);
+
+  exp::LoadConfig base;
+  // The quick profile keeps the sweep CI-sized; an explicit --nodes (or
+  // --full) restores the requested scale.
+  base.nodes = (!profile.full && profile.base.nodes == 320)
+                   ? 64
+                   : profile.base.nodes;
+  // p99 over an open-loop batch needs samples; below ~1000 arrivals the
+  // completion tail of the last queries also dominates the goodput
+  // span. --queries raises the batch, never lowers it under the floor.
+  base.queries = std::max<std::size_t>(1000, profile.base.queries);
+  base.seed = profile.base.seed;
+  base.threads = profile.base.threads;
+
+  const std::vector<double> rates =
+      profile.full
+          ? std::vector<double>{50, 100, 200, 400, 800, 1600, 3200, 6400,
+                                12800}
+          : std::vector<double>{50, 200, 400, 800, 1600, 3200, 12800};
+
+  util::Table table({"offered_qps", "on_p99_ms", "on_good_qps", "hit_pct",
+                     "shed_pct", "off_p99_ms", "off_good_qps", "off_shed_pct",
+                     "noq_p99_ms", "central_p99_ms", "central_good_qps"});
+
+  struct Row {
+    double offered, on_p99, on_good, off_p99, off_good;
+  };
+  std::vector<Row> rows;
+  for (const auto rate : rates) {
+    auto on = base;
+    on.arrival.rate_qps = rate;
+    on.cache_enabled = true;
+    auto off = on;
+    off.cache_enabled = false;
+    auto noq = off;
+    noq.queue_limit = std::size_t{1} << 30;  // admission off: queue forever
+
+    const auto m_on = exp::run_roads_load(on);
+    const auto m_off = exp::run_roads_load(off);
+    const auto m_noq = exp::run_roads_load(noq);
+    const auto m_cen = exp::run_central_load(on);
+
+    const auto pct = [](std::size_t part, std::size_t whole) {
+      return whole == 0 ? 0.0
+                        : 100.0 * static_cast<double>(part) /
+                              static_cast<double>(whole);
+    };
+    table.add_row({util::Table::num(rate, 0),
+                   util::Table::num(m_on.p99_ms, 1),
+                   util::Table::num(m_on.goodput_qps, 0),
+                   util::Table::num(100.0 * m_on.hit_rate, 1),
+                   util::Table::num(pct(m_on.rejected, m_on.issued), 1),
+                   util::Table::num(m_off.p99_ms, 1),
+                   util::Table::num(m_off.goodput_qps, 0),
+                   util::Table::num(pct(m_off.rejected, m_off.issued), 1),
+                   util::Table::num(m_noq.p99_ms, 1),
+                   util::Table::num(m_cen.p99_ms, 1),
+                   util::Table::num(m_cen.goodput_qps, 0)});
+    std::printf(
+        "LOAD qps=%.0f on_p99_ms=%.1f on_good=%.0f hit=%.1f%% shed=%.1f%% "
+        "off_p99_ms=%.1f off_good=%.0f noq_p99_ms=%.1f central_p99_ms=%.1f\n",
+        rate, m_on.p99_ms, m_on.goodput_qps, 100.0 * m_on.hit_rate,
+        pct(m_on.rejected, m_on.issued), m_off.p99_ms, m_off.goodput_qps,
+        m_noq.p99_ms, m_cen.p99_ms);
+    rows.push_back({rate, m_on.p99_ms, m_on.goodput_qps, m_off.p99_ms,
+                    m_off.goodput_qps});
+  }
+  table.print(std::cout);
+
+  // Sustainable throughput at a fixed p99 budget: 2x the unloaded
+  // (lowest-rate) cache-off p99. Best goodput among rows within budget.
+  const double budget_ms = 2.0 * rows.front().off_p99;
+  double sustain_on = 0.0;
+  double sustain_off = 0.0;
+  for (const auto& r : rows) {
+    if (r.on_p99 <= budget_ms) sustain_on = std::max(sustain_on, r.on_good);
+    if (r.off_p99 <= budget_ms) sustain_off = std::max(sustain_off, r.off_good);
+  }
+  const double ratio = sustain_off > 0.0 ? sustain_on / sustain_off : 0.0;
+  std::printf(
+      "\nLOAD summary: p99_budget_ms=%.1f sustainable_on=%.0f "
+      "sustainable_off=%.0f cache_speedup=%.2fx\n",
+      budget_ms, sustain_on, sustain_off, ratio);
+
+  const int rc = bench::finish_report("load", profile, table);
+  std::printf(
+      "\nexpected shape: cache-on sustains >=2x the cache-off goodput "
+      "within the\np99 budget (Zipf head hits hold a slot for the hit "
+      "delay, not the full\nevaluation); bounded-queue rows keep p99 flat "
+      "past the knee by shedding,\nthe unbounded-queue column grows "
+      "without bound; the central baseline's\nsingle serial queue "
+      "collapses first.\n");
+  return rc;
+}

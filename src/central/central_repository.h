@@ -68,6 +68,11 @@ class CentralRepository {
   sim::Time record_refresh_period() const {
     return params_.record_refresh_period;
   }
+  /// Service-time model of the repository server (the open-loop load
+  /// harness replays it analytically to model a serial queue).
+  const store::ServiceModelParams& service_model() const {
+    return params_.service_model;
+  }
 
   /// Assigns an owner's record set; owners live at client nodes.
   void set_records(sim::NodeId owner,

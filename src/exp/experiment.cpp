@@ -299,6 +299,8 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   util::RunningStat matches;
   std::size_t completed = 0;
   std::size_t touched_root = 0;
+  std::size_t shed_events = 0;
+  std::size_t rejected = 0;
   const bool from_root = config.start_at_root || !config.overlay;
   const auto root = fed.topology().root();
   for (std::size_t i = 0; i < config.queries; ++i) {
@@ -308,6 +310,8 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
         0, static_cast<std::int64_t>(config.nodes) - 1));
     if (from_root) start = root;
     const auto outcome = fed.run_query(query, start);
+    shed_events += outcome.sheds;
+    if (outcome.rejected) ++rejected;
     if (!outcome.complete) continue;
     ++completed;
     latencies.add(outcome.latency_ms);
@@ -325,6 +329,8 @@ RunMetrics run_roads_once(const ExpConfig& config, std::uint64_t run_seed) {
   metrics.servers_contacted_avg = contacted.mean();
   metrics.matches_avg = matches.mean();
   metrics.queries_completed = static_cast<double>(completed);
+  metrics.queries_shed = static_cast<double>(shed_events);
+  metrics.queries_rejected = static_cast<double>(rejected);
   if (completed > 0) {
     metrics.root_contact_fraction =
         static_cast<double>(touched_root) / static_cast<double>(completed);
@@ -452,6 +458,8 @@ RunMetrics average_runs(
     sum.update_bytes_per_s += m.update_bytes_per_s;
     sum.max_storage_bytes += m.max_storage_bytes;
     sum.queries_completed += m.queries_completed;
+    sum.queries_shed += m.queries_shed;
+    sum.queries_rejected += m.queries_rejected;
     sum.hierarchy_height += m.hierarchy_height;
     sum.maintenance_msgs_per_round += m.maintenance_msgs_per_round;
     sum.root_contact_fraction += m.root_contact_fraction;
@@ -471,6 +479,8 @@ RunMetrics average_runs(
   sum.update_bytes_per_s /= d;
   sum.max_storage_bytes /= d;
   sum.queries_completed /= d;
+  sum.queries_shed /= d;
+  sum.queries_rejected /= d;
   sum.hierarchy_height /= d;
   sum.maintenance_msgs_per_round /= d;
   sum.root_contact_fraction /= d;

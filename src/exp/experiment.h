@@ -138,6 +138,14 @@ struct RunMetrics {
   /// records for SWORD/central).
   double max_storage_bytes = 0.0;
   double queries_completed = 0.0;
+  /// Admission-control accounting (ROADS only; 0 unless a concurrency
+  /// limit is configured): total overload replies received across the
+  /// batch, and how many queries the start server rejected outright —
+  /// a rejected query still "completes" (the client is answered), so
+  /// without this column a shed query is indistinguishable from a
+  /// served one in the done fraction.
+  double queries_shed = 0.0;
+  double queries_rejected = 0.0;
   /// ROADS only: hierarchy height and maintenance (replica) messages
   /// per round.
   double hierarchy_height = 0.0;

@@ -50,6 +50,18 @@ std::unique_ptr<obs::Timeline> attach_timeline(
   timeline->track_gauge("sim.queue.depth");
   timeline->track_histogram("roads.query.latency_ms");
 
+  // Query-serving cache/admission meters (all flat 0 unless a
+  // concurrency limit or the result cache is enabled): hit/miss/
+  // invalidate/evicted chart cache effectiveness per window, neg_hit
+  // the absorbed false-positive storms, shed the admission controller's
+  // overload replies.
+  timeline->track_counter("roads.query.cache.hit");
+  timeline->track_counter("roads.query.cache.miss");
+  timeline->track_counter("roads.query.cache.invalidate");
+  timeline->track_counter("roads.query.cache.neg_hit");
+  timeline->track_counter("roads.query.cache.shed");
+  timeline->track_counter("roads.query.cache.evicted");
+
   // --- Shard utilization ----------------------------------------------------
   // Sharded runs meter per-shard busy/idle/barrier-wait wall time at
   // every window barrier (sim/sharded_simulator.h bind_metrics); the

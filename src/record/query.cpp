@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/hash.h"
+
 namespace roads::record {
 
 Predicate Predicate::range(std::size_t attribute, double lo, double hi) {
@@ -78,6 +80,19 @@ std::uint64_t Query::wire_size() const {
   std::uint64_t size = 16;  // query id + origin + predicate count
   for (const auto& p : predicates_) size += p.wire_size();
   return size;
+}
+
+std::uint64_t Query::digest() const {
+  util::Fnv1a h;
+  h.add(static_cast<std::uint64_t>(predicates_.size()));
+  for (const auto& p : predicates_) {
+    h.add(static_cast<std::uint64_t>(p.attribute));
+    h.add(static_cast<std::uint64_t>(p.kind));
+    h.add(p.lo);
+    h.add(p.hi);
+    h.add(p.value);
+  }
+  return h.value();
 }
 
 std::string Query::to_string(const Schema& schema) const {

@@ -60,6 +60,12 @@ class Query {
   /// 16-byte header plus predicate payloads.
   std::uint64_t wire_size() const;
 
+  /// FNV-1a over the predicate list (count, then each predicate's
+  /// attribute/kind/bounds/value). Two queries with equal digests are
+  /// treated as the same query by the result cache; a 2^-64 collision
+  /// serves one wrong (but soundly cached) reply until invalidation.
+  std::uint64_t digest() const;
+
   std::string to_string(const Schema& schema) const;
 
  private:

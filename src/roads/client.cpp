@@ -40,6 +40,7 @@ void RoadsClient::trace_span(obs::TraceKind kind, sim::NodeId node,
 
 void RoadsClient::start(sim::NodeId start_server) {
   started_ = true;
+  start_server_ = start_server;
   result_.issued_at = network_.simulator().now();
   result_.last_arrival = result_.issued_at;
   result_.last_result_at = result_.issued_at;
@@ -73,6 +74,15 @@ void RoadsClient::on_reply_timeout(sim::NodeId server) {
   if (result_.complete || replied_.count(server)) return;
   // The server never answered (failed or unreachable); stop waiting.
   replied_.insert(server);
+  if (outstanding_replies_ > 0) --outstanding_replies_;
+  check_complete();
+}
+
+void RoadsClient::on_overload(sim::NodeId server) {
+  if (result_.complete || replied_.count(server)) return;
+  replied_.insert(server);
+  ++result_.sheds;
+  if (server == start_server_) result_.rejected = true;
   if (outstanding_replies_ > 0) --outstanding_replies_;
   check_complete();
 }

@@ -36,6 +36,13 @@ class RoadsClient : public std::enable_shared_from_this<RoadsClient> {
     std::size_t servers_contacted = 0;
     std::size_t matching_records = 0;
     std::vector<record::ResourceRecord> records;
+    /// Servers that shed this query with an overload reply (admission
+    /// control). The query still completes — shed branches simply go
+    /// unsearched, like timed-out servers.
+    std::size_t sheds = 0;
+    /// True when the start server itself shed the query: the query
+    /// received no service at all (rejected, not merely degraded).
+    bool rejected = false;
 
     sim::Time forwarding_latency() const { return last_arrival - issued_at; }
     sim::Time response_time() const { return last_result_at - issued_at; }
@@ -92,6 +99,11 @@ class RoadsClient : public std::enable_shared_from_this<RoadsClient> {
   void on_results(sim::NodeId server,
                   std::vector<record::ResourceRecord> records);
 
+  /// `server` shed the query (admission-control overload reply). The
+  /// client stops waiting on it, like a timeout but explicit and
+  /// immediate.
+  void on_overload(sim::NodeId server);
+
  private:
   void visit(sim::NodeId target, QueryMode mode);
   void on_reply_timeout(sim::NodeId server);
@@ -113,6 +125,7 @@ class RoadsClient : public std::enable_shared_from_this<RoadsClient> {
   std::set<sim::NodeId> results_expected_;
   std::set<sim::NodeId> results_arrived_;
   bool started_ = false;
+  sim::NodeId start_server_ = 0;
   std::uint64_t span_ = 0;
   Result result_;
 };

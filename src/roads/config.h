@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "hierarchy/join_policy.h"
 #include "sim/time.h"
@@ -72,6 +73,46 @@ struct RoadsConfig {
   /// measure forwarding (the §V-A simulations).
   bool collect_results = false;
   store::ServiceModelParams service_model;
+
+  // --- Admission control (open-loop serving) -------------------------------
+  /// Per-server concurrent query evaluations. 0 = unlimited: every
+  /// arriving query gets its own processing timer, the closed-loop
+  /// behaviour every existing experiment measures (and the replay
+  /// digests pin). >0 turns the server into a k-server queueing
+  /// station: at most this many queries evaluate at once, the rest
+  /// wait in the inbound queue.
+  std::size_t query_concurrency_limit = 0;
+
+  /// Inbound queue high-watermark (only meaningful with a concurrency
+  /// limit). A query arriving with the queue at this depth is shed:
+  /// the server replies immediately with an overload message instead
+  /// of queueing it, which keeps waiting time — and hence p99 — bounded
+  /// at roughly (limit + queue) * service_time.
+  std::size_t query_queue_limit = 64;
+
+  // --- Digest-keyed result caching -----------------------------------------
+  /// Per-server query-result cache keyed on (query digest, folded
+  /// summary-state digest). Off by default: caching changes message
+  /// timing, so the existing goldens only hold with it disabled.
+  bool query_cache_enabled = false;
+
+  /// Result-cache bounds: entries and total cached bytes (records +
+  /// target lists), LRU-evicted.
+  std::size_t query_cache_max_entries = 4096;
+  std::uint64_t query_cache_max_bytes = 1 << 22;  // 4 MiB
+
+  /// Service time of a cache hit (lookup + reply assembly). A hit
+  /// occupies an evaluation slot for this long instead of
+  /// query_processing_delay — the source of the cache's throughput win.
+  sim::Time query_cache_hit_delay = 50;  // µs
+
+  /// Negative cache of summary-prune misses: a forwarded query that
+  /// proved a false positive (no local match, no live subtree/replica
+  /// target) is remembered and answered empty for the TTL without
+  /// occupying an evaluation slot — the absorber for the fp storms the
+  /// staleness-attack scenarios generate. Entry-bounded, FIFO-expired.
+  std::size_t negative_cache_max_entries = 1024;
+  sim::Time negative_cache_ttl = sim::seconds(5);
 };
 
 }  // namespace roads::core

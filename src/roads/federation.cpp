@@ -287,6 +287,8 @@ QueryOutcome Federation::run_query_scoped(const record::Query& query,
   out.matching_records = r.matching_records;
   out.contacted.assign(client->visited().begin(), client->visited().end());
   out.records = r.records;
+  out.sheds = r.sheds;
+  out.rejected = r.rejected;
 
   // Load accounting for the telemetry probes: which servers this query
   // touched, plus the completed-count/latency instruments the Timeline
@@ -334,6 +336,31 @@ QueryOutcome Federation::run_query_scoped(const record::Query& query,
     }
   }
   return out;
+}
+
+std::shared_ptr<RoadsClient> Federation::issue_query(const record::Query& query,
+                                                     sim::NodeId start_server,
+                                                     Principal principal) {
+  auto client = std::make_shared<RoadsClient>(network_, *this, query,
+                                              start_server, principal,
+                                              config_.collect_results);
+  client->start(start_server);
+  return client;
+}
+
+void Federation::note_query_complete(const RoadsClient& client) {
+  if (query_visits_.size() < servers_.size()) {
+    query_visits_.resize(servers_.size(), 0);
+  }
+  for (const auto node : client.visited()) {
+    if (node < query_visits_.size()) ++query_visits_[node];
+  }
+  const auto& r = client.result();
+  if (r.complete) {
+    metrics_.counter("roads.query.completed").inc();
+    metrics_.histogram("roads.query.latency_ms")
+        .record(sim::to_ms(r.forwarding_latency()));
+  }
 }
 
 std::vector<RoadsServer*> Federation::servers() {

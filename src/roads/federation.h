@@ -79,6 +79,11 @@ struct QueryOutcome {
   /// measurements in the overlay ablation).
   std::vector<sim::NodeId> contacted;
   std::vector<record::ResourceRecord> records;
+  /// Admission-control accounting: servers that shed this query with
+  /// an overload reply, and whether the start server itself did (the
+  /// query got no service at all).
+  std::size_t sheds = 0;
+  bool rejected = false;
   /// Root span id of the query's causal tree (0 when tracing is off).
   std::uint64_t trace_id = 0;
   /// Critical-path decomposition of the forwarding latency / total
@@ -151,6 +156,30 @@ class Federation : public Directory {
                                 sim::NodeId start_server,
                                 unsigned scope_levels,
                                 Principal principal = kAnonymous);
+
+  // --- Open-loop serving (load harness) ------------------------------------
+
+  /// Starts a query WITHOUT driving the engine: the client resolves as
+  /// the caller steps the simulation. The open-loop load harness
+  /// schedules arrivals itself, keeps many clients in flight, and
+  /// polls done(); call note_query_complete exactly once per finished
+  /// client to fold it into the visit/latency accounting run_query
+  /// performs inline.
+  std::shared_ptr<RoadsClient> issue_query(const record::Query& query,
+                                           sim::NodeId start_server,
+                                           Principal principal = kAnonymous);
+
+  /// Folds a finished open-loop client into query_visits_ and the
+  /// completed-count / latency instruments (no-op counters for
+  /// incomplete clients; visits always count).
+  void note_query_complete(const RoadsClient& client);
+
+  /// Advances the engine by at most `limit` events and returns how many
+  /// executed (0 = drained). Sequential engine steps directly; sharded
+  /// engines micro-step in exact global order, so — unlike advance() —
+  /// stepping is safe while open-loop clients are in flight at any
+  /// thread count, and bit-identical across them.
+  std::size_t step(std::size_t limit) { return drive_steps(limit); }
 
   // --- Introspection ----------------------------------------------------------
 

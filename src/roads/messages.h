@@ -65,6 +65,10 @@ inline std::uint64_t query(const record::Query& q) {
 inline std::uint64_t redirect_reply(std::size_t targets) {
   return 20 + 5 * targets;
 }
+/// Overload (load-shed) response: header + reason byte. Sent instead
+/// of a redirect reply when a query arrives past the admission
+/// controller's queue high-watermark.
+inline std::uint64_t overload_reply() { return 12; }
 /// Result transfer: header + record payload bytes.
 inline std::uint64_t results(std::uint64_t record_bytes) {
   return 16 + record_bytes;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/profile.h"
+#include "util/hash.h"
 #include "util/log.h"
 
 namespace roads::core {
@@ -42,8 +43,19 @@ RoadsServer::RoadsServer(sim::NodeId id, const RoadsConfig& config,
       summary_full_rebuilds_(
           network.metrics().counter("roads.summary.full_rebuilds")),
       refresh_us_(network.metrics().histogram("roads.summary.refresh_us")),
+      cache_hits_(network.metrics().counter("roads.query.cache.hit")),
+      cache_misses_(network.metrics().counter("roads.query.cache.miss")),
+      cache_invalidates_(
+          network.metrics().counter("roads.query.cache.invalidate")),
+      cache_neg_hits_(network.metrics().counter("roads.query.cache.neg_hit")),
+      cache_sheds_(network.metrics().counter("roads.query.cache.shed")),
+      cache_evicted_(network.metrics().counter("roads.query.cache.evicted")),
       store_(schema_),
-      replicas_(config.summary_ttl) {
+      replicas_(config.summary_ttl),
+      query_cache_(config.query_cache_max_entries,
+                   config.query_cache_max_bytes),
+      negative_cache_(config.negative_cache_max_entries,
+                      config.negative_cache_ttl) {
   replicas_.bind_metrics(network.metrics());
 }
 
@@ -167,12 +179,17 @@ void RoadsServer::leave() {
   alive_ = false;
   ++life_epoch_;
   network_.set_node_up(id_, false);
+  // Queued queries die with the server; their clients time out.
+  query_queue_.clear();
+  active_queries_ = 0;
 }
 
 void RoadsServer::fail() {
   alive_ = false;
   ++life_epoch_;
   network_.set_node_up(id_, false);
+  query_queue_.clear();
+  active_queries_ = 0;
 }
 
 void RoadsServer::restart(sim::NodeId seed) {
@@ -192,6 +209,11 @@ void RoadsServer::restart(sim::NodeId seed) {
   recovery_candidates_.clear();
   join_ = JoinState{};
   refresh_round_ = 0;
+  query_queue_.clear();
+  active_queries_ = 0;
+  query_cache_.clear();
+  negative_cache_.clear();
+  state_stamp_dirty_ = true;
 
   alive_ = true;
   ++life_epoch_;
@@ -399,6 +421,7 @@ void RoadsServer::handle_child_summary(sim::NodeId child,
   children_.update_heartbeat(child, network_.simulator().now());
   children_.update_summary(child, network_.simulator().now());
   child_summaries_[child] = branch;
+  mark_summary_state_dirty();
   forward_child_summary_to_siblings(child, branch, keepalive);
   push_stats_up();
 }
@@ -429,6 +452,7 @@ void RoadsServer::forward_child_summary_to_siblings(sim::NodeId child,
 void RoadsServer::handle_replica(overlay::ReplicaSpec spec, SummaryPtr summary,
                                  bool keepalive) {
   replicas_.put(spec, summary, network_.simulator().now());
+  mark_summary_state_dirty();
   // Cascade down; a sibling of my parent-level sender becomes an
   // ancestor-sibling for my descendants, one level further from their
   // common ancestor.
@@ -710,6 +734,7 @@ void RoadsServer::on_failure_check_timer() {
     children_.remove(child);
     child_summaries_.erase(child);
     pushed_digests_.erase(child);
+    mark_summary_state_dirty();
     push_stats_up();
   }
 
@@ -736,7 +761,7 @@ void RoadsServer::on_failure_check_timer() {
     send_join_request(join_.current);
   }
 
-  replicas_.sweep(now);
+  if (replicas_.sweep(now) > 0) mark_summary_state_dirty();
 }
 
 void RoadsServer::parent_lost() {
@@ -814,6 +839,7 @@ void RoadsServer::handle_leave_from_child(sim::NodeId child) {
   children_.remove(child);
   child_summaries_.erase(child);
   pushed_digests_.erase(child);
+  mark_summary_state_dirty();
   push_stats_up();
 }
 
@@ -831,137 +857,357 @@ void RoadsServer::handle_query(std::shared_ptr<RoadsClient> client,
   if (!alive_) return;
   query_hops_.inc();
   client->on_arrival(id_);
-  // The processing span opens at arrival so the evaluation delay is
-  // attributed to per-hop processing, not queueing. The deferred
-  // closure re-enters the captured context: raw schedule_after timers
-  // run outside any delivery scope.
+
+  // Negative cache first, before admission: a remembered summary-prune
+  // miss is answered empty at lookup cost without occupying a slot, so
+  // false-positive storms (stale summaries under a staleness attack)
+  // cannot queue out genuine queries. Start-mode queries never false-
+  // positive, so only forwarded modes are checked.
+  if (config_.query_cache_enabled && mode != QueryMode::kStart &&
+      negative_cache_.contains(cache_key(*client, mode),
+                               network_.simulator().now())) {
+    cache_neg_hits_.inc();
+    query_false_positives_.inc();
+    const auto proc = network_.begin_span(id_, "proc");
+    network_.simulator().schedule_after(
+        config_.query_cache_hit_delay, [this, client, proc] {
+          if (!alive_) {
+            network_.end_span(proc);
+            return;
+          }
+          sim::ScopedTraceContext trace_scope(network_, proc);
+          network_.send(id_, client->location(), msg::redirect_reply(0),
+                        sim::Channel::kQuery, [client, server = id_] {
+                          client->on_reply(
+                              server,
+                              std::vector<std::pair<sim::NodeId, QueryMode>>{},
+                              0, false);
+                        });
+          network_.end_span(proc);
+        });
+    return;
+  }
+
+  // Admission control. limit == 0 keeps the historical infinite-server
+  // model: every query is admitted immediately (bit-identical replay).
+  const auto limit = config_.query_concurrency_limit;
+  if (limit == 0) {
+    begin_query(std::move(client), mode);
+    return;
+  }
+  if (active_queries_ < limit) {
+    ++active_queries_;
+    begin_query(std::move(client), mode);
+  } else if (query_queue_.size() < config_.query_queue_limit) {
+    query_queue_.push_back(QueuedQuery{std::move(client), mode});
+  } else {
+    shed_query(client);
+  }
+}
+
+void RoadsServer::begin_query(std::shared_ptr<RoadsClient> client,
+                              QueryMode mode) {
+  // The processing span opens at evaluation start so admission queueing
+  // time is not attributed to per-hop processing. The deferred closure
+  // re-enters the captured context: raw schedule_after timers run
+  // outside any delivery scope.
   const auto proc = network_.begin_span(id_, "proc");
+  if (config_.query_cache_enabled) {
+    if (auto entry = query_cache_.find(cache_key(*client, mode))) {
+      cache_hits_.inc();
+      // A hit holds its slot only for the lookup/assembly delay — the
+      // source of the cache's sustainable-QPS win.
+      network_.simulator().schedule_after(
+          config_.query_cache_hit_delay,
+          [this, client, entry = std::move(entry), proc] {
+            if (!alive_) {
+              network_.end_span(proc);
+              return;
+            }
+            sim::ScopedTraceContext trace_scope(network_, proc);
+            serve_cached(client, entry, proc);
+            network_.end_span(proc);
+            finish_query();
+          });
+      return;
+    }
+    cache_misses_.inc();
+  }
   network_.simulator().schedule_after(
       config_.query_processing_delay, [this, client, mode, proc] {
         if (!alive_) {
           network_.end_span(proc);
           return;
         }
-        sim::ScopedTraceContext trace_scope(network_, proc);
-        const auto& q = client->query();
-        std::vector<std::pair<sim::NodeId, QueryMode>> targets;
-
-        // Local data: this server's own store...
-        store::QueryStats stats{};
-        const auto local_ids = store_.query(q, &stats);
-        std::size_t local_matches = local_ids.size();
-        std::vector<record::ResourceRecord> local_records;
-        if (client->collect_results()) {
-          local_records.reserve(local_ids.size());
-          for (const auto rid : local_ids) {
-            local_records.push_back(store_.get(rid));
-          }
-        }
-        // ...plus summary-only owner attachments. Co-located owners
-        // answer through this server (policy applied); remote owners
-        // are redirect targets probed in local-only mode.
-        for (const auto& att : attachments_) {
-          if (att.mode != ExportMode::kSummaryOnly || !att.summary) continue;
-          if (!att.summary->matches(q)) continue;
-          if (att.owner->node() == id_) {
-            if (client->collect_results()) {
-              auto records = att.owner->answer(client->principal(), q);
-              local_matches += records.size();
-              for (auto& r : records) local_records.push_back(std::move(r));
-            } else {
-              local_matches += att.owner->answer_count(client->principal(), q);
-            }
-          } else {
-            targets.emplace_back(att.owner->node(), QueryMode::kLocalOnly);
-          }
-        }
-
-        // Branch descent through matching children (§III-B).
-        if (mode != QueryMode::kLocalOnly) {
-          for (const auto& [child, summary] : child_summaries_) {
-            if (summary && children_.has(child) && summary->matches(q)) {
-              targets.emplace_back(child, QueryMode::kBranch);
-            }
-          }
-        }
-
-        // Overlay shortcuts, only from the start server (§III-C):
-        // sibling / ancestor-sibling branches are descent entry points;
-        // matching ancestor locals are probed local-only.
-        if (mode == QueryMode::kStart) {
-          // The client's scope limits how far up the hierarchy the
-          // shortcuts may reach (§III-C's widening control).
-          const unsigned scope = client->scope();
-          for (const auto* r :
-               replicas_.matching(q, overlay::SummaryKind::kBranch)) {
-            if (r->spec.role != overlay::ReplicaRole::kAncestor &&
-                r->spec.levels_up <= scope) {
-              targets.emplace_back(r->spec.origin, QueryMode::kBranch);
-              overlay_shortcut_hits_.inc();
-            }
-          }
-          for (const auto* r :
-               replicas_.matching(q, overlay::SummaryKind::kLocal)) {
-            if (r->spec.role == overlay::ReplicaRole::kAncestor &&
-                r->spec.levels_up <= scope) {
-              targets.emplace_back(r->spec.origin, QueryMode::kLocalOnly);
-              overlay_shortcut_hits_.inc();
-            }
-          }
-        }
-
-        // A summary somewhere matched this query and steered it here,
-        // yet the server has nothing and nowhere further to send it —
-        // the false-positive redirect cost of approximate summaries.
-        if (mode != QueryMode::kStart && local_matches == 0 &&
-            targets.empty()) {
-          query_false_positives_.inc();
-          // Pinned to the processing span: the critical-path analyzer
-          // marks the transit that fed this hop as detour time.
-          trace_event(obs::TraceKind::kQueryFalsePositive,
-                      client->location(), 0.0, proc.span);
-        }
-
-        const bool results_pending =
-            client->collect_results() && local_matches > 0;
-        // Size the reply before the capture moves the target list out.
-        const auto reply_bytes = msg::redirect_reply(targets.size());
-        network_.send(id_, client->location(), reply_bytes,
-                      sim::Channel::kQuery,
-                      [client, server = id_, targets = std::move(targets),
-                       local_matches, results_pending]() mutable {
-                        client->on_reply(server, std::move(targets),
-                                         local_matches, results_pending);
-                      });
-
-        if (results_pending) {
-          std::uint64_t record_bytes = 0;
-          for (const auto& r : local_records) record_bytes += r.wire_size();
-          stats.matches = local_records.size();
-          const auto service = store::service_time_us(
-              config_.service_model, stats, record_bytes);
-          // Retrieval time is its own span (child of proc) so response
-          // critical paths separate evaluation from service delay.
-          const auto svc = network_.begin_span(id_, "service");
-          network_.simulator().schedule_after(
-              service, [this, client, record_bytes, svc,
-                        records = std::move(local_records)]() mutable {
-                if (!alive_) {
-                  network_.end_span(svc);
-                  return;
-                }
-                sim::ScopedTraceContext svc_scope(network_, svc);
-                network_.send(id_, client->location(),
-                              msg::results(record_bytes), sim::Channel::kResult,
-                              [client, server = id_,
-                               records = std::move(records)]() mutable {
-                                client->on_results(server, std::move(records));
-                              });
-                network_.end_span(svc);
-              });
-        }
-        network_.end_span(proc);
+        evaluate_query(client, mode, proc);
+        finish_query();
       });
+}
+
+void RoadsServer::evaluate_query(const std::shared_ptr<RoadsClient>& client,
+                                 QueryMode mode,
+                                 const obs::TraceContext& proc) {
+  sim::ScopedTraceContext trace_scope(network_, proc);
+  const auto& q = client->query();
+  std::vector<std::pair<sim::NodeId, QueryMode>> targets;
+  std::uint64_t shortcut_hits = 0;
+
+  // Local data: this server's own store...
+  store::QueryStats stats{};
+  const auto local_ids = store_.query(q, &stats);
+  std::size_t local_matches = local_ids.size();
+  std::vector<record::ResourceRecord> local_records;
+  if (client->collect_results()) {
+    local_records.reserve(local_ids.size());
+    for (const auto rid : local_ids) {
+      local_records.push_back(store_.get(rid));
+    }
+  }
+  // ...plus summary-only owner attachments. Co-located owners
+  // answer through this server (policy applied); remote owners
+  // are redirect targets probed in local-only mode.
+  for (const auto& att : attachments_) {
+    if (att.mode != ExportMode::kSummaryOnly || !att.summary) continue;
+    if (!att.summary->matches(q)) continue;
+    if (att.owner->node() == id_) {
+      if (client->collect_results()) {
+        auto records = att.owner->answer(client->principal(), q);
+        local_matches += records.size();
+        for (auto& r : records) local_records.push_back(std::move(r));
+      } else {
+        local_matches += att.owner->answer_count(client->principal(), q);
+      }
+    } else {
+      targets.emplace_back(att.owner->node(), QueryMode::kLocalOnly);
+    }
+  }
+
+  // Branch descent through matching children (§III-B).
+  if (mode != QueryMode::kLocalOnly) {
+    for (const auto& [child, summary] : child_summaries_) {
+      if (summary && children_.has(child) && summary->matches(q)) {
+        targets.emplace_back(child, QueryMode::kBranch);
+      }
+    }
+  }
+
+  // Overlay shortcuts, only from the start server (§III-C):
+  // sibling / ancestor-sibling branches are descent entry points;
+  // matching ancestor locals are probed local-only.
+  if (mode == QueryMode::kStart) {
+    // The client's scope limits how far up the hierarchy the
+    // shortcuts may reach (§III-C's widening control).
+    const unsigned scope = client->scope();
+    for (const auto* r : replicas_.matching(q, overlay::SummaryKind::kBranch)) {
+      if (r->spec.role != overlay::ReplicaRole::kAncestor &&
+          r->spec.levels_up <= scope) {
+        targets.emplace_back(r->spec.origin, QueryMode::kBranch);
+        overlay_shortcut_hits_.inc();
+        ++shortcut_hits;
+      }
+    }
+    for (const auto* r : replicas_.matching(q, overlay::SummaryKind::kLocal)) {
+      if (r->spec.role == overlay::ReplicaRole::kAncestor &&
+          r->spec.levels_up <= scope) {
+        targets.emplace_back(r->spec.origin, QueryMode::kLocalOnly);
+        overlay_shortcut_hits_.inc();
+        ++shortcut_hits;
+      }
+    }
+  }
+
+  // A summary somewhere matched this query and steered it here,
+  // yet the server has nothing and nowhere further to send it —
+  // the false-positive redirect cost of approximate summaries.
+  const bool false_positive =
+      mode != QueryMode::kStart && local_matches == 0 && targets.empty();
+  if (false_positive) {
+    query_false_positives_.inc();
+    // Pinned to the processing span: the critical-path analyzer
+    // marks the transit that fed this hop as detour time.
+    trace_event(obs::TraceKind::kQueryFalsePositive, client->location(), 0.0,
+                proc.span);
+  }
+
+  const bool results_pending = client->collect_results() && local_matches > 0;
+  std::uint64_t record_bytes = 0;
+  sim::Time service = 0;
+  if (results_pending) {
+    for (const auto& r : local_records) record_bytes += r.wire_size();
+    stats.matches = local_records.size();
+    service =
+        store::service_time_us(config_.service_model, stats, record_bytes);
+  }
+
+  // Cache fill, keyed by the state stamp AT EVALUATION TIME (the state
+  // the reply was computed from — a push that landed while this query
+  // sat in the processing delay keys the entry to the new state).
+  if (config_.query_cache_enabled) {
+    const auto key = cache_key(*client, mode);
+    if (false_positive) {
+      negative_cache_.insert(key, network_.simulator().now());
+    }
+    CachedReply entry;
+    entry.targets = targets;
+    entry.local_matches = local_matches;
+    entry.results_pending = results_pending;
+    entry.records = local_records;
+    entry.record_bytes = record_bytes;
+    entry.service_us = service;
+    entry.false_positive = false_positive;
+    entry.shortcut_hits = shortcut_hits;
+    const auto evicted = query_cache_.insert(key, std::move(entry));
+    if (evicted > 0) cache_evicted_.inc(evicted);
+  }
+
+  // Size the reply before the capture moves the target list out.
+  const auto reply_bytes = msg::redirect_reply(targets.size());
+  network_.send(id_, client->location(), reply_bytes, sim::Channel::kQuery,
+                [client, server = id_, targets = std::move(targets),
+                 local_matches, results_pending]() mutable {
+                  client->on_reply(server, std::move(targets), local_matches,
+                                   results_pending);
+                });
+
+  if (results_pending) {
+    // Retrieval time is its own span (child of proc) so response
+    // critical paths separate evaluation from service delay.
+    const auto svc = network_.begin_span(id_, "service");
+    network_.simulator().schedule_after(
+        service, [this, client, record_bytes, svc,
+                  records = std::move(local_records)]() mutable {
+          if (!alive_) {
+            network_.end_span(svc);
+            return;
+          }
+          sim::ScopedTraceContext svc_scope(network_, svc);
+          network_.send(id_, client->location(), msg::results(record_bytes),
+                        sim::Channel::kResult,
+                        [client, server = id_,
+                         records = std::move(records)]() mutable {
+                          client->on_results(server, std::move(records));
+                        });
+          network_.end_span(svc);
+        });
+  }
+  network_.end_span(proc);
+}
+
+void RoadsServer::serve_cached(const std::shared_ptr<RoadsClient>& client,
+                               const std::shared_ptr<const CachedReply>& entry,
+                               const obs::TraceContext& proc) {
+  // Replay the accounting the cold evaluation would have produced, so
+  // the §V meters (fp rate, shortcut usage) are cache-transparent.
+  if (entry->false_positive) {
+    query_false_positives_.inc();
+    trace_event(obs::TraceKind::kQueryFalsePositive, client->location(), 0.0,
+                proc.span);
+  }
+  if (entry->shortcut_hits > 0) overlay_shortcut_hits_.inc(entry->shortcut_hits);
+
+  network_.send(id_, client->location(),
+                msg::redirect_reply(entry->targets.size()), sim::Channel::kQuery,
+                [client, server = id_, entry] {
+                  client->on_reply(server, entry->targets,
+                                   entry->local_matches,
+                                   entry->results_pending);
+                });
+
+  if (entry->results_pending) {
+    const auto svc = network_.begin_span(id_, "service");
+    network_.simulator().schedule_after(
+        entry->service_us, [this, client, entry, svc] {
+          if (!alive_) {
+            network_.end_span(svc);
+            return;
+          }
+          sim::ScopedTraceContext svc_scope(network_, svc);
+          network_.send(id_, client->location(),
+                        msg::results(entry->record_bytes), sim::Channel::kResult,
+                        [client, server = id_, entry] {
+                          client->on_results(server, entry->records);
+                        });
+          network_.end_span(svc);
+        });
+  }
+}
+
+void RoadsServer::finish_query() {
+  if (config_.query_concurrency_limit == 0) return;
+  if (active_queries_ > 0) --active_queries_;
+  while (!query_queue_.empty() &&
+         active_queries_ < config_.query_concurrency_limit) {
+    auto next = std::move(query_queue_.front());
+    query_queue_.pop_front();
+    ++active_queries_;
+    begin_query(std::move(next.client), next.mode);
+  }
+}
+
+void RoadsServer::shed_query(const std::shared_ptr<RoadsClient>& client) {
+  cache_sheds_.inc();
+  network_.send(id_, client->location(), msg::overload_reply(),
+                sim::Channel::kQuery, [client, server = id_] {
+                  client->on_overload(server);
+                });
+}
+
+std::uint64_t RoadsServer::cache_key(const RoadsClient& client,
+                                     QueryMode mode) const {
+  util::Fnv1a h;
+  h.add(client.query().digest());
+  h.add(static_cast<std::uint64_t>(mode));
+  h.add(static_cast<std::uint64_t>(client.scope()));
+  h.add(static_cast<std::uint64_t>(client.principal()));
+  h.add(static_cast<std::uint64_t>(client.collect_results() ? 1 : 0));
+  h.add(summary_state_stamp());
+  return h.value();
+}
+
+std::uint64_t RoadsServer::summary_state_stamp() const {
+  if (state_stamp_dirty_) {
+    // The structural fold (child summaries + replicas) is the expensive
+    // part — ResourceSummary::digest() walks every slot — so it is
+    // cached behind the dirty flag. Keepalive pushes that re-deliver
+    // unchanged digests recompute the same fold: the cache stays warm.
+    util::Fnv1a fold;
+    for (const auto& [child, summary] : child_summaries_) {
+      if (!summary || !children_.has(child)) continue;
+      fold.add(static_cast<std::uint64_t>(child));
+      fold.add(summary->digest());
+    }
+    for (const auto* r : replicas_.all()) {
+      fold.add(static_cast<std::uint64_t>(r->spec.origin));
+      fold.add(static_cast<std::uint64_t>(r->spec.kind));
+      fold.add(static_cast<std::uint64_t>(r->spec.role));
+      fold.add(static_cast<std::uint64_t>(r->spec.levels_up));
+      if (r->summary) fold.add(r->summary->digest());
+    }
+    state_stamp_fold_ = fold.value();
+    state_stamp_dirty_ = false;
+  }
+  // Live versions are folded fresh on every lookup: record mutations —
+  // including out-of-band ones a staleness attack performs directly on
+  // owner stores — must invalidate without any protocol message.
+  util::Fnv1a h;
+  h.add(state_stamp_fold_);
+  h.add(store_.version());
+  for (const auto& att : attachments_) {
+    if (att.mode != ExportMode::kSummaryOnly) continue;
+    h.add(static_cast<std::uint64_t>(att.owner->node()));
+    h.add(att.owner->store().version());
+    h.add(att.exported_digest);
+  }
+  return h.value();
+}
+
+void RoadsServer::mark_summary_state_dirty() {
+  if (state_stamp_dirty_) return;
+  state_stamp_dirty_ = true;
+  // Counts state transitions that (may) invalidate cached replies; an
+  // upper bound on actual entry invalidation since an unchanged-digest
+  // push recomputes an identical fold.
+  if (config_.query_cache_enabled) cache_invalidates_.inc();
 }
 
 }  // namespace roads::core

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -35,6 +36,7 @@
 #include "roads/dispatch.h"
 #include "roads/messages.h"
 #include "roads/owner.h"
+#include "roads/query_cache.h"
 #include "sim/network.h"
 #include "store/record_store.h"
 #include "summary/resource_summary.h"
@@ -142,6 +144,13 @@ class RoadsServer : public QueryTarget {
   void handle_query(std::shared_ptr<RoadsClient> client,
                     QueryMode mode) override;
 
+  /// Admission/cache introspection (tests and probes).
+  std::size_t active_queries() const { return active_queries_; }
+  std::size_t queued_queries() const { return query_queue_.size(); }
+  std::size_t query_cache_entries() const { return query_cache_.size(); }
+  std::uint64_t query_cache_bytes() const { return query_cache_.bytes(); }
+  std::size_t negative_cache_entries() const { return negative_cache_.size(); }
+
  private:
   struct Attachment {
     std::shared_ptr<ResourceOwner> owner;
@@ -185,6 +194,36 @@ class RoadsServer : public QueryTarget {
   void on_failure_check_timer();
   void parent_lost();
   void try_rejoin_candidates();
+
+  // --- Query serving internals (admission + caching) ------------------------
+  /// Starts serving an admitted query: cache lookup decides whether the
+  /// evaluation slot is held for the hit delay or the full processing
+  /// delay.
+  void begin_query(std::shared_ptr<RoadsClient> client, QueryMode mode);
+  /// The cold evaluation (local store + attachments + child summaries +
+  /// overlay shortcuts), reply send, and cache fill. Runs inside the
+  /// processing-delay closure under the `proc` span.
+  void evaluate_query(const std::shared_ptr<RoadsClient>& client,
+                      QueryMode mode, const obs::TraceContext& proc);
+  /// Replays a cached reply (counters, redirect reply, result batch).
+  void serve_cached(const std::shared_ptr<RoadsClient>& client,
+                    const std::shared_ptr<const CachedReply>& entry,
+                    const obs::TraceContext& proc);
+  /// Releases an evaluation slot and admits the next queued query.
+  void finish_query();
+  /// Sheds `client` with an immediate overload reply.
+  void shed_query(const std::shared_ptr<RoadsClient>& client);
+  /// Cache key: query digest folded with mode, client scope/principal/
+  /// collect flag and the current summary-state stamp.
+  std::uint64_t cache_key(const RoadsClient& client, QueryMode mode) const;
+  /// Fingerprint of every input a query evaluation reads: live store +
+  /// owner-store versions plus the (dirty-flag cached) fold of child
+  /// summary digests and replica digests. Equal stamps => evaluation
+  /// would produce a byte-identical reply.
+  std::uint64_t summary_state_stamp() const;
+  /// Marks the child-summary/replica fold stale (called at every
+  /// mutation site of those structures).
+  void mark_summary_state_dirty();
 
   /// Sends a protocol message to `to`; `deliver(peer)` runs at the
   /// receiving server if it is alive at delivery time. Templated so
@@ -242,6 +281,13 @@ class RoadsServer : public QueryTarget {
   obs::Counter& summary_delta_slots_;
   obs::Counter& summary_full_rebuilds_;
   obs::Histogram& refresh_us_;
+  // Query-serving counters (admission + digest-keyed cache).
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Counter& cache_invalidates_;
+  obs::Counter& cache_neg_hits_;
+  obs::Counter& cache_sheds_;
+  obs::Counter& cache_evicted_;
 
   store::RecordStore store_;
   std::vector<Attachment> attachments_;
@@ -283,6 +329,22 @@ class RoadsServer : public QueryTarget {
   // rejoin attempts failed; the maintenance timer keeps retrying these
   // contacts so partitions re-merge once connectivity returns.
   std::vector<sim::NodeId> recovery_candidates_;
+
+  // --- Concurrent query serving ---------------------------------------------
+  struct QueuedQuery {
+    std::shared_ptr<RoadsClient> client;
+    QueryMode mode = QueryMode::kStart;
+  };
+  /// Queries currently holding an evaluation slot (admission on).
+  std::size_t active_queries_ = 0;
+  /// Bounded inbound queue; arrivals past query_queue_limit are shed.
+  std::deque<QueuedQuery> query_queue_;
+  QueryResultCache query_cache_;
+  NegativeCache negative_cache_;
+  /// Lazily recomputed fold of child-summary + replica digests; the
+  /// dirty flag flips at every mutation site of those structures.
+  mutable bool state_stamp_dirty_ = true;
+  mutable std::uint64_t state_stamp_fold_ = 0;
 };
 
 }  // namespace roads::core

@@ -14,11 +14,13 @@
 #include "obs/timeline.h"
 #include "record/query.h"
 #include "record/schema.h"
+#include "roads/client.h"
 #include "roads/federation.h"
 #include "sim/fault.h"
 #include "sim/time.h"
 #include "testing/invariants.h"
 #include "util/rng.h"
+#include "workload/arrival.h"
 #include "workload/query_generator.h"
 #include "workload/record_generator.h"
 
@@ -117,6 +119,9 @@ std::uint64_t ScenarioOutcome::metrics_fingerprint() const {
     hash = fnv_mix(hash, phase.end_s);
     hash = fnv_mix(hash, static_cast<std::uint64_t>(phase.queries_issued));
     hash = fnv_mix(hash, static_cast<std::uint64_t>(phase.queries_completed));
+    hash = fnv_mix(hash, static_cast<std::uint64_t>(phase.queries_shed));
+    hash = fnv_mix(hash, static_cast<std::uint64_t>(phase.queries_rejected));
+    hash = fnv_mix(hash, phase.cache_hits);
     hash = fnv_mix(hash, phase.latency_avg_ms);
     hash = fnv_mix(hash, phase.staleness_peak_s);
     hash = fnv_mix(hash, phase.false_positives);
@@ -144,11 +149,15 @@ std::string ScenarioOutcome::summary() const {
             : std::to_string(phase.violations.size()) + " violations";
     char line[512];
     std::snprintf(line, sizeof line,
-                  "PHASE scenario=%s phase=%s queries=%zu/%zu "
+                  "PHASE scenario=%s phase=%s queries=%zu/%zu shed=%zu "
+                  "rejected=%zu cache_hits=%llu "
                   "latency_ms=%.1f staleness_peak_s=%.1f fp=%.0f "
                   "converged_at_s=%.1f ttr_s=%.1f invariants=%s\n",
                   name.c_str(), phase.name.c_str(), phase.queries_completed,
-                  phase.queries_issued, phase.latency_avg_ms,
+                  phase.queries_issued, phase.queries_shed,
+                  phase.queries_rejected,
+                  static_cast<unsigned long long>(phase.cache_hits),
+                  phase.latency_avg_ms,
                   phase.staleness_peak_s, phase.false_positives,
                   phase.converged_at_s, phase.time_to_recover_s, inv.c_str());
     os << line;
@@ -198,6 +207,9 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
   params.config.heartbeat_period = from_seconds(spec.heartbeat_s);
   params.config.heartbeat_miss_limit = 3;
   params.config.summary_keepalive_rounds = 1;
+  params.config.query_cache_enabled = spec.query_cache;
+  params.config.query_concurrency_limit = spec.query_concurrency;
+  params.config.query_queue_limit = spec.query_queue_limit;
   params.threads = options.threads;
   params.profile = !options.profile_out.empty();
   core::Federation fed(std::move(params));
@@ -242,6 +254,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
   }
 
   auto& fp_counter = fed.metrics().counter("roads.query.false_positives");
+  auto& cache_hit_counter = fed.metrics().counter("roads.query.cache.hit");
   util::Rng rng(spec.seed ^ 0x5ce0a110ull);
 
   ScenarioOutcome outcome;
@@ -253,6 +266,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
     const sim::Time phase_start = now;
     const sim::Time phase_end = phase_start + from_seconds(phase.duration_s);
     const std::uint64_t fp_before = fp_counter.value();
+    const std::uint64_t cache_hits_before = cache_hit_counter.value();
     // Topology snapshot, lazy and fallible: a phase can legitimately
     // begin while the forest still has several roots (the previous
     // phase ended mid-recovery), where Federation::topology() throws.
@@ -396,10 +410,14 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
       qgen.set_hotspot(workload::HotspotSpec{
           phase.flash_crowd->attribute, phase.flash_crowd->center,
           phase.flash_crowd->width, phase.flash_crowd->weight});
+      // Under an open-loop block the crowd's skew steers the open-loop
+      // population instead; its closed-loop query count is ignored.
       const auto dims =
           std::min(phase.flash_crowd->dimensions,
                    qgen.dimension_order().size());
-      for (std::size_t q = 0; q < phase.flash_crowd->queries; ++q) {
+      const std::size_t burst =
+          phase.open_loop ? 0 : phase.flash_crowd->queries;
+      for (std::size_t q = 0; q < burst; ++q) {
         actions.push_back({draw_query_time(), TimedAction::kQuery,
                            queries.size()});
         queries.push_back(
@@ -416,11 +434,57 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
                            TimedAction::kMutationWave, w});
       }
     }
-    for (sim::Time t = phase_start + topts.timeline.window; t < phase_end;
-         t += topts.timeline.window) {
-      actions.push_back({t, TimedAction::kTick, 0});
+    // Open-loop phases run with no interior ticks: driving between
+    // actions uses fed.advance (parallel windows), which is unsafe
+    // while open-loop clients are in flight — the whole phase is
+    // micro-stepped instead and the telemetry window spans the phase.
+    if (!phase.open_loop) {
+      for (sim::Time t = phase_start + topts.timeline.window; t < phase_end;
+           t += topts.timeline.window) {
+        actions.push_back({t, TimedAction::kTick, 0});
+      }
     }
     std::sort(actions.begin(), actions.end(), action_order);
+
+    // Pre-draw the open-loop schedule and plant every arrival as an
+    // engine event (the exact-global-order micro-stepping below makes
+    // this bit-identical across thread counts, like exp::run_roads_load).
+    std::vector<std::shared_ptr<core::RoadsClient>> open_clients;
+    std::vector<record::Query> open_population;
+    if (phase.open_loop) {
+      const auto& ol = *phase.open_loop;
+      const auto dims =
+          std::min(ol.dimensions, qgen.dimension_order().size());
+      for (std::size_t q = 0; q < ol.population; ++q) {
+        open_population.push_back(qgen.generate(dims, ol.range_length));
+      }
+      workload::ArrivalSpec aspec;
+      aspec.process = ol.process == "selfsimilar"
+                          ? workload::ArrivalProcess::kSelfSimilar
+                          : workload::ArrivalProcess::kPoisson;
+      aspec.rate_qps = ol.rate_qps;
+      aspec.pareto_alpha = ol.pareto_alpha;
+      util::Rng arrival_rng(spec.seed ^ (0xa4410000ull + phase_index));
+      auto arrivals = workload::generate_arrivals(aspec, ol.count,
+                                                  arrival_rng);
+      // Clamp the tail inside the phase interior so the drain (and the
+      // boundary heal) cannot be outrun by late arrivals.
+      const sim::Time interior =
+          std::max<sim::Time>(0, from_seconds(phase.duration_s - 3.0));
+      workload::ZipfSampler zipf(open_population.size(), ol.zipf_s);
+      open_clients.resize(arrivals.size());
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const auto rank = zipf.sample(rng);
+        const auto start = pick_alive(
+            fed, rng, /*avoid=*/static_cast<sim::NodeId>(spec.nodes));
+        const auto offset = sim::seconds(1) + std::min(arrivals[i], interior);
+        fed.network().simulator().schedule_after(
+            offset, [&fed, &open_clients, i,
+                     query = open_population[rank], start] {
+              open_clients[i] = fed.issue_query(query, start);
+            });
+      }
+    }
 
     // --- Execute -----------------------------------------------------------
     PhaseOutcome result;
@@ -484,6 +548,41 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
       }
       now = fed.simulator().now();
     }
+    if (phase.open_loop) {
+      // Exact global micro-stepping until every client is answered —
+      // advance()'s parallel windows must not run with clients in
+      // flight. Arrivals are clamped inside the phase, so the drain
+      // normally finishes before phase_end; a backlogged queue may
+      // push completion slightly past it (deterministically).
+      const auto all_done = [&open_clients] {
+        for (const auto& c : open_clients) {
+          if (!c || !c->done()) return false;
+        }
+        return true;
+      };
+      std::size_t drain_guard = 0;
+      while (!all_done()) {
+        if (fed.step(1024) == 0) break;
+        if (++drain_guard > 500'000) {
+          throw std::runtime_error("scenario: open-loop phase '" +
+                                   phase.name + "' did not drain");
+        }
+      }
+      now = fed.simulator().now();
+      for (const auto& c : open_clients) {
+        if (!c) continue;
+        fed.note_query_complete(*c);
+        const auto& r = c->result();
+        ++result.queries_issued;
+        result.queries_shed += r.sheds;
+        if (r.rejected) {
+          ++result.queries_rejected;
+        } else if (r.complete) {
+          ++result.queries_completed;
+          latency_sum_ms += sim::to_ms(r.forwarding_latency());
+        }
+      }
+    }
     if (phase_end > now) {
       fed.advance(phase_end - now);
       now = fed.simulator().now();
@@ -506,6 +605,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
             : 0.0;
     result.false_positives =
         static_cast<double>(fp_counter.value() - fp_before);
+    result.cache_hits = cache_hit_counter.value() - cache_hits_before;
     for (const auto& w : timeline->windows()) {
       if (w.end > phase_start && w.start <= now) {
         result.staleness_peak_s = std::max(

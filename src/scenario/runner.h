@@ -56,7 +56,15 @@ struct PhaseOutcome {
   double start_s = 0.0;
   double end_s = 0.0;
   std::size_t queries_issued = 0;
+  /// Queries actually served (open-loop phases exclude rejected ones —
+  /// the overload reply completes the protocol but serves no data).
   std::size_t queries_completed = 0;
+  /// Open-loop serving meters (0 for closed-loop phases): total
+  /// overload replies clients saw, queries whose start server shed
+  /// them outright, and the roads.query.cache.hit delta.
+  std::size_t queries_shed = 0;
+  std::size_t queries_rejected = 0;
+  std::uint64_t cache_hits = 0;
   double latency_avg_ms = 0.0;
   /// Peak replica staleness (probe.staleness.replica.max_s) over the
   /// phase's telemetry windows.

@@ -197,6 +197,35 @@ QueryLoadSpec parse_queries(const JsonValue& v, const std::string& where) {
   return out;
 }
 
+OpenLoopSpec parse_open_loop(const JsonValue& v, const std::string& where) {
+  const auto& obj = as_object(v, where);
+  check_keys(obj, where,
+             {"rate_qps", "process", "pareto_alpha", "count", "population",
+              "zipf_s", "dimensions", "range_length"});
+  OpenLoopSpec out;
+  out.rate_qps =
+      positive(num(obj, where, "rate_qps", out.rate_qps), where, "rate_qps");
+  out.process = text(obj, where, "process", out.process);
+  if (out.process != "poisson" && out.process != "selfsimilar") {
+    fail_at(where,
+            "key \"process\" must be \"poisson\" or \"selfsimilar\"");
+  }
+  out.pareto_alpha = positive(
+      num(obj, where, "pareto_alpha", out.pareto_alpha), where,
+      "pareto_alpha");
+  out.count = count(obj, where, "count", out.count);
+  if (out.count == 0) fail_at(where, "key \"count\" must be >= 1");
+  out.population = count(obj, where, "population", out.population);
+  if (out.population == 0) {
+    fail_at(where, "key \"population\" must be >= 1");
+  }
+  out.zipf_s = num(obj, where, "zipf_s", out.zipf_s);
+  if (out.zipf_s < 0) fail_at(where, "key \"zipf_s\" must be >= 0");
+  out.dimensions = count(obj, where, "dimensions", out.dimensions);
+  out.range_length = num(obj, where, "range_length", out.range_length);
+  return out;
+}
+
 PhaseSpec parse_phase(const JsonValue& v, std::size_t index) {
   std::string where = "phases[" + std::to_string(index) + "]";
   const auto& obj = as_object(v, where);
@@ -207,7 +236,8 @@ PhaseSpec parse_phase(const JsonValue& v, std::size_t index) {
   check_keys(obj, where,
              {"name", "duration_s", "churn", "flash_crowd", "flapping",
               "slow_links", "partition", "message_faults", "staleness_attack",
-              "queries", "expect_single_root", "check_soundness"});
+              "queries", "open_loop", "expect_single_root",
+              "check_soundness"});
   out.duration_s = positive(num(obj, where, "duration_s", out.duration_s),
                             where, "duration_s");
   if (const auto* b = obj.count("churn") ? &obj.at("churn") : nullptr) {
@@ -238,6 +268,20 @@ PhaseSpec parse_phase(const JsonValue& v, std::size_t index) {
   }
   if (obj.count("queries")) {
     out.queries = parse_queries(obj.at("queries"), where + " queries");
+  }
+  if (obj.count("open_loop")) {
+    out.open_loop =
+        parse_open_loop(obj.at("open_loop"), where + " open_loop");
+    // An open-loop client that never gets its reply (the queued query
+    // died with a crashed server, the message was dropped) would stall
+    // the phase drain forever — fault blocks and the closed-loop query
+    // blocks are rejected rather than silently risking that.
+    if (out.queries || out.staleness_attack || out.churn || out.flapping ||
+        out.partition || out.message_faults) {
+      fail_at(where,
+              "key \"open_loop\" cannot combine with fault or closed-loop "
+              "query blocks (only flash_crowd and slow_links compose)");
+    }
   }
   out.expect_single_root =
       flag(obj, where, "expect_single_root", out.expect_single_root);
@@ -353,7 +397,8 @@ ScenarioSpec ScenarioSpec::from_json(const JsonValue& doc) {
   check_keys(obj, where,
              {"name", "description", "nodes", "records_per_node",
               "attributes", "max_children", "seed", "refresh_period_s",
-              "heartbeat_s", "probe_window_s", "phases"});
+              "heartbeat_s", "probe_window_s", "query_cache",
+              "query_concurrency", "query_queue_limit", "phases"});
   out.description = text(obj, where, "description", "");
   out.nodes = count(obj, where, "nodes", out.nodes);
   if (out.nodes < 2) fail_at(where, "key \"nodes\" must be >= 2");
@@ -374,6 +419,11 @@ ScenarioSpec ScenarioSpec::from_json(const JsonValue& doc) {
   out.probe_window_s = positive(
       num(obj, where, "probe_window_s", out.probe_window_s), where,
       "probe_window_s");
+  out.query_cache = flag(obj, where, "query_cache", out.query_cache);
+  out.query_concurrency =
+      count(obj, where, "query_concurrency", out.query_concurrency);
+  out.query_queue_limit =
+      count(obj, where, "query_queue_limit", out.query_queue_limit);
 
   const auto phases_it = obj.find("phases");
   if (phases_it == obj.end() || !phases_it->second.is_array()) {
@@ -420,6 +470,10 @@ std::string ScenarioSpec::to_json() const {
   e.field("refresh_period_s", refresh_period_s);
   e.field("heartbeat_s", heartbeat_s);
   e.field("probe_window_s", probe_window_s);
+  e.field("query_cache", query_cache);
+  e.field("query_concurrency", static_cast<std::uint64_t>(query_concurrency));
+  e.field("query_queue_limit",
+          static_cast<std::uint64_t>(query_queue_limit));
   e.open_array("phases");
   for (const auto& phase : phases) {
     e.open(nullptr);
@@ -485,6 +539,18 @@ std::string ScenarioSpec::to_json() const {
       e.field("count", phase.queries->count);
       e.field("dimensions", phase.queries->dimensions);
       e.field("range_length", phase.queries->range_length);
+      e.close();
+    }
+    if (phase.open_loop) {
+      e.open("open_loop");
+      e.field("rate_qps", phase.open_loop->rate_qps);
+      e.field("process", phase.open_loop->process);
+      e.field("pareto_alpha", phase.open_loop->pareto_alpha);
+      e.field("count", phase.open_loop->count);
+      e.field("population", phase.open_loop->population);
+      e.field("zipf_s", phase.open_loop->zipf_s);
+      e.field("dimensions", phase.open_loop->dimensions);
+      e.field("range_length", phase.open_loop->range_length);
       e.close();
     }
     e.field("expect_single_root", phase.expect_single_root);

@@ -106,6 +106,29 @@ struct QueryLoadSpec {
   double range_length = 0.25;
 };
 
+/// Open-loop arrivals: `count` queries arrive on a fixed schedule
+/// (Poisson or self-similar at `rate_qps`) regardless of how fast the
+/// federation answers, drawn Zipf(`zipf_s`)-skewed from a `population`
+/// of distinct queries — the serving-path stress (queueing, admission
+/// control, the result cache). Arrivals are clamped inside the phase
+/// and every in-flight query is driven by exact micro-stepping, so the
+/// phase stays bit-identical across engine thread counts. Composes
+/// with flash_crowd (its hotspot skews the population; its closed-loop
+/// query count is ignored) and slow_links; fault blocks and closed-
+/// loop query blocks are rejected — a dropped query would strand an
+/// open-loop client forever.
+struct OpenLoopSpec {
+  double rate_qps = 40.0;
+  /// "poisson" or "selfsimilar" (bounded-Pareto gaps).
+  std::string process = "poisson";
+  double pareto_alpha = 1.5;
+  std::size_t count = 64;
+  std::size_t population = 8;
+  double zipf_s = 1.0;
+  std::size_t dimensions = 2;
+  double range_length = 0.25;
+};
+
 /// One timed phase. Optional blocks activate the corresponding stress;
 /// a phase with none is a quiet observation window. The invariant
 /// sweep at the phase boundary always checks structure, replica TTLs
@@ -124,6 +147,7 @@ struct PhaseSpec {
   std::optional<MessageFaultSpec> message_faults;
   std::optional<StalenessAttackSpec> staleness_attack;
   std::optional<QueryLoadSpec> queries;
+  std::optional<OpenLoopSpec> open_loop;
   bool expect_single_root = false;
   bool check_soundness = false;
 };
@@ -141,6 +165,14 @@ struct ScenarioSpec {
   double heartbeat_s = 5.0;
   /// Telemetry window / scenario tick cadence.
   double probe_window_s = 5.0;
+  /// Serving knobs (RoadsConfig pass-throughs). The defaults keep the
+  /// query path event-for-event identical to the pre-serving engine,
+  /// so existing scenarios replay unchanged; open-loop scenarios turn
+  /// these on to exercise the cache and the admission controller.
+  bool query_cache = false;
+  /// 0 = infinite-server (no queue, no shedding).
+  std::size_t query_concurrency = 0;
+  std::size_t query_queue_limit = 64;
   std::vector<PhaseSpec> phases;
 
   /// Strict parse; throws std::runtime_error naming the offending key

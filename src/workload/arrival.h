@@ -1,0 +1,81 @@
+// Open-loop arrival processes and skewed query populations for the
+// load harness (bench_load, scenario open-loop phases).
+//
+// Closed-loop drivers (issue, wait, issue) self-throttle: offered load
+// falls as latency rises, so they cannot expose a saturation knee. An
+// open-loop driver fixes the arrival schedule in advance — queries
+// arrive at their scheduled instants whether or not earlier ones have
+// completed — which is what sustainable-throughput-vs-p99 curves
+// require. Two processes are provided:
+//
+//  - Poisson: i.i.d. exponential inter-arrivals at a fixed rate, the
+//    classic memoryless open-loop workload.
+//  - Self-similar: bounded-Pareto inter-arrivals (heavy-tailed ON
+//    periods), which bunch arrivals into bursts at the same mean rate
+//    and stress the admission controller's queue far harder.
+//
+// Query populations are Zipf-skewed: a fixed population of distinct
+// queries is generated once (via QueryGenerator) and each arrival
+// samples a rank from Zipf(s). At s = 1 a small head dominates — the
+// regime where digest-keyed result caching pays.
+//
+// Everything is seeded through util::Rng: a (seed, config) pair always
+// yields the same schedule, which the determinism gates rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace roads::workload {
+
+/// Arrival process family for open-loop load generation.
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,
+  kSelfSimilar,
+};
+
+struct ArrivalSpec {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Mean offered rate, queries per second.
+  double rate_qps = 100.0;
+  /// Pareto shape for the self-similar process; 1 < alpha < 2 gives
+  /// infinite-variance (long-range-dependent) inter-arrival bursts.
+  double pareto_alpha = 1.5;
+  /// Inter-arrival cap for the self-similar process, as a multiple of
+  /// the mean gap (bounds the Pareto tail so a finite schedule cannot
+  /// be dominated by one astronomically long gap).
+  double max_gap_factor = 50.0;
+};
+
+/// `count` arrival offsets (µs, ascending, starting after 0) drawn
+/// from `spec` using `rng`. The self-similar schedule is rescaled so
+/// its mean gap exactly matches 1/rate: offered load is comparable
+/// across processes and the burstiness is the only variable.
+std::vector<sim::Time> generate_arrivals(const ArrivalSpec& spec,
+                                         std::size_t count, util::Rng& rng);
+
+/// Zipf(s) sampler over ranks [0, n): P(k) proportional to 1/(k+1)^s.
+/// s = 0 is uniform; s = 1 is the classic web-request skew. Sampling
+/// inverts the precomputed CDF by binary search — O(log n) per draw,
+/// deterministic for a given (n, s, draw sequence).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// A rank in [0, n) drawn through `rng`.
+  std::size_t sample(util::Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Expected probability mass of the top `k` ranks — the best hit
+  /// rate a result cache holding k entries could see.
+  double head_mass(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace roads::workload

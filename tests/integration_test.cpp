@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "exp/experiment.h"
+#include "exp/load.h"
 #include "hierarchy/topology.h"
 #include "roads/federation.h"
 #include "sword/sword_system.h"
@@ -230,6 +231,77 @@ TEST(Integration, StorageRoadsConstantInRecords) {
   EXPECT_NEAR(roads_hi.max_storage_bytes / roads_lo.max_storage_bytes, 1.0,
               0.05);
   EXPECT_GT(sword_hi.max_storage_bytes / sword_lo.max_storage_bytes, 5.0);
+}
+
+// --- Open-loop load harness (exp/load.h) ---
+
+exp::LoadConfig small_load_config() {
+  exp::LoadConfig cfg;
+  cfg.nodes = 24;
+  cfg.records_per_node = 40;
+  cfg.queries = 150;
+  cfg.population = 12;
+  cfg.arrival.rate_qps = 300.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+// The open-loop serving history — completions, sheds, per-client
+// latencies, cache meters — must replay bit-identically: same config
+// twice, and the sharded engine at threads=4 vs the sequential oracle.
+TEST(OpenLoopLoad, FingerprintIsBitIdenticalAcrossRunsAndThreadCounts) {
+  const auto cfg = small_load_config();
+  const auto first = exp::run_roads_load(cfg);
+  const auto again = exp::run_roads_load(cfg);
+  EXPECT_EQ(first.fingerprint, again.fingerprint) << "same-config replay";
+  EXPECT_EQ(first.completed, again.completed);
+  EXPECT_EQ(first.cache_hits, again.cache_hits);
+
+  auto sharded = cfg;
+  sharded.threads = 4;
+  const auto parallel = exp::run_roads_load(sharded);
+  EXPECT_EQ(first.fingerprint, parallel.fingerprint)
+      << "threads=4 serving history diverged from sequential";
+  EXPECT_EQ(first.completed, parallel.completed);
+  EXPECT_EQ(first.rejected, parallel.rejected);
+  EXPECT_EQ(first.shed_events, parallel.shed_events);
+  EXPECT_EQ(first.cache_hits, parallel.cache_hits);
+  EXPECT_DOUBLE_EQ(first.p99_ms, parallel.p99_ms);
+}
+
+// The Zipf-skewed population makes repeats common, so the cache must
+// actually absorb them — and the cache-off ablation of the same
+// schedule must serve every query cold.
+TEST(OpenLoopLoad, CacheAbsorbsZipfRepeatsAndAblationServesCold) {
+  const auto cfg = small_load_config();
+  const auto on = exp::run_roads_load(cfg);
+  EXPECT_EQ(on.issued, 150u);
+  EXPECT_GT(on.completed, 0u);
+  EXPECT_GT(on.cache_hits, 0u) << "no hits from a 12-query population";
+  EXPECT_GT(on.hit_rate, 0.2);
+
+  auto off_cfg = cfg;
+  off_cfg.cache_enabled = false;
+  const auto off = exp::run_roads_load(off_cfg);
+  EXPECT_EQ(off.cache_hits, 0u);
+  EXPECT_EQ(off.neg_hits, 0u);
+  EXPECT_EQ(off.hit_rate, 0.0);
+  // Identical arrival schedule, so the offered side must agree.
+  EXPECT_EQ(off.issued, on.issued);
+  EXPECT_DOUBLE_EQ(off.offered_qps, on.offered_qps);
+}
+
+// The central baseline replays the same plan through one serial queue;
+// its tail must collapse under load the federation still absorbs.
+TEST(OpenLoopLoad, CentralBaselineSaturatesFirst) {
+  auto cfg = small_load_config();
+  cfg.arrival.rate_qps = 2000.0;
+  cfg.queries = 400;
+  const auto central = exp::run_central_load(cfg);
+  EXPECT_EQ(central.completed, 400u);
+  const auto roads = exp::run_roads_load(cfg);
+  EXPECT_GT(central.p99_ms, roads.p99_ms)
+      << "serial central queue should be the saturated side";
 }
 
 }  // namespace

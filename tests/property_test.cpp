@@ -9,7 +9,9 @@
 
 #include "exp/experiment.h"
 #include "overlay/replica_set.h"
+#include "record/query.h"
 #include "roads/federation.h"
+#include "sim/time.h"
 #include "store/record_store.h"
 #include "summary/resource_summary.h"
 #include "util/rng.h"
@@ -135,6 +137,132 @@ TEST_P(ParitySweep, SameWorkloadSameMatches) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParitySweep,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// --- Result-cache soundness (the tentpole's correctness gate) ---
+
+// The digest-keyed result cache must be invisible to clients: a hit
+// replays a reply byte-identical to the cold evaluation, and ANY
+// summary-state digest change (local store mutation, or a descendant's
+// refreshed summary arriving) rotates the key so the next query
+// re-evaluates instead of serving stale data. Swept across 16 seeds.
+class CacheSoundnessSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static constexpr std::size_t kNodes = 15;
+  static constexpr std::size_t kDegree = 3;
+
+  void Build() {
+    const auto seed = GetParam();
+    schema_ = record::Schema::uniform_numeric(6);
+    spec_ = workload::WorkloadSpec::paper_default(6, 30);
+    workload::RecordGenerator gen(schema_, spec_, seed);
+    gen.anchor_by_balanced_tree(kNodes, kDegree);
+
+    core::FederationParams params;
+    params.schema = schema_;
+    params.seed = seed;
+    params.config.max_children = kDegree;
+    params.config.summary.histogram_buckets = 60;
+    params.config.summary_refresh_period = sim::seconds(50);
+    params.config.summary_ttl = sim::seconds(200);
+    params.config.query_cache_enabled = true;
+    fed_ = std::make_unique<core::Federation>(std::move(params));
+    fed_->add_servers(kNodes);
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      auto owner = fed_->add_owner(static_cast<sim::NodeId>(n),
+                                   core::ExportMode::kDetailedRecords);
+      for (auto& r : gen.records_for_node(static_cast<std::uint32_t>(n),
+                                          owner->id())) {
+        owner->store().insert(std::move(r));
+      }
+      fed_->server(static_cast<sim::NodeId>(n))
+          .attach_owner(owner, core::ExportMode::kDetailedRecords);
+    }
+    fed_->start();
+    fed_->stabilize();
+  }
+
+  /// Ground truth recomputed from the live stores, so it tracks
+  /// mutations the test makes mid-run.
+  std::size_t brute_force(const record::Query& q) const {
+    std::size_t count = 0;
+    for (sim::NodeId i = 0; i < kNodes; ++i) {
+      for (const auto& r : fed_->server(i).local_store().snapshot()) {
+        if (q.matches(r)) ++count;
+      }
+    }
+    return count;
+  }
+
+  std::uint64_t hits() const {
+    return fed_->metrics().counter("roads.query.cache.hit").value();
+  }
+
+  record::Schema schema_;
+  workload::WorkloadSpec spec_;
+  std::unique_ptr<core::Federation> fed_;
+};
+
+TEST_P(CacheSoundnessSweep, HitIsByteIdenticalToColdEvaluation) {
+  Build();
+  const auto seed = GetParam();
+  workload::QueryGenerator qgen(schema_, spec_, seed ^ 0xcac4e);
+  util::Rng pick(seed ^ 0x5eed);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto q = qgen.generate(3, 0.35);
+    const auto start = static_cast<sim::NodeId>(
+        pick.uniform_int(0, static_cast<std::int64_t>(kNodes) - 1));
+    const auto hits_before = hits();
+    const auto cold = fed_->run_query(q, start);
+    ASSERT_TRUE(cold.complete);
+    EXPECT_EQ(cold.matching_records, brute_force(q));
+    const auto warm = fed_->run_query(q, start);
+    ASSERT_TRUE(warm.complete);
+    EXPECT_GT(hits(), hits_before) << "second evaluation was not a hit";
+    EXPECT_EQ(warm.matching_records, cold.matching_records);
+    EXPECT_EQ(warm.result_bytes, cold.result_bytes);
+    // A hit holds the server for the hit delay, not a full evaluation
+    // plus descent — it must never be slower than the cold pass.
+    EXPECT_LE(warm.latency_ms, cold.latency_ms) << "trial " << trial;
+  }
+}
+
+TEST_P(CacheSoundnessSweep, SummaryDigestChangeInvalidates) {
+  Build();
+  record::Query q;
+  q.add(record::Predicate::range(0, 0.4, 0.6));
+
+  // Mutating the start server's own store rotates its stamp at once.
+  const auto leaf = static_cast<sim::NodeId>(kNodes - 1);
+  const auto c0 = fed_->run_query(q, leaf).matching_records;
+  EXPECT_EQ(c0, brute_force(q));
+  auto& leaf_store = fed_->server(leaf).local_store();
+  bool mutated = false;
+  for (const auto& r : leaf_store.snapshot()) {
+    if (q.matches(r)) continue;
+    auto moved = r;
+    moved.set_value(0, record::AttributeValue(0.5));
+    leaf_store.update(std::move(moved));
+    mutated = true;
+    break;
+  }
+  ASSERT_TRUE(mutated) << "no non-matching leaf record to move";
+  const auto after_local = fed_->run_query(q, leaf);
+  EXPECT_EQ(after_local.matching_records, c0 + 1)
+      << "stale cached reply served after a local store mutation";
+  EXPECT_EQ(after_local.matching_records, brute_force(q));
+
+  // From the root the leaf's change is invisible until its refreshed
+  // summary propagates; after the refresh rounds the folded child
+  // digests differ, the key rotates, and the evaluation is fresh.
+  const auto root_cold = fed_->run_query(q, 0);
+  fed_->advance(4 * sim::seconds(50));
+  const auto root_fresh = fed_->run_query(q, 0);
+  EXPECT_EQ(root_fresh.matching_records, brute_force(q));
+  EXPECT_GE(root_fresh.matching_records, root_cold.matching_records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheSoundnessSweep,
+                         ::testing::Range<std::uint64_t>(1u, 17u));
 
 // --- Bucket-count sweep: conservativeness must hold at any resolution ---
 

@@ -10,7 +10,9 @@
 
 #include "overlay/replica_set.h"
 #include "record/query.h"
+#include "roads/client.h"
 #include "roads/federation.h"
+#include "roads/query_cache.h"
 
 namespace roads {
 namespace {
@@ -379,6 +381,150 @@ TEST(FederationChurn, QueriesStillResolveAfterFailure) {
   const auto outcome = fed.run_query(q, start);
   EXPECT_TRUE(outcome.complete);
   EXPECT_EQ(outcome.matching_records, 1u);
+}
+
+// --- Serving path: result cache containers and admission control ---
+
+TEST(QueryResultCacheBounds, EntryLimitEvictsLeastRecentlyUsed) {
+  core::QueryResultCache cache(/*max_entries=*/3, /*max_bytes=*/1 << 20);
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(cache.insert(k, core::CachedReply{}), 0u);
+  }
+  // Touch key 1 so key 2 becomes the LRU victim.
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.insert(4, core::CachedReply{}), 1u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr) << "LRU victim survived";
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_NE(cache.find(4), nullptr);
+}
+
+TEST(QueryResultCacheBounds, ByteLimitEvictsButKeepsNewestEntry) {
+  // Each empty CachedReply charges its 64-byte base; record_bytes adds
+  // directly. A 150-byte budget holds two small entries at most.
+  core::QueryResultCache cache(/*max_entries=*/64, /*max_bytes=*/150);
+  core::CachedReply small;
+  EXPECT_EQ(cache.insert(1, small), 0u);
+  EXPECT_EQ(cache.insert(2, small), 0u);
+  EXPECT_EQ(cache.insert(3, small), 1u) << "byte bound did not evict";
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(1), nullptr);
+
+  // An entry larger than the whole budget still caches (the just-
+  // inserted entry is never evicted) after clearing everything else.
+  core::CachedReply huge;
+  huge.record_bytes = 1000;
+  EXPECT_EQ(cache.insert(4, huge), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find(4), nullptr);
+}
+
+TEST(NegativeCacheTtl, EntriesExpireAndRefresh) {
+  core::NegativeCache cache(/*max_entries=*/8, /*ttl=*/sim::seconds(5));
+  cache.insert(42, sim::seconds(0));
+  EXPECT_TRUE(cache.contains(42, sim::seconds(4)));
+  // A refresh restarts the clock; without it the entry dies at t=5.
+  cache.insert(42, sim::seconds(4));
+  EXPECT_TRUE(cache.contains(42, sim::seconds(8)));
+  EXPECT_FALSE(cache.contains(42, sim::seconds(10)));
+  EXPECT_EQ(cache.size(), 0u) << "expired entry still resident";
+
+  // Capacity bound evicts the oldest entry first.
+  core::NegativeCache bounded(/*max_entries=*/2, sim::seconds(100));
+  bounded.insert(1, sim::seconds(1));
+  bounded.insert(2, sim::seconds(2));
+  bounded.insert(3, sim::seconds(3));
+  EXPECT_EQ(bounded.size(), 2u);
+  EXPECT_FALSE(bounded.contains(1, sim::seconds(3)));
+  EXPECT_TRUE(bounded.contains(2, sim::seconds(3)));
+  EXPECT_TRUE(bounded.contains(3, sim::seconds(3)));
+}
+
+/// Three-node federation with per-node-identifiable records and the
+/// admission controller armed; queries aimed at node 0's band never
+/// descend (children are pruned), so queue/shed accounting is exact.
+Federation& build_admission_fed(std::unique_ptr<Federation>& holder,
+                                std::size_t concurrency, std::size_t queue) {
+  auto params = small_params();
+  params.config.query_concurrency_limit = concurrency;
+  params.config.query_queue_limit = queue;
+  params.config.query_processing_delay = sim::ms(5);
+  holder = std::make_unique<Federation>(std::move(params));
+  auto& fed = *holder;
+  fed.add_servers(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto node = static_cast<sim::NodeId>(i);
+    auto owner = fed.add_owner(node, ExportMode::kDetailedRecords);
+    owner->store().insert(record::ResourceRecord(
+        static_cast<record::RecordId>(i), owner->id(),
+        {record::AttributeValue((i + 0.5) / 3.0), record::AttributeValue(0.5),
+         record::AttributeValue(0.5), record::AttributeValue(0.5)}));
+    fed.server(node).attach_owner(owner, ExportMode::kDetailedRecords);
+  }
+  fed.start();
+  fed.stabilize();
+  return fed;
+}
+
+void drain(Federation& fed,
+           const std::vector<std::shared_ptr<core::RoadsClient>>& clients) {
+  const auto all_done = [&clients] {
+    return std::all_of(clients.begin(), clients.end(),
+                       [](const auto& c) { return c && c->done(); });
+  };
+  std::size_t guard = 0;
+  while (!all_done()) {
+    ASSERT_GT(fed.step(256), 0u) << "engine drained with clients open";
+    ASSERT_LT(++guard, 100'000u);
+  }
+}
+
+TEST(QueryAdmission, ShedsPastSlotAndQueueLimits) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_admission_fed(holder, /*concurrency=*/1, /*queue=*/1);
+  const auto q = query_attr0(0.5 / 3.0 - 0.02, 0.5 / 3.0 + 0.02);
+  // Four simultaneous arrivals at one server: one takes the slot, one
+  // queues, two are shed with an explicit overload reply.
+  std::vector<std::shared_ptr<core::RoadsClient>> clients;
+  for (int i = 0; i < 4; ++i) clients.push_back(fed.issue_query(q, 0));
+  drain(fed, clients);
+
+  std::size_t served = 0;
+  std::size_t rejected = 0;
+  for (const auto& c : clients) {
+    EXPECT_TRUE(c->result().complete) << "overload reply must complete";
+    if (c->result().rejected) {
+      ++rejected;
+      EXPECT_EQ(c->result().sheds, 1u);
+    } else {
+      ++served;
+      EXPECT_EQ(c->result().matching_records, 1u);
+    }
+  }
+  EXPECT_EQ(served, 2u);
+  EXPECT_EQ(rejected, 2u);
+  EXPECT_EQ(fed.metrics().counter("roads.query.cache.shed").value(), 2u);
+}
+
+TEST(QueryAdmission, QueuedQueriesDrainInArrivalOrder) {
+  std::unique_ptr<Federation> holder;
+  auto& fed = build_admission_fed(holder, /*concurrency=*/1, /*queue=*/8);
+  const auto q = query_attr0(0.5 / 3.0 - 0.02, 0.5 / 3.0 + 0.02);
+  std::vector<std::shared_ptr<core::RoadsClient>> clients;
+  for (int i = 0; i < 4; ++i) clients.push_back(fed.issue_query(q, 0));
+  drain(fed, clients);
+
+  sim::Time previous = 0;
+  for (const auto& c : clients) {
+    ASSERT_TRUE(c->result().complete);
+    EXPECT_FALSE(c->result().rejected);
+    EXPECT_EQ(c->result().matching_records, 1u);
+    // FIFO service: each later arrival waits behind every earlier one.
+    EXPECT_GE(c->result().forwarding_latency(), previous);
+    previous = c->result().forwarding_latency();
+  }
+  EXPECT_EQ(fed.metrics().counter("roads.query.cache.shed").value(), 0u);
 }
 
 }  // namespace

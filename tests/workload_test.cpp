@@ -7,8 +7,10 @@
 #include <set>
 
 #include "hierarchy/topology.h"
+#include "sim/time.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "workload/arrival.h"
 #include "workload/distributions.h"
 #include "workload/query_generator.h"
 #include "workload/record_generator.h"
@@ -325,6 +327,89 @@ TEST(QueryGenerator, SelectivityTargetingHitsTolerance) {
     ASSERT_TRUE(q.has_value()) << "target " << target;
     const double got = QueryGenerator::selectivity(*q, sample);
     EXPECT_NEAR(got, target, target * 0.5 + 1e-9) << "target " << target;
+  }
+}
+
+// --- Open-loop arrival schedules (workload/arrival.h) ---
+
+TEST(Arrivals, DeterministicPerSeedAndStrictlyIncreasing) {
+  ArrivalSpec spec;
+  spec.rate_qps = 200.0;
+  for (const auto process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kSelfSimilar}) {
+    spec.process = process;
+    util::Rng a(42), b(42), c(43);
+    const auto first = generate_arrivals(spec, 500, a);
+    const auto second = generate_arrivals(spec, 500, b);
+    const auto other = generate_arrivals(spec, 500, c);
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first, other);
+    ASSERT_EQ(first.size(), 500u);
+    sim::Time prev = 0;
+    for (const auto t : first) {
+      EXPECT_GT(t, prev);
+      prev = t;
+    }
+  }
+}
+
+TEST(Arrivals, RealizedRateMatchesOffered) {
+  ArrivalSpec spec;
+  spec.rate_qps = 100.0;
+  for (const auto process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kSelfSimilar}) {
+    spec.process = process;
+    util::Rng rng(7);
+    const auto arrivals = generate_arrivals(spec, 2000, rng);
+    const double span_s = sim::to_seconds(arrivals.back());
+    const double rate = 2000.0 / span_s;
+    // Poisson concentrates tightly at n=2000; the rescaled bounded-
+    // Pareto schedule matches by construction.
+    EXPECT_NEAR(rate, 100.0, 10.0)
+        << (process == ArrivalProcess::kPoisson ? "poisson" : "selfsimilar");
+  }
+}
+
+TEST(Arrivals, SelfSimilarIsBurstierThanPoisson) {
+  ArrivalSpec spec;
+  spec.rate_qps = 100.0;
+  const auto gap_cv = [&](ArrivalProcess p) {
+    spec.process = p;
+    util::Rng rng(11);
+    const auto arrivals = generate_arrivals(spec, 4000, rng);
+    util::RunningStat gaps;
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      gaps.add(static_cast<double>(arrivals[i] - arrivals[i - 1]));
+    }
+    return gaps.stddev() / gaps.mean();
+  };
+  EXPECT_GT(gap_cv(ArrivalProcess::kSelfSimilar),
+            1.2 * gap_cv(ArrivalProcess::kPoisson));
+}
+
+TEST(ZipfSamplerTest, SkewConcentratesOnTheHeadAndCoversTheTail) {
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_EQ(zipf.size(), 100u);
+  // Analytic head mass: rank-1 share of H_100 ~ 1/5.19.
+  EXPECT_NEAR(zipf.head_mass(1), 0.193, 0.01);
+  util::Rng rng(3);
+  std::vector<std::size_t> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 20000.0, zipf.head_mass(1),
+              0.02);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+
+  // s = 0 degenerates to uniform.
+  ZipfSampler uniform(10, 0.0);
+  EXPECT_NEAR(uniform.head_mass(1), 0.1, 1e-9);
+}
+
+TEST(ZipfSamplerTest, SamplesAreDeterministicPerSeed) {
+  ZipfSampler zipf(32, 1.2);
+  util::Rng a(5), b(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(zipf.sample(a), zipf.sample(b));
   }
 }
 
